@@ -1,0 +1,48 @@
+// Command ablation runs the design-choice ablation studies that complement
+// the paper's headline figures: virtual-loss magnitude and semantics on the
+// shared tree, the related-work baselines (root-/leaf-parallel) against
+// the two tree-parallel schemes, and the accelerator-interconnect sweep
+// behind the conclusion's generality claim.
+//
+// Usage:
+//
+//	ablation [-workers 4] [-playouts 200] [-which vl,vlmode,baselines,interconnect]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"github.com/parmcts/parmcts/internal/experiments"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 4, "parallel workers for engine ablations")
+		playouts = flag.Int("playouts", 200, "per-move playout budget")
+		which    = flag.String("which", "vl,vlmode,baselines,interconnect", "comma-separated studies")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+	if want["vl"] {
+		fmt.Print(experiments.AblationVirtualLoss([]float64{0, 0.5, 1, 2, 4}, *workers, *playouts).String())
+		fmt.Println()
+	}
+	if want["vlmode"] {
+		fmt.Print(experiments.AblationVLMode(*workers, *playouts).String())
+		fmt.Println()
+	}
+	if want["baselines"] {
+		fmt.Print(experiments.AblationBaselines(*workers, *playouts).String())
+		fmt.Println()
+	}
+	if want["interconnect"] {
+		p := experiments.PaperShapedParams(1600)
+		fmt.Print(experiments.AblationInterconnect(p, 64).String())
+	}
+}

@@ -1,0 +1,74 @@
+// Command configure runs the design configuration workflow of Section 4.2
+// end to end for a given worker count and platform: it profiles the host's
+// in-tree operations on a synthetic Gomoku-shaped tree, profiles (or
+// models) the DNN latency, evaluates the performance models, searches the
+// accelerator batch size with Algorithm 4 where applicable, and prints the
+// chosen parallel scheme with the evidence behind it.
+//
+// Usage:
+//
+//	configure [-n 32] [-platform cpu|gpu] [-playouts 1600] [-explain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/experiments"
+	"github.com/parmcts/parmcts/internal/perfmodel"
+	"github.com/parmcts/parmcts/internal/simsched"
+	"github.com/parmcts/parmcts/internal/stats"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 32, "worker count N")
+		platform = flag.String("platform", "gpu", "cpu or gpu")
+		playouts = flag.Int("playouts", 1600, "per-move playout budget")
+		explain  = flag.Bool("explain", false, "print every Algorithm 4 probe")
+	)
+	flag.Parse()
+
+	lp := experiments.HostMeasuredParams(*playouts, 15)
+	params := perfmodel.Params{
+		TSelect:       lp.Workload.TSelect,
+		TBackup:       lp.Workload.TBackup,
+		TDNNCPU:       lp.Workload.TDNNCPU,
+		TSharedAccess: lp.Workload.TSharedAccess,
+	}
+
+	prof := stats.NewTable("Profiled parameters", "parameter", "value")
+	prof.AddRow("T_select", params.TSelect)
+	prof.AddRow("T_backup", params.TBackup)
+	prof.AddRow("T_DNN_CPU", params.TDNNCPU)
+	prof.AddRow("T_shared_access", params.TSharedAccess)
+	fmt.Print(prof.String())
+	fmt.Println()
+
+	var choice perfmodel.Choice
+	if *platform == "cpu" {
+		choice = perfmodel.ConfigureCPU(params, *n)
+	} else {
+		cost := lp.Accel
+		params.GPU = &cost
+		probe := func(b int) time.Duration {
+			d := simsched.LocalAccel(lp.Workload, cost, *n, b).PerIteration
+			if *explain {
+				fmt.Printf("  test run: B=%-3d -> %v per iteration\n", b, d)
+			}
+			return d
+		}
+		choice = perfmodel.ConfigureGPU(params, *n, probe)
+	}
+
+	out := stats.NewTable("Design configuration decision", "field", "value")
+	out.AddRow("platform", *platform)
+	out.AddRow("N", choice.N)
+	out.AddRow("scheme", choice.Scheme.String())
+	out.AddRow("batch size B", choice.BatchSize)
+	out.AddRow("predicted shared (per iter)", choice.PerIterationShared())
+	out.AddRow("predicted local (per iter)", choice.PerIterationLocal())
+	out.AddRow("Algorithm 4 probes", choice.Probes)
+	fmt.Print(out.String())
+}

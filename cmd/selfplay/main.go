@@ -1,0 +1,110 @@
+// Command selfplay runs the complete adaptive DNN-MCTS training pipeline
+// (Algorithm 1) on Gomoku: the design configuration workflow picks the
+// parallel scheme for the requested worker count and platform, then
+// self-play episodes alternate with SGD updates, printing per-episode loss
+// and throughput. The trained network is optionally saved for later use.
+//
+// Usage:
+//
+//	selfplay [-n 4] [-board 9] [-playouts 100] [-episodes 8]
+//	         [-platform cpu|gpu] [-full-net] [-save model.bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/adaptive"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/experiments"
+	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/train"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 4, "parallel workers")
+		board    = flag.Int("board", 9, "gomoku board size")
+		playouts = flag.Int("playouts", 100, "per-move playout budget")
+		episodes = flag.Int("episodes", 8, "self-play episodes")
+		platform = flag.String("platform", "cpu", "cpu or gpu")
+		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
+		savePath = flag.String("save", "", "write the trained network here")
+		seed     = flag.Uint64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	g := gomoku.NewSized(*board)
+	c, h, w := g.EncodedShape()
+	var net *nn.Network
+	if *fullNet {
+		net = nn.MustNew(nn.GomokuConfig(c, h, w, g.NumActions()), rng.New(*seed))
+	} else {
+		net = nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(*seed))
+	}
+
+	search := mcts.DefaultConfig()
+	search.Playouts = *playouts
+	search.DirichletAlpha = 0.3
+	search.NoiseFrac = 0.25
+	search.Seed = *seed
+	opts := adaptive.Options{
+		Search:          search,
+		Workers:         *n,
+		ProfilePlayouts: 200,
+		DNNProfileIters: 5,
+	}
+	if *platform == "gpu" {
+		cost := experiments.PaperShapedParams(*playouts).Accel
+		cost.BytesPerSample = c * h * w * 4
+		opts.Platform = adaptive.PlatformAccel
+		opts.Device = accel.NewHosted(net, cost, 0)
+		opts.DeviceCost = cost
+	} else {
+		opts.Platform = adaptive.PlatformCPU
+		opts.Evaluator = evaluate.NewNN(net)
+	}
+	eng, err := adaptive.Configure(g, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfplay:", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+	fmt.Println("configuration:", eng.Decision)
+
+	tr := train.NewTrainer(g, eng, net, train.TrainerConfig{
+		Episodes:      *episodes,
+		SGDIterations: 8,
+		BatchSize:     64,
+		LR:            0.01,
+		Momentum:      0.9,
+		WeightDecay:   1e-4,
+		TempMoves:     6,
+		Augmenter:     train.GomokuAugmenter{Size: *board, Planes: c},
+		Seed:          *seed,
+	})
+	tr.Run(func(s train.EpisodeStats) {
+		fmt.Printf("episode %2d: moves=%2d winner=%+d loss=%.4f (v=%.4f p=%.4f) throughput=%.2f samples/s elapsed=%v\n",
+			s.Episode, s.Moves, s.Winner, s.Loss.TotalLoss(), s.Loss.ValueLoss,
+			s.Loss.PolicyLoss, s.Throughput(), s.Elapsed.Round(1e6))
+	})
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfplay: save:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := net.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "selfplay: save:", err)
+			os.Exit(1)
+		}
+		fmt.Println("saved network to", *savePath)
+	}
+}

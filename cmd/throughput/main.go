@@ -1,0 +1,73 @@
+// Command throughput regenerates Figure 6 (Section 5.4): end-to-end
+// DNN-MCTS training throughput in processed samples per second across
+// worker counts, with the parallel scheme chosen by the adaptive
+// configuration workflow for each point, on the CPU-only and the simulated
+// CPU-GPU platform.
+//
+// The defaults are scaled to finish on a laptop (small board, tiny network,
+// few episodes); raise -board/-playouts/-episodes and set -full-net to
+// approach the paper's configuration.
+//
+// Usage:
+//
+//	throughput [-ns 1,2,4,8] [-board 9] [-playouts 48] [-episodes 2]
+//	           [-platform cpu|gpu|both] [-full-net] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/parmcts/parmcts/internal/experiments"
+)
+
+func main() {
+	var (
+		nsFlag   = flag.String("ns", "1,2,4,8", "comma-separated worker counts")
+		board    = flag.Int("board", 9, "gomoku board size")
+		playouts = flag.Int("playouts", 48, "per-move playout budget")
+		episodes = flag.Int("episodes", 2, "self-play episodes per configuration")
+		platform = flag.String("platform", "both", "cpu, gpu, or both")
+		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
+		csv      = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	var ns []int
+	for _, part := range strings.Split(*nsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "throughput: bad worker count %q\n", part)
+			os.Exit(2)
+		}
+		ns = append(ns, n)
+	}
+	var platforms []bool
+	switch *platform {
+	case "cpu":
+		platforms = []bool{false}
+	case "gpu":
+		platforms = []bool{true}
+	case "both":
+		platforms = []bool{false, true}
+	default:
+		fmt.Fprintln(os.Stderr, "throughput: -platform must be cpu, gpu, or both")
+		os.Exit(2)
+	}
+
+	sc := experiments.DefaultTrainingScale()
+	sc.BoardSize = *board
+	sc.Playouts = *playouts
+	sc.Episodes = *episodes
+	sc.TinyNet = !*fullNet
+
+	tb := experiments.Figure6Throughput(sc, ns, platforms)
+	if *csv {
+		fmt.Print(tb.CSV())
+	} else {
+		fmt.Print(tb.String())
+	}
+}

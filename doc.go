@@ -1,0 +1,22 @@
+// Package parmcts is a Go reproduction of "Accelerating Deep Neural
+// Network guided MCTS using Adaptive Parallelism" (Meng, Wang, Zu,
+// Prasanna — SC 2023, arXiv:2310.05313).
+//
+// The library implements both tree-parallel DNN-MCTS schemes the paper
+// analyses — the lock-protected shared tree (Algorithm 2) and the
+// master-thread local tree with an asynchronous inference pool (Algorithm
+// 3) — together with the performance models (Equations 3-6), the
+// design-time profiling workflow, the O(log N) accelerator batch-size
+// search (Algorithm 4), and the adaptive framework that selects among them.
+// Every substrate is built from scratch on the standard library: the
+// policy/value network (5 conv + 3 FC with training), the Gomoku/Connect-4/
+// tic-tac-toe environments, the arena-backed search tree, the FIFO and
+// accelerator-queue plumbing, a simulated accelerator with an explicit
+// latency model, and a discrete-event timeline simulator that regenerates
+// the paper's latency figures deterministically.
+//
+// Packages live under internal/; the runnable entry points are the
+// binaries under cmd/ and the programs under examples/. The benchmarks in
+// bench_test.go regenerate each table and figure of the paper's evaluation
+// (see EXPERIMENTS.md for the index and recorded results).
+package parmcts

@@ -1,0 +1,70 @@
+// Quickstart: run one adaptively-configured parallel MCTS search on a
+// Gomoku position and print the chosen scheme and the top moves.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/parmcts/parmcts/internal/adaptive"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+func main() {
+	// The benchmark: 9x9 Gomoku (use gomoku.New() for the paper's 15x15).
+	g := gomoku.NewSized(9)
+
+	// A freshly initialised policy/value network (untrained: priors are
+	// near-uniform, so the search explores broadly).
+	c, h, w := g.EncodedShape()
+	net := nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(42))
+
+	// Ask the design configuration workflow for the best parallel scheme
+	// for 4 workers on this machine.
+	search := mcts.DefaultConfig()
+	search.Playouts = 200
+	eng, err := adaptive.Configure(g, adaptive.Options{
+		Search:    search,
+		Workers:   4,
+		Platform:  adaptive.PlatformCPU,
+		Evaluator: evaluate.NewNN(net),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	fmt.Println("adaptive decision:", eng.Decision)
+
+	// Search the opening position.
+	st := g.NewInitial()
+	st.Play(4*9 + 4) // black takes the centre
+	dist := make([]float32, g.NumActions())
+	stats := eng.Search(st, dist)
+	fmt.Printf("search: %d playouts in %v (%v per iteration, avg depth %.1f)\n",
+		stats.Playouts, stats.Duration.Round(1e6), stats.PerIteration(), stats.AvgDepth())
+
+	// Report the five most-visited replies.
+	type move struct {
+		action int
+		share  float32
+	}
+	var moves []move
+	for a, p := range dist {
+		if p > 0 {
+			moves = append(moves, move{a, p})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].share > moves[j].share })
+	fmt.Println("top replies for white:")
+	for i := 0; i < 5 && i < len(moves); i++ {
+		m := moves[i]
+		fmt.Printf("  (%d,%d) visited %.1f%%\n", m.action/9, m.action%9, 100*m.share)
+	}
+}

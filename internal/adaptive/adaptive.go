@@ -1,0 +1,225 @@
+// Package adaptive is the paper's primary contribution assembled into one
+// public entry point: given a game, a network (or an accelerator device),
+// and a worker budget, it runs the design configuration workflow of Section
+// 4.2 — profile, model, and (on accelerator platforms) the Algorithm 4
+// batch-size search — and instantiates the predicted-fastest tree-parallel
+// engine behind the common mcts.Engine interface.
+//
+// This is the programmatic equivalent of the paper's "compile-time"
+// selection: configuration happens once per (algorithm, hardware, N)
+// triple, and the chosen scheme then runs unchanged for the whole training
+// job.
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/perfmodel"
+)
+
+// Platform selects where DNN inference runs.
+type Platform int
+
+// Supported platforms.
+const (
+	// PlatformCPU runs inference on CPU threads (Equations 3 and 5).
+	PlatformCPU Platform = iota
+	// PlatformAccel offloads batched inference to an accelerator device
+	// (Equations 4 and 6).
+	PlatformAccel
+)
+
+// String names the platform.
+func (p Platform) String() string {
+	if p == PlatformCPU {
+		return "cpu"
+	}
+	return "cpu-accel"
+}
+
+// Options configures the adaptive framework.
+type Options struct {
+	// Search holds the MCTS hyper-parameters (playouts, PUCT, noise).
+	Search mcts.Config
+	// Workers is N, the parallel worker budget.
+	Workers int
+	// Platform selects CPU or accelerator inference.
+	Platform Platform
+	// Evaluator performs CPU inference (required for PlatformCPU).
+	Evaluator evaluate.Evaluator
+	// Device is the accelerator (required for PlatformAccel).
+	Device accel.Device
+	// DeviceCost is the accelerator's latency model, used by Equations 4/6.
+	DeviceCost accel.CostModel
+	// SharedAccess overrides the modeled DDR access latency (0 = default).
+	SharedAccess time.Duration
+	// ProfilePlayouts sizes the design-time profiling episode (0 = 400).
+	ProfilePlayouts int
+	// DNNProfileIters sizes the T_DNN measurement (0 = 30).
+	DNNProfileIters int
+	// TestRun, when non-nil, replaces Equation 6 with real measured test
+	// runs during the batch-size search, exactly as Algorithm 4 line 5
+	// prescribes. It receives a candidate B and must return the amortized
+	// round latency of a single-move search using that sub-batch size.
+	TestRun func(b int) time.Duration
+	// ForceScheme, when non-nil, skips the model decision (used by the
+	// baseline configurations in the evaluation harness).
+	ForceScheme *perfmodel.Scheme
+}
+
+// Decision records what the configuration workflow chose and why.
+type Decision struct {
+	Choice perfmodel.Choice
+	Params perfmodel.Params
+	// InTree is the synthetic-tree profile behind Params.
+	InTree perfmodel.InTreeProfile
+	// Platform echoes the configured platform.
+	Platform Platform
+}
+
+// String renders the decision for logs and reports.
+func (d Decision) String() string {
+	s := fmt.Sprintf("N=%d platform=%s scheme=%s", d.Choice.N, d.Platform, d.Choice.Scheme)
+	if d.Platform == PlatformAccel && d.Choice.Scheme == perfmodel.SchemeLocal {
+		s += fmt.Sprintf(" B=%d (%d probes)", d.Choice.BatchSize, d.Choice.Probes)
+	}
+	s += fmt.Sprintf(" [pred shared=%v local=%v per-iter]",
+		d.Choice.PerIterationShared(), d.Choice.PerIterationLocal())
+	return s
+}
+
+// Engine wraps the chosen mcts.Engine together with the resources it owns.
+type Engine struct {
+	mcts.Engine
+	Decision Decision
+	closers  []func()
+}
+
+// Close releases the engine's evaluator pools.
+func (e *Engine) Close() {
+	e.Engine.Close()
+	for _, f := range e.closers {
+		f()
+	}
+}
+
+// Configure runs the design configuration workflow for g under opts and
+// returns the predicted-fastest engine, ready for Search calls.
+func Configure(g game.Game, opts Options) (*Engine, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("adaptive: Workers must be >= 1, got %d", opts.Workers)
+	}
+	if opts.Platform == PlatformCPU && opts.Evaluator == nil {
+		return nil, fmt.Errorf("adaptive: PlatformCPU requires an Evaluator")
+	}
+	if opts.Platform == PlatformAccel && opts.Device == nil {
+		return nil, fmt.Errorf("adaptive: PlatformAccel requires a Device")
+	}
+
+	dec, err := decide(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := build(g, opts, dec)
+	if err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// decide profiles and applies the performance models.
+func decide(g game.Game, opts Options) (Decision, error) {
+	profPlayouts := opts.ProfilePlayouts
+	if profPlayouts <= 0 {
+		profPlayouts = 400
+	}
+	dnnIters := opts.DNNProfileIters
+	if dnnIters <= 0 {
+		dnnIters = 30
+	}
+	sharedAccess := opts.SharedAccess
+	if sharedAccess <= 0 {
+		sharedAccess = perfmodel.DefaultSharedAccess
+	}
+
+	inTree := perfmodel.ProfileInTree(perfmodel.SyntheticSpec{
+		Fanout:     g.NumActions(),
+		DepthLimit: g.MaxGameLength(),
+		Playouts:   profPlayouts,
+		Seed:       1,
+	})
+	params := perfmodel.Params{
+		TSelect:       inTree.TSelect,
+		TBackup:       inTree.TBackup,
+		TSharedAccess: sharedAccess,
+	}
+	c, h, w := g.EncodedShape()
+	switch opts.Platform {
+	case PlatformCPU:
+		params.TDNNCPU = perfmodel.ProfileDNN(opts.Evaluator, c*h*w, g.NumActions(), dnnIters)
+	case PlatformAccel:
+		cost := opts.DeviceCost
+		params.GPU = &cost
+	}
+
+	var choice perfmodel.Choice
+	if opts.ForceScheme != nil {
+		choice = forcedChoice(params, opts)
+	} else if opts.Platform == PlatformCPU {
+		choice = perfmodel.ConfigureCPU(params, opts.Workers)
+	} else {
+		choice = perfmodel.ConfigureGPU(params, opts.Workers, opts.TestRun)
+	}
+	return Decision{Choice: choice, Params: params, InTree: inTree, Platform: opts.Platform}, nil
+}
+
+func forcedChoice(params perfmodel.Params, opts Options) perfmodel.Choice {
+	choice := perfmodel.Choice{N: opts.Workers, Scheme: *opts.ForceScheme, BatchSize: opts.Workers}
+	if opts.Platform == PlatformAccel && choice.Scheme == perfmodel.SchemeLocal {
+		// Even a forced local scheme still needs its batch size tuned.
+		probe := opts.TestRun
+		if probe == nil {
+			n := opts.Workers
+			probe = func(b int) time.Duration { return perfmodel.LocalGPU(params, n, b) }
+		}
+		b, probes := perfmodel.FindMinV(1, opts.Workers, probe)
+		choice.BatchSize = b
+		choice.Probes = probes
+	}
+	return choice
+}
+
+// build instantiates the engine the decision calls for.
+func build(g game.Game, opts Options, dec Decision) (*Engine, error) {
+	eng := &Engine{Decision: dec}
+	n := opts.Workers
+	switch {
+	case dec.Choice.Scheme == perfmodel.SchemeShared && opts.Platform == PlatformCPU:
+		eng.Engine = mcts.NewShared(opts.Search, n, opts.Evaluator)
+
+	case dec.Choice.Scheme == perfmodel.SchemeShared && opts.Platform == PlatformAccel:
+		// Shared + accelerator: full batches of size N (Section 3.3).
+		sync := evaluate.NewBatchedSync(opts.Device, n)
+		eng.Engine = mcts.NewShared(opts.Search, n, sync)
+
+	case dec.Choice.Scheme == perfmodel.SchemeLocal && opts.Platform == PlatformCPU:
+		pool := evaluate.NewPool(opts.Evaluator, n)
+		eng.Engine = mcts.NewLocal(opts.Search, pool, n)
+		eng.closers = append(eng.closers, pool.Close)
+
+	case dec.Choice.Scheme == perfmodel.SchemeLocal && opts.Platform == PlatformAccel:
+		async := evaluate.NewBatchedAsync(opts.Device, dec.Choice.BatchSize, n)
+		eng.Engine = mcts.NewLocal(opts.Search, async, n)
+		eng.closers = append(eng.closers, async.Close)
+
+	default:
+		return nil, fmt.Errorf("adaptive: unsupported scheme/platform combination")
+	}
+	_ = g
+	return eng, nil
+}

@@ -1,0 +1,207 @@
+package adaptive
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/connect4"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/perfmodel"
+)
+
+func searchCfg(playouts int) mcts.Config {
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = playouts
+	return cfg
+}
+
+func TestConfigureValidation(t *testing.T) {
+	g := tictactoe.New()
+	if _, err := Configure(g, Options{Workers: 0, Evaluator: &evaluate.Random{}}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := Configure(g, Options{Workers: 2, Platform: PlatformCPU}); err == nil {
+		t.Error("missing evaluator accepted")
+	}
+	if _, err := Configure(g, Options{Workers: 2, Platform: PlatformAccel}); err == nil {
+		t.Error("missing device accepted")
+	}
+}
+
+func TestConfigureCPUSlowDNNPicksLocal(t *testing.T) {
+	// A slow DNN with trivial in-tree costs is the local scheme's home
+	// turf: evaluations dominate and want the full thread pool.
+	g := connect4.New()
+	eng, err := Configure(g, Options{
+		Search:          searchCfg(64),
+		Workers:         4,
+		Platform:        PlatformCPU,
+		Evaluator:       &evaluate.Random{Latency: 500 * time.Microsecond},
+		ProfilePlayouts: 200,
+		DNNProfileIters: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Decision.Choice.Scheme != perfmodel.SchemeLocal {
+		t.Fatalf("scheme = %v, want local; decision: %s",
+			eng.Decision.Choice.Scheme, eng.Decision)
+	}
+	st := g.NewInitial()
+	dist := make([]float32, st.NumActions())
+	stats := eng.Search(st, dist)
+	if stats.Playouts != 64 {
+		t.Fatalf("playouts = %d", stats.Playouts)
+	}
+}
+
+func TestConfigureCPUFastDNNManyWorkersPicksShared(t *testing.T) {
+	// A free DNN with a huge worker count makes the master thread's serial
+	// in-tree operations the bottleneck: Equation 5 explodes while
+	// Equation 3 stays near T_DNN, so shared must win.
+	g := connect4.New()
+	eng, err := Configure(g, Options{
+		Search:          searchCfg(64),
+		Workers:         4096,
+		Platform:        PlatformCPU,
+		Evaluator:       &evaluate.Random{}, // ~free evaluation
+		ProfilePlayouts: 200,
+		DNNProfileIters: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Decision.Choice.Scheme != perfmodel.SchemeShared {
+		t.Fatalf("scheme = %v, want shared; decision: %s",
+			eng.Decision.Choice.Scheme, eng.Decision)
+	}
+}
+
+func TestConfigureAccelBuildsRunnableEngine(t *testing.T) {
+	g := tictactoe.New()
+	cost := accel.DefaultCostModel()
+	cost.LaunchLatency = 0
+	cost.ComputeBase = 0
+	cost.ComputePerSample = 0
+	dev := accel.NewModel(cost)
+	eng, err := Configure(g, Options{
+		Search:          searchCfg(100),
+		Workers:         4,
+		Platform:        PlatformAccel,
+		Device:          dev,
+		DeviceCost:      cost,
+		ProfilePlayouts: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st := g.NewInitial()
+	dist := make([]float32, st.NumActions())
+	stats := eng.Search(st, dist)
+	if stats.Playouts != 100 {
+		t.Fatalf("playouts = %d", stats.Playouts)
+	}
+	var sum float32
+	for _, p := range dist {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("dist sums to %v", sum)
+	}
+}
+
+func TestConfigureAccelUsesTestRuns(t *testing.T) {
+	g := tictactoe.New()
+	cost := accel.DefaultCostModel()
+	dev := accel.NewModel(cost)
+	probed := map[int]bool{}
+	eng, err := Configure(g, Options{
+		Search:   searchCfg(50),
+		Workers:  32,
+		Platform: PlatformAccel,
+		Device:   dev, DeviceCost: cost,
+		ProfilePlayouts: 100,
+		TestRun: func(b int) time.Duration {
+			probed[b] = true
+			d := b - 10
+			if d < 0 {
+				d = -d
+			}
+			return time.Duration(d+1) * time.Microsecond // deep V, min at 10
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := eng.Decision.Choice.BatchSize; got != 10 {
+		t.Fatalf("batch size = %d, want 10", got)
+	}
+	if len(probed) > 14 {
+		t.Fatalf("probed %d batch sizes, want O(log N)", len(probed))
+	}
+	if eng.Decision.Choice.Scheme != perfmodel.SchemeLocal {
+		t.Fatalf("scheme = %v", eng.Decision.Choice.Scheme)
+	}
+}
+
+func TestForceScheme(t *testing.T) {
+	g := tictactoe.New()
+	for _, scheme := range []perfmodel.Scheme{perfmodel.SchemeShared, perfmodel.SchemeLocal} {
+		s := scheme
+		eng, err := Configure(g, Options{
+			Search:          searchCfg(60),
+			Workers:         2,
+			Platform:        PlatformCPU,
+			Evaluator:       &evaluate.Random{},
+			ProfilePlayouts: 50,
+			DNNProfileIters: 3,
+			ForceScheme:     &s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.Decision.Choice.Scheme != s {
+			t.Fatalf("forced %v but got %v", s, eng.Decision.Choice.Scheme)
+		}
+		if want := map[perfmodel.Scheme]string{
+			perfmodel.SchemeShared: "shared", perfmodel.SchemeLocal: "local",
+		}[s]; eng.Name() != want {
+			t.Fatalf("engine %q for scheme %v", eng.Name(), s)
+		}
+		st := g.NewInitial()
+		dist := make([]float32, st.NumActions())
+		eng.Search(st, dist)
+		eng.Close()
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{
+		Choice: perfmodel.Choice{
+			N: 32, Scheme: perfmodel.SchemeLocal, BatchSize: 8, Probes: 9,
+			PredictedShared: 320 * time.Microsecond,
+			PredictedLocal:  160 * time.Microsecond,
+		},
+		Platform: PlatformAccel,
+	}
+	s := d.String()
+	for _, want := range []string{"N=32", "local", "B=8", "9 probes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("decision string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if PlatformCPU.String() != "cpu" || PlatformAccel.String() != "cpu-accel" {
+		t.Fatal("platform names wrong")
+	}
+}

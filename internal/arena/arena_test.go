@@ -1,0 +1,131 @@
+package arena
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/mcts"
+)
+
+func engine(playouts int, seed uint64) mcts.Engine {
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = playouts
+	cfg.Seed = seed
+	return mcts.NewSerial(cfg, &evaluate.Random{})
+}
+
+func TestMatchResultScoreAndElo(t *testing.T) {
+	r := MatchResult{Games: 10, WinsA: 7, WinsB: 2, Draws: 1}
+	if got := r.Score(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("score = %v", got)
+	}
+	if elo := r.EloDiff(1000); math.Abs(elo-190.8) > 1 {
+		t.Fatalf("elo = %v, want ~191", elo)
+	}
+	even := MatchResult{Games: 4, WinsA: 2, WinsB: 2}
+	if elo := even.EloDiff(1000); math.Abs(elo) > 1e-9 {
+		t.Fatalf("even match elo = %v", elo)
+	}
+	sweep := MatchResult{Games: 4, WinsA: 4}
+	if elo := sweep.EloDiff(500); elo != 500 {
+		t.Fatalf("sweep elo not clamped: %v", elo)
+	}
+	var empty MatchResult
+	if empty.Score() != 0.5 {
+		t.Fatal("empty match score should be 0.5")
+	}
+}
+
+func TestMatchResultString(t *testing.T) {
+	s := MatchResult{Games: 3, WinsA: 2, WinsB: 1}.String()
+	for _, want := range []string{"2 : 1", "score"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestPlayPanicsOnZeroGames(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero games did not panic")
+		}
+	}()
+	Play(tictactoe.New(), engine(10, 1), engine(10, 2), MatchConfig{})
+}
+
+func TestStrongBeatsWeak(t *testing.T) {
+	// 400 playouts vs 8 playouts on tic-tac-toe: the strong engine should
+	// not lose the match (it can draw games — perfect play draws — but the
+	// weak engine blunders).
+	g := tictactoe.New()
+	strong := engine(400, 1)
+	weak := engine(8, 2)
+	res := Play(g, strong, weak, MatchConfig{
+		Games:       8,
+		Temperature: 0.3, // decorrelate repeats; weak engine will blunder
+		TempMoves:   3,
+		Seed:        9,
+	})
+	if res.Games != 8 || res.WinsA+res.WinsB+res.Draws != 8 {
+		t.Fatalf("game accounting wrong: %+v", res)
+	}
+	if res.Score() < 0.5 {
+		t.Fatalf("strong engine scored %.3f: %+v", res.Score(), res)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("no duration recorded")
+	}
+}
+
+func TestSelfPlayIsBalanced(t *testing.T) {
+	// Identical engines with colour alternation: neither side should sweep.
+	g := tictactoe.New()
+	a := engine(60, 3)
+	b := engine(60, 3)
+	res := Play(g, a, b, MatchConfig{Games: 10, Temperature: 0.5, TempMoves: 4, Seed: 11})
+	if res.WinsA == 10 || res.WinsB == 10 {
+		t.Fatalf("identical engines swept: %+v", res)
+	}
+}
+
+func TestRoundRobinPairCount(t *testing.T) {
+	g := tictactoe.New()
+	entrants := []Entrant{
+		{Name: "a", Engine: engine(20, 1)},
+		{Name: "b", Engine: engine(20, 2)},
+		{Name: "c", Engine: engine(20, 3)},
+	}
+	results := RoundRobin(g, entrants, MatchConfig{Games: 2, Temperature: 0.5, Seed: 5})
+	if len(results) != 3 { // C(3,2)
+		t.Fatalf("pairs = %d, want 3", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.A+"-"+r.B] = true
+		if r.Result.Games != 2 {
+			t.Fatalf("pair %s-%s played %d games", r.A, r.B, r.Result.Games)
+		}
+	}
+	if !seen["a-b"] || !seen["a-c"] || !seen["b-c"] {
+		t.Fatalf("pairings wrong: %v", seen)
+	}
+}
+
+func TestParallelSchemesMatchSerialStrength(t *testing.T) {
+	// The Section 5.5 claim as a playable experiment: shared-tree search
+	// with virtual loss must not be meaningfully weaker than serial search
+	// at the same budget.
+	g := tictactoe.New()
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = 200
+	serial := mcts.NewSerial(cfg, &evaluate.Random{})
+	shared := mcts.NewShared(cfg, 4, &evaluate.Random{})
+	res := Play(g, shared, serial, MatchConfig{Games: 6, Temperature: 0.4, TempMoves: 3, Seed: 13})
+	if res.Score() < 0.2 {
+		t.Fatalf("shared-tree engine collapsed against serial: %+v", res)
+	}
+}

@@ -1,0 +1,65 @@
+package arena
+
+import (
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+)
+
+// GateConfig configures candidate-model evaluation: the AlphaGo-Zero-style
+// promotion gate in which a freshly trained network must beat the current
+// best network in head-to-head play before replacing it. The paper's
+// training pipeline (Algorithm 1) updates unconditionally; gating is the
+// standard production extension for keeping training from regressing.
+type GateConfig struct {
+	// Games per evaluation match.
+	Games int
+	// WinThreshold is the score the candidate must reach (AlphaGo Zero
+	// used 0.55).
+	WinThreshold float64
+	// Playouts per move for both sides.
+	Playouts int
+	// Temperature decorrelates repeated games (e.g. 0.2).
+	Temperature float64
+	// TempMoves limits Temperature to the opening (0 = whole game).
+	TempMoves int
+	// Seed drives move sampling.
+	Seed uint64
+}
+
+// DefaultGateConfig returns the conventional gate.
+func DefaultGateConfig() GateConfig {
+	return GateConfig{
+		Games:        20,
+		WinThreshold: 0.55,
+		Playouts:     100,
+		Temperature:  0.2,
+		TempMoves:    6,
+		Seed:         1,
+	}
+}
+
+// GateCandidate plays candidate against best with serial engines at equal
+// budgets and reports whether the candidate clears the promotion
+// threshold, along with the match evidence.
+func GateCandidate(g game.Game, candidate, best *nn.Network, cfg GateConfig) (promote bool, res MatchResult) {
+	if cfg.Games < 1 || cfg.Playouts < 1 {
+		panic("arena: gate needs Games >= 1 and Playouts >= 1")
+	}
+	mk := func(net *nn.Network, seed uint64) mcts.Engine {
+		c := mcts.DefaultConfig()
+		c.Playouts = cfg.Playouts
+		c.Seed = seed
+		return mcts.NewSerial(c, evaluate.NewNN(net))
+	}
+	a := mk(candidate, cfg.Seed)
+	b := mk(best, cfg.Seed+1)
+	res = Play(g, a, b, MatchConfig{
+		Games:       cfg.Games,
+		Temperature: cfg.Temperature,
+		TempMoves:   cfg.TempMoves,
+		Seed:        cfg.Seed,
+	})
+	return res.Score() >= cfg.WinThreshold, res
+}

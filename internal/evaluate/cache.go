@@ -1,0 +1,136 @@
+package evaluate
+
+import (
+	"sync"
+)
+
+// Cached wraps a synchronous evaluator with a bounded transposition cache
+// keyed by the input planes. Within one move's 1600 playouts, and across
+// consecutive moves, identical positions are evaluated repeatedly (the
+// paper's engines re-expand the tree from scratch every move); caching
+// trades memory for skipped DNN calls. This is an optional extension
+// beyond the paper — DESIGN.md lists it under future-work items — and the
+// Stats method makes its benefit measurable.
+//
+// The cache is safe for concurrent use by shared-tree workers. Eviction is
+// clock-style (second chance) over a fixed-size table, which avoids the
+// allocation and lock churn of a strict LRU list.
+type Cached struct {
+	inner    Evaluator
+	capacity int
+
+	mu      sync.Mutex
+	entries map[uint64]*cacheEntry
+	ring    []uint64 // insertion order for clock eviction
+	hand    int
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	policy  []float32
+	value   float64
+	touched bool
+}
+
+// NewCached wraps inner with a cache of at most capacity positions.
+func NewCached(inner Evaluator, capacity int) *Cached {
+	if capacity < 1 {
+		panic("evaluate: cache capacity must be >= 1")
+	}
+	return &Cached{
+		inner:    inner,
+		capacity: capacity,
+		entries:  make(map[uint64]*cacheEntry, capacity),
+	}
+}
+
+// hashInput fingerprints the input planes (FNV-1a over the raw bits).
+// Board encodings are exact {0,1} patterns, so float equality is sound.
+func hashInput(input []float32) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, v := range input {
+		bits := uint32(0)
+		if v != 0 {
+			// The encodings used here are one-hot planes; treating any
+			// non-zero as 1 keeps hashing branch-cheap and exact for them.
+			bits = uint32(v * 1024)
+		}
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(bits >> (8 * i)))
+			h *= 0x100000001b3
+		}
+	}
+	return h
+}
+
+// Evaluate implements Evaluator.
+func (c *Cached) Evaluate(input []float32, policy []float32) float64 {
+	key := hashInput(input)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.touched = true
+		copy(policy, e.policy)
+		v := e.value
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	value := c.inner.Evaluate(input, policy)
+
+	stored := make([]float32, len(policy))
+	copy(stored, policy)
+	c.mu.Lock()
+	if _, exists := c.entries[key]; !exists {
+		if len(c.entries) >= c.capacity {
+			c.evictLocked()
+		}
+		c.entries[key] = &cacheEntry{policy: stored, value: value}
+		c.ring = append(c.ring, key)
+	}
+	c.mu.Unlock()
+	return value
+}
+
+// evictLocked removes one entry using the clock algorithm.
+func (c *Cached) evictLocked() {
+	for len(c.ring) > 0 {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		key := c.ring[c.hand]
+		e, ok := c.entries[key]
+		if !ok {
+			// stale ring slot: compact it away
+			c.ring[c.hand] = c.ring[len(c.ring)-1]
+			c.ring = c.ring[:len(c.ring)-1]
+			continue
+		}
+		if e.touched {
+			e.touched = false
+			c.hand++
+			continue
+		}
+		delete(c.entries, key)
+		c.ring[c.hand] = c.ring[len(c.ring)-1]
+		c.ring = c.ring[:len(c.ring)-1]
+		return
+	}
+}
+
+// Stats returns cumulative hits and misses.
+func (c *Cached) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached positions.
+func (c *Cached) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

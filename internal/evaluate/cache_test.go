@@ -1,0 +1,166 @@
+package evaluate_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// testInput mirrors the in-package helper; this file lives in an external
+// test package to use the mcts engines without an import cycle.
+func testInput(seed uint64, n int) []float32 {
+	r := rng.New(seed)
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = r.Float32()
+	}
+	return in
+}
+
+// countingEvaluator counts how many real evaluations reach it.
+type countingEvaluator struct {
+	inner evaluate.Evaluator
+	calls atomic.Int64
+}
+
+func (c *countingEvaluator) Evaluate(input []float32, policy []float32) float64 {
+	c.calls.Add(1)
+	return c.inner.Evaluate(input, policy)
+}
+
+func TestCachedHitsOnRepeat(t *testing.T) {
+	base := &countingEvaluator{inner: &evaluate.Random{}}
+	c := evaluate.NewCached(base, 16)
+	in := testInput(1, 36)
+	p1 := make([]float32, 9)
+	p2 := make([]float32, 9)
+	v1 := c.Evaluate(in, p1)
+	v2 := c.Evaluate(in, p2)
+	if v1 != v2 {
+		t.Fatal("cached value differs")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("cached policy differs")
+		}
+	}
+	if base.calls.Load() != 1 {
+		t.Fatalf("inner called %d times, want 1", base.calls.Load())
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCachedDistinguishesInputs(t *testing.T) {
+	// One-hot inputs with different support: both the cache's hash and the
+	// Random evaluator's synthetic outputs key off the zero pattern.
+	c := evaluate.NewCached(&evaluate.Random{}, 16)
+	a := make([]float32, 36)
+	b := make([]float32, 36)
+	a[0] = 1
+	b[7] = 1
+	pa := make([]float32, 9)
+	pb := make([]float32, 9)
+	va := c.Evaluate(a, pa)
+	vb := c.Evaluate(b, pb)
+	if va == vb {
+		same := true
+		for i := range pa {
+			if pa[i] != pb[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("distinct inputs returned identical cached results")
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache len = %d", c.Len())
+	}
+}
+
+func TestCachedEvictionBoundsSize(t *testing.T) {
+	c := evaluate.NewCached(&evaluate.Random{}, 8)
+	for i := 0; i < 100; i++ {
+		in := testInput(uint64(i), 36)
+		c.Evaluate(in, make([]float32, 9))
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache grew to %d entries, cap 8", c.Len())
+	}
+}
+
+func TestCachedSecondChanceKeepsHotEntries(t *testing.T) {
+	c := evaluate.NewCached(&evaluate.Random{}, 4)
+	hot := testInput(0, 36)
+	pol := make([]float32, 9)
+	c.Evaluate(hot, pol)
+	for i := 1; i < 50; i++ {
+		c.Evaluate(testInput(uint64(i), 36), pol)
+		c.Evaluate(hot, pol) // re-touch the hot entry each round
+	}
+	hits, _ := c.Stats()
+	// The hot entry must have survived most rounds: ~49 touch hits.
+	if hits < 30 {
+		t.Fatalf("hot entry evicted too eagerly: only %d hits", hits)
+	}
+}
+
+func TestCachedConcurrentAccess(t *testing.T) {
+	c := evaluate.NewCached(&evaluate.Random{}, 32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			pol := make([]float32, 9)
+			for i := 0; i < 200; i++ {
+				c.Evaluate(testInput(seed+uint64(i%10), 36), pol)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 8*200 {
+		t.Fatalf("stats %d+%d != 1600", hits, misses)
+	}
+}
+
+func TestCachedPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	evaluate.NewCached(&evaluate.Random{}, 0)
+}
+
+func TestCachedSpeedsUpRealSearch(t *testing.T) {
+	// Transpositions occur in real game trees: a cached evaluator must
+	// serve a meaningful share of a search's evaluations from cache while
+	// leaving the search result identical (the evaluator is deterministic).
+	g := tictactoe.New()
+	base := &countingEvaluator{inner: &evaluate.Random{}}
+	c := evaluate.NewCached(base, 4096)
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = 500
+	e := mcts.NewSerial(cfg, c)
+	st := g.NewInitial()
+	dist := make([]float32, 9)
+	e.Search(st, dist)
+	e.Search(st, dist) // second move search: same root, full reuse
+	hits, misses := c.Stats()
+	if hits == 0 {
+		t.Fatal("no cache hits across two searches of the same position")
+	}
+	if base.calls.Load() != int64(misses) {
+		t.Fatalf("inner calls %d != misses %d", base.calls.Load(), misses)
+	}
+}

@@ -1,0 +1,297 @@
+// Package evaluate provides the node-evaluation backends
+// ("neural_network_simulate" in Algorithms 2 and 3) in the four flavours
+// the paper's schemes need:
+//
+//   - NN: synchronous on-thread inference — one shared-tree worker
+//     evaluating its own leaf on its own CPU thread.
+//   - Pool: an asynchronous worker pool over any synchronous evaluator —
+//     the local-tree scheme's N inference threads fed by FIFO pipes.
+//   - BatchedSync: the accelerator queue with threshold flushing for the
+//     shared-tree + GPU configuration (batch size is always the worker
+//     count; Section 3.3).
+//   - BatchedAsync: the accelerator queue with sub-batch size B and
+//     stream-style overlapped submissions for the local-tree + GPU
+//     configuration (the subject of the Algorithm 4 batch-size search).
+//
+// A Random evaluator with a configurable synthetic latency supports the
+// design-time profiling runs, which the paper performs with a DNN "filled
+// with random parameters".
+package evaluate
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/queue"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// Request is one in-flight node evaluation. The requester allocates Policy;
+// the evaluator fills Policy and Value. Tag carries engine-private context
+// (the local-tree master stores the leaf's node index there).
+type Request struct {
+	Input  []float32
+	Policy []float32
+	Value  float64
+	Tag    int64
+	// Ctx carries arbitrary requester context through the evaluator
+	// (e.g. the cloned game state needed to expand the leaf on completion).
+	Ctx interface{}
+
+	done chan struct{}
+}
+
+// Evaluator evaluates one state synchronously on the caller's goroutine.
+type Evaluator interface {
+	// Evaluate fills policy and returns the value estimate for input.
+	Evaluate(input []float32, policy []float32) float64
+}
+
+// Async is the asynchronous interface used by the local-tree master thread.
+type Async interface {
+	// Submit enqueues a request; completion is announced on Completions.
+	Submit(*Request)
+	// Completions delivers finished requests in completion order.
+	Completions() <-chan *Request
+	// Flush forces any internally buffered requests (partial accelerator
+	// batches) to be processed.
+	Flush()
+	// Idle reports whether no completion can arrive without a Flush —
+	// i.e. every submitted request is sitting in an internal buffer and
+	// nothing is executing. The local-tree master checks this before
+	// blocking, to avoid deadlocking on a partial batch.
+	Idle() bool
+	// Close releases worker goroutines. No Submit may follow.
+	Close()
+}
+
+// NN evaluates with the real network, sharing one immutable parameter set
+// across any number of calling goroutines via pooled workspaces.
+type NN struct {
+	net *nn.Network
+	ws  sync.Pool
+}
+
+// NewNN creates a synchronous network evaluator.
+func NewNN(net *nn.Network) *NN {
+	e := &NN{net: net}
+	e.ws.New = func() interface{} { return nn.NewWorkspace(net) }
+	return e
+}
+
+// Evaluate implements Evaluator.
+func (e *NN) Evaluate(input []float32, policy []float32) float64 {
+	ws := e.ws.Get().(*nn.Workspace)
+	defer e.ws.Put(ws)
+	pol, val := e.net.Forward(ws, input)
+	copy(policy, pol)
+	return val
+}
+
+// Random produces deterministic pseudo-random priors and near-zero values,
+// burning a configurable synthetic latency. It stands in for the DNN during
+// design-time profiling (T_DNN is then fully controlled) and in engine
+// correctness tests where network quality is irrelevant.
+type Random struct {
+	// Latency is the busy-wait cost per evaluation (0 = free).
+	Latency time.Duration
+}
+
+// Evaluate implements Evaluator.
+func (e *Random) Evaluate(input []float32, policy []float32) float64 {
+	if e.Latency > 0 {
+		deadline := time.Now().Add(e.Latency)
+		for time.Now().Before(deadline) {
+		}
+	}
+	var h uint64 = 0xA5A5A5A5
+	for i := 0; i < len(input); i += 11 {
+		if input[i] != 0 {
+			h = h*0x100000001B3 + uint64(i)
+		}
+	}
+	r := rng.New(h)
+	var sum float32
+	for i := range policy {
+		p := r.Float32() + 1e-3
+		policy[i] = p
+		sum += p
+	}
+	inv := 1 / sum
+	for i := range policy {
+		policy[i] *= inv
+	}
+	return r.Float64()*0.2 - 0.1
+}
+
+// Pool runs a synchronous evaluator on a fixed set of worker goroutines —
+// the local-tree scheme's inference thread pool (Figure 2a). Requests and
+// completions travel over FIFO pipes.
+type Pool struct {
+	eval        Evaluator
+	requests    *queue.FIFO[*Request]
+	completions chan *Request
+	wg          sync.WaitGroup
+}
+
+// NewPool starts workers goroutines evaluating with eval.
+func NewPool(eval Evaluator, workers int) *Pool {
+	if workers < 1 {
+		panic("evaluate: pool needs at least one worker")
+	}
+	p := &Pool{
+		eval:        eval,
+		requests:    queue.NewFIFO[*Request](workers * 4),
+		completions: make(chan *Request, workers*4),
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				req, ok := p.requests.Pop()
+				if !ok {
+					return
+				}
+				req.Value = p.eval.Evaluate(req.Input, req.Policy)
+				p.completions <- req
+			}
+		}()
+	}
+	return p
+}
+
+// Submit implements Async.
+func (p *Pool) Submit(req *Request) { p.requests.Push(req) }
+
+// Completions implements Async.
+func (p *Pool) Completions() <-chan *Request { return p.completions }
+
+// Flush implements Async (the pool buffers nothing).
+func (p *Pool) Flush() {}
+
+// Idle implements Async: the pool never buffers, so every submitted request
+// eventually completes without intervention.
+func (p *Pool) Idle() bool { return false }
+
+// Close implements Async.
+func (p *Pool) Close() {
+	p.requests.Close()
+	p.wg.Wait()
+	close(p.completions)
+}
+
+// BatchedSync adapts a batched accelerator device to the synchronous
+// Evaluator interface: callers block until the accelerator queue reaches
+// the threshold and the whole batch is submitted. In the shared-tree + GPU
+// configuration the threshold equals the number of workers, so "the
+// selection processes are parallel, resulting in the nearly simultaneous
+// arrival of all inference tasks" (Section 3.3).
+type BatchedSync struct {
+	dev     accel.Device
+	batcher *queue.Batcher[*Request]
+}
+
+// NewBatchedSync creates the adapter with the given flush threshold.
+func NewBatchedSync(dev accel.Device, threshold int) *BatchedSync {
+	b := &BatchedSync{dev: dev}
+	b.batcher = queue.NewBatcher[*Request](threshold, b.runBatch)
+	return b
+}
+
+func (b *BatchedSync) runBatch(batch []*Request) {
+	inputs := make([][]float32, len(batch))
+	policies := make([][]float32, len(batch))
+	values := make([]float64, len(batch))
+	for i, req := range batch {
+		inputs[i] = req.Input
+		policies[i] = req.Policy
+	}
+	b.dev.Infer(inputs, policies, values)
+	for i, req := range batch {
+		req.Value = values[i]
+		close(req.done)
+	}
+}
+
+// Evaluate implements Evaluator.
+func (b *BatchedSync) Evaluate(input []float32, policy []float32) float64 {
+	req := &Request{Input: input, Policy: policy, done: make(chan struct{})}
+	b.batcher.Add(req)
+	<-req.done
+	return req.Value
+}
+
+// Drain flushes a partial batch, releasing any blocked callers. Needed at
+// the end of a move when fewer than threshold workers remain.
+func (b *BatchedSync) Drain() { b.batcher.FlushNow() }
+
+// BatchedAsync adapts a batched accelerator device to the Async interface
+// with sub-batch size B: every B submissions launch one device call on its
+// own goroutine ("CUDA stream"), so transfers and compute overlap with the
+// master thread's in-tree operations exactly as in Section 3.3.
+type BatchedAsync struct {
+	dev            accel.Device
+	batcher        *queue.Batcher[*Request]
+	completions    chan *Request
+	inflight       sync.WaitGroup
+	deviceInflight atomic.Int64
+}
+
+// NewBatchedAsync creates the adapter with sub-batch size batch.
+func NewBatchedAsync(dev accel.Device, batch, maxOutstanding int) *BatchedAsync {
+	if maxOutstanding < batch {
+		maxOutstanding = batch
+	}
+	b := &BatchedAsync{
+		dev:         dev,
+		completions: make(chan *Request, maxOutstanding*2),
+	}
+	b.batcher = queue.NewBatcher[*Request](batch, b.launch)
+	return b
+}
+
+func (b *BatchedAsync) launch(batch []*Request) {
+	b.inflight.Add(1)
+	b.deviceInflight.Add(1)
+	go func() {
+		defer b.inflight.Done()
+		inputs := make([][]float32, len(batch))
+		policies := make([][]float32, len(batch))
+		values := make([]float64, len(batch))
+		for i, req := range batch {
+			inputs[i] = req.Input
+			policies[i] = req.Policy
+		}
+		b.dev.Infer(inputs, policies, values)
+		for i, req := range batch {
+			req.Value = values[i]
+			b.completions <- req
+		}
+		// Decrement only after the completions are visible on the channel,
+		// so Idle()==true implies there is truly nothing to wait for.
+		b.deviceInflight.Add(-1)
+	}()
+}
+
+// Idle implements Async.
+func (b *BatchedAsync) Idle() bool { return b.deviceInflight.Load() == 0 }
+
+// Submit implements Async.
+func (b *BatchedAsync) Submit(req *Request) { b.batcher.Add(req) }
+
+// Completions implements Async.
+func (b *BatchedAsync) Completions() <-chan *Request { return b.completions }
+
+// Flush implements Async: submits any partial batch immediately.
+func (b *BatchedAsync) Flush() { b.batcher.FlushNow() }
+
+// Close implements Async.
+func (b *BatchedAsync) Close() {
+	b.batcher.FlushNow()
+	b.inflight.Wait()
+	close(b.completions)
+}

@@ -1,0 +1,301 @@
+package evaluate
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+func testNet(t testing.TB) *nn.Network {
+	t.Helper()
+	return nn.MustNew(nn.TinyConfig(2, 5, 5, 25), rng.New(1))
+}
+
+func testInput(seed uint64, n int) []float32 {
+	r := rng.New(seed)
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = r.Float32()
+	}
+	return in
+}
+
+func policyOK(t *testing.T, policy []float32) {
+	t.Helper()
+	var sum float64
+	for _, p := range policy {
+		if p < 0 || math.IsNaN(float64(p)) {
+			t.Fatal("bad policy entry")
+		}
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("policy sums to %v", sum)
+	}
+}
+
+func TestNNEvaluatorMatchesDirectForward(t *testing.T) {
+	net := testNet(t)
+	e := NewNN(net)
+	in := testInput(2, net.InputLen())
+	policy := make([]float32, 25)
+	v := e.Evaluate(in, policy)
+	ws := nn.NewWorkspace(net)
+	wantPol, wantV := net.Forward(ws, in)
+	if v != wantV {
+		t.Fatalf("value %v, want %v", v, wantV)
+	}
+	for i := range policy {
+		if policy[i] != wantPol[i] {
+			t.Fatal("policy mismatch")
+		}
+	}
+}
+
+func TestNNEvaluatorConcurrent(t *testing.T) {
+	net := testNet(t)
+	e := NewNN(net)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			in := testInput(seed, net.InputLen())
+			policy := make([]float32, 25)
+			for i := 0; i < 30; i++ {
+				e.Evaluate(in, policy)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+}
+
+func TestRandomEvaluatorDeterministicAndNormalized(t *testing.T) {
+	e := &Random{}
+	in := testInput(3, 50)
+	p1 := make([]float32, 25)
+	p2 := make([]float32, 25)
+	v1 := e.Evaluate(in, p1)
+	v2 := e.Evaluate(in, p2)
+	if v1 != v2 {
+		t.Fatal("random evaluator not deterministic for same input")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("policies differ")
+		}
+	}
+	policyOK(t, p1)
+}
+
+func TestRandomEvaluatorLatency(t *testing.T) {
+	e := &Random{Latency: 2 * time.Millisecond}
+	in := testInput(4, 10)
+	policy := make([]float32, 5)
+	start := time.Now()
+	e.Evaluate(in, policy)
+	if took := time.Since(start); took < 2*time.Millisecond {
+		t.Fatalf("latency not honoured: %v", took)
+	}
+}
+
+func TestPoolProcessesAllRequests(t *testing.T) {
+	e := &Random{}
+	p := NewPool(e, 4)
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			p.Submit(&Request{
+				Input:  testInput(uint64(i), 20),
+				Policy: make([]float32, 10),
+				Tag:    int64(i),
+			})
+		}
+	}()
+	seen := make(map[int64]bool)
+	for i := 0; i < n; i++ {
+		req := <-p.Completions()
+		if seen[req.Tag] {
+			t.Fatalf("tag %d delivered twice", req.Tag)
+		}
+		seen[req.Tag] = true
+		policyOK(t, req.Policy)
+	}
+	p.Close()
+	if _, ok := <-p.Completions(); ok {
+		t.Fatal("completions channel should be closed")
+	}
+}
+
+func TestPoolPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero workers did not panic")
+		}
+	}()
+	NewPool(&Random{}, 0)
+}
+
+func TestBatchedSyncReleasesFullBatch(t *testing.T) {
+	dev := accel.NewModel(accel.DefaultCostModel())
+	b := NewBatchedSync(dev, 4)
+	var wg sync.WaitGroup
+	results := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			policy := make([]float32, 9)
+			results[i] = b.Evaluate(testInput(uint64(i), 36), policy)
+			policyOK(t, policy)
+		}(i)
+	}
+	wg.Wait() // deadlocks (test timeout) if the batch never flushes
+}
+
+func TestBatchedSyncDrainReleasesPartialBatch(t *testing.T) {
+	dev := accel.NewModel(accel.DefaultCostModel())
+	b := NewBatchedSync(dev, 8)
+	done := make(chan float64, 1)
+	go func() {
+		policy := make([]float32, 9)
+		done <- b.Evaluate(testInput(1, 36), policy)
+	}()
+	// Give the goroutine time to enqueue, then drain the partial batch.
+	time.Sleep(20 * time.Millisecond)
+	b.Drain()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain did not release the blocked caller")
+	}
+}
+
+func TestBatchedAsyncDeliversAll(t *testing.T) {
+	dev := accel.NewModel(accel.DefaultCostModel())
+	b := NewBatchedAsync(dev, 3, 16)
+	const n = 20 // not a multiple of 3: exercises Flush
+	for i := 0; i < n; i++ {
+		b.Submit(&Request{
+			Input:  testInput(uint64(i), 36),
+			Policy: make([]float32, 9),
+			Tag:    int64(i),
+		})
+	}
+	b.Flush()
+	seen := make(map[int64]bool)
+	for i := 0; i < n; i++ {
+		select {
+		case req := <-b.Completions():
+			if seen[req.Tag] {
+				t.Fatalf("duplicate completion %d", req.Tag)
+			}
+			seen[req.Tag] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d completions", i)
+		}
+	}
+	b.Close()
+}
+
+func TestBatchedAsyncOverlappedStreams(t *testing.T) {
+	// With sub-batches launched on separate goroutines, submitting 4
+	// batches of 4 must take well under 4x the serial batch time, because
+	// transfers overlap compute (the Model device serialises only compute).
+	cost := accel.CostModel{
+		LaunchLatency:    4 * time.Millisecond,
+		BytesPerSample:   1,
+		LinkBytesPerSec:  1e12,
+		ComputeBase:      2 * time.Millisecond,
+		ComputePerSample: 0,
+	}
+	dev := accel.NewModel(cost)
+	b := NewBatchedAsync(dev, 4, 64)
+	start := time.Now()
+	for i := 0; i < 16; i++ {
+		b.Submit(&Request{Input: testInput(uint64(i), 8), Policy: make([]float32, 4)})
+	}
+	for i := 0; i < 16; i++ {
+		<-b.Completions()
+	}
+	elapsed := time.Since(start)
+	b.Close()
+	// Fully serial would be 4*(4+2) = 24ms; with transfers overlapping the
+	// serialised compute it should approach 4 + 4*2 = 12ms. Allow generous
+	// scheduler slack but require clear evidence of overlap.
+	serial := 4 * (cost.LaunchLatency + cost.ComputeBase)
+	if elapsed >= serial-4*time.Millisecond {
+		t.Fatalf("no overlap: %v elapsed vs %v serial bound", elapsed, serial)
+	}
+}
+
+func TestHostedDeviceMatchesNetwork(t *testing.T) {
+	net := testNet(t)
+	cost := accel.DefaultCostModel()
+	cost.LaunchLatency = 0
+	cost.ComputeBase = 0
+	dev := accel.NewHosted(net, cost, 2)
+	inputs := [][]float32{testInput(1, net.InputLen()), testInput(2, net.InputLen())}
+	policies := [][]float32{make([]float32, 25), make([]float32, 25)}
+	values := make([]float64, 2)
+	dev.Infer(inputs, policies, values)
+	ws := nn.NewWorkspace(net)
+	for i := range inputs {
+		wantPol, wantV := net.Forward(ws, inputs[i])
+		if values[i] != wantV {
+			t.Fatalf("value[%d] = %v, want %v", i, values[i], wantV)
+		}
+		for j := range wantPol {
+			if policies[i][j] != wantPol[j] {
+				t.Fatalf("policy[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCostModelMonotonicity(t *testing.T) {
+	m := accel.DefaultCostModel()
+	// TransferTime per batch grows with batch; amortized per-sample falls.
+	prevAmortized := math.Inf(1)
+	for b := 1; b <= 64; b *= 2 {
+		tt := m.TransferTime(b)
+		amort := float64(tt) / float64(b)
+		if amort >= prevAmortized {
+			t.Fatalf("amortized transfer not decreasing at B=%d", b)
+		}
+		prevAmortized = amort
+	}
+	prev := time.Duration(0)
+	for b := 1; b <= 64; b++ {
+		ct := m.ComputeTime(b)
+		if ct < prev {
+			t.Fatalf("compute time not monotonic at B=%d", b)
+		}
+		prev = ct
+	}
+}
+
+func TestModelDeviceDeterministic(t *testing.T) {
+	dev := accel.NewModel(accel.DefaultCostModel())
+	in := testInput(9, 36)
+	p1 := [][]float32{make([]float32, 9)}
+	p2 := [][]float32{make([]float32, 9)}
+	v1 := make([]float64, 1)
+	v2 := make([]float64, 1)
+	dev.Infer([][]float32{in}, p1, v1)
+	dev.Infer([][]float32{in}, p2, v2)
+	if v1[0] != v2[0] {
+		t.Fatal("model device values differ for same input")
+	}
+	for i := range p1[0] {
+		if p1[0][i] != p2[0][i] {
+			t.Fatal("model device policies differ")
+		}
+	}
+	policyOK(t, p1[0])
+}

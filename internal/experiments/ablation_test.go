@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationVirtualLossDiversity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real shared-tree searches")
+	}
+	tb := AblationVirtualLoss([]float64{0, 1, 4}, 4, 150)
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimSpace(tb.CSV()), "\n")[1:]
+	for _, line := range lines {
+		cells := strings.Split(line, ",")
+		if len(cells) != 4 {
+			t.Fatalf("bad row %q", line)
+		}
+		nodes, err := atoi(cells[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nodes < 10 {
+			t.Fatalf("search barely expanded the tree: %s", line)
+		}
+	}
+}
+
+func TestAblationVLModeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real shared-tree searches")
+	}
+	tb := AblationVLMode(4, 120)
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	for _, want := range []string{"none", "constant", "unobserved"} {
+		if !strings.Contains(tb.String(), want) {
+			t.Fatalf("missing mode %q", want)
+		}
+	}
+}
+
+func TestAblationInterconnectShiftsOptimum(t *testing.T) {
+	p := PaperShapedParams(1600)
+	tb := AblationInterconnect(p, 64)
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	// Distinct accelerator classes must yield at least three distinct
+	// optimal batch sizes — the point of re-running Algorithm 4 per device.
+	lines := strings.Split(strings.TrimSpace(tb.CSV()), "\n")[1:]
+	distinct := map[string]bool{}
+	for _, line := range lines {
+		cells := strings.Split(line, ",")
+		if len(cells) != 6 {
+			t.Fatalf("bad row %q", line)
+		}
+		distinct[cells[3]] = true
+		probes, err := atoi(cells[5])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probes > 16 {
+			t.Fatalf("probes = %d, want O(log 64)", probes)
+		}
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("only %d distinct B* values across classes: %v", len(distinct), distinct)
+	}
+}
+
+func TestAblationBaselinesRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all four engines")
+	}
+	tb := AblationBaselines(4, 80)
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	for _, want := range []string{"shared tree", "local tree", "root-parallel", "leaf-parallel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing engine %q:\n%s", want, out)
+		}
+	}
+}

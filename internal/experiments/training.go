@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/adaptive"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/stats"
+	"github.com/parmcts/parmcts/internal/train"
+)
+
+// TrainingScale sizes the real-execution training experiments (Figures 6
+// and 7). The paper trains Gomoku 15x15 with 1600 playouts/move on 64
+// cores; the defaults here are scaled so the experiments complete on a
+// laptop in minutes while exercising the identical pipeline. Pass larger
+// values to approach the paper's configuration.
+type TrainingScale struct {
+	BoardSize     int // Gomoku board edge (paper: 15)
+	Playouts      int // per-move budget (paper: 1600)
+	Episodes      int // self-play games per configuration
+	SGDIterations int // updates per episode
+	BatchSize     int // SGD mini-batch
+	TempMoves     int // exploration temperature horizon
+	TinyNet       bool
+	Seed          uint64
+}
+
+// DefaultTrainingScale returns a configuration that runs in seconds.
+func DefaultTrainingScale() TrainingScale {
+	return TrainingScale{
+		BoardSize:     9,
+		Playouts:      48,
+		Episodes:      2,
+		SGDIterations: 4,
+		BatchSize:     32,
+		TempMoves:     4,
+		TinyNet:       true,
+		Seed:          1,
+	}
+}
+
+func (sc TrainingScale) network(g *gomoku.Game) *nn.Network {
+	c, h, w := g.EncodedShape()
+	if sc.TinyNet {
+		return nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(sc.Seed))
+	}
+	return nn.MustNew(nn.GomokuConfig(c, h, w, g.NumActions()), rng.New(sc.Seed))
+}
+
+func (sc TrainingScale) trainerConfig() train.TrainerConfig {
+	return train.TrainerConfig{
+		Episodes:      sc.Episodes,
+		SGDIterations: sc.SGDIterations,
+		BatchSize:     sc.BatchSize,
+		LR:            0.01,
+		Momentum:      0.9,
+		WeightDecay:   1e-4,
+		TempMoves:     sc.TempMoves,
+		Seed:          sc.Seed,
+	}
+}
+
+// buildEngine assembles the adaptively-configured engine for N workers on
+// the requested platform, sharing the network for both search and training.
+func buildEngine(sc TrainingScale, g *gomoku.Game, net *nn.Network, n int, useAccel bool) (*adaptive.Engine, error) {
+	search := mcts.DefaultConfig()
+	search.Playouts = sc.Playouts
+	search.DirichletAlpha = 0.3
+	search.NoiseFrac = 0.25
+	search.Seed = sc.Seed
+	opts := adaptive.Options{
+		Search:          search,
+		Workers:         n,
+		ProfilePlayouts: 200,
+		DNNProfileIters: 5,
+	}
+	if useAccel {
+		cost := PaperShapedParams(sc.Playouts).Accel
+		cost.BytesPerSample = 4 * sc.BoardSize * sc.BoardSize * 4
+		opts.Platform = adaptive.PlatformAccel
+		opts.Device = accel.NewHosted(net, cost, 0)
+		opts.DeviceCost = cost
+	} else {
+		opts.Platform = adaptive.PlatformCPU
+		opts.Evaluator = evaluate.NewNN(net)
+	}
+	return adaptive.Configure(g, opts)
+}
+
+// Figure6Throughput regenerates Figure 6: end-to-end training throughput
+// (processed samples per second) across worker counts, on the CPU-only and
+// (optionally) the accelerator platform, each under the adaptive
+// configuration. One sample = one move's 1600-playout search, matching the
+// paper's metric.
+func Figure6Throughput(sc TrainingScale, ns []int, platforms []bool) *stats.Table {
+	tb := stats.NewTable("Figure 6: training throughput under optimal configurations",
+		"platform", "N", "scheme", "samples/s", "search time", "train time")
+	g := gomoku.NewSized(sc.BoardSize)
+	for _, useAccel := range platforms {
+		platform := "cpu"
+		if useAccel {
+			platform = "cpu-gpu"
+		}
+		for _, n := range ns {
+			net := sc.network(g)
+			eng, err := buildEngine(sc, g, net, n, useAccel)
+			if err != nil {
+				tb.AddRow(platform, n, "error", err.Error(), "", "")
+				continue
+			}
+			tr := train.NewTrainer(g, eng, net, sc.trainerConfig())
+			all := tr.Run(nil)
+			eng.Close()
+			var samples int
+			var searchT, trainT float64
+			for _, s := range all {
+				samples += s.SamplesProcessed
+				searchT += s.SearchTime.Seconds()
+				trainT += s.TrainTime.Seconds()
+			}
+			throughput := 0.0
+			if searchT+trainT > 0 {
+				throughput = float64(samples) / (searchT + trainT)
+			}
+			tb.AddRow(platform, n, eng.Decision.Choice.Scheme.String(),
+				fmt.Sprintf("%.2f", throughput),
+				fmt.Sprintf("%.2fs", searchT), fmt.Sprintf("%.2fs", trainT))
+		}
+	}
+	return tb
+}
+
+// Figure7Loss regenerates Figure 7: the Equation 2 loss over wall-clock
+// time for several worker counts, each under its optimal configuration.
+// Rows carry (N, episode, elapsed, value loss, policy loss, total).
+func Figure7Loss(sc TrainingScale, ns []int, useAccel bool) *stats.Table {
+	tb := stats.NewTable("Figure 7: DNN loss over time under optimal parallel configurations",
+		"N", "episode", "elapsed", "value loss", "policy loss", "total loss")
+	g := gomoku.NewSized(sc.BoardSize)
+	for _, n := range ns {
+		net := sc.network(g)
+		eng, err := buildEngine(sc, g, net, n, useAccel)
+		if err != nil {
+			tb.AddRow(n, "error", err.Error(), "", "", "")
+			continue
+		}
+		tr := train.NewTrainer(g, eng, net, sc.trainerConfig())
+		for _, s := range tr.Run(nil) {
+			tb.AddRow(n, s.Episode, s.Elapsed.Round(1e6),
+				s.Loss.ValueLoss, s.Loss.PolicyLoss, s.Loss.TotalLoss())
+		}
+		eng.Close()
+	}
+	return tb
+}

@@ -1,0 +1,88 @@
+// Package game defines the environment interface consumed by the MCTS
+// engines, mirroring the paper's "high-level libraries for simulating
+// various benchmarks" integration point. Concrete games live in
+// sub-packages (gomoku is the paper's benchmark; connect4 and tictactoe
+// exercise the same interface at different fanouts/depths).
+package game
+
+// Player identifies a side. Two-player zero-sum games use +1 and -1 so a
+// value from one player's perspective is negated by multiplying by -1.
+type Player int8
+
+// Player constants.
+const (
+	Nobody Player = 0  // empty cell / no winner (draw or game in progress)
+	P1     Player = 1  // first mover
+	P2     Player = -1 // second mover
+)
+
+// Opponent returns the other player.
+func (p Player) Opponent() Player { return -p }
+
+// State is a mutable game position. Implementations are NOT safe for
+// concurrent mutation; engines clone states before handing them to workers,
+// exactly as Algorithm 2 line 2 copies the environment.
+type State interface {
+	// Clone returns an independent deep copy.
+	Clone() State
+
+	// ToMove returns the player whose turn it is.
+	ToMove() Player
+
+	// LegalMoves appends the legal action indices to dst and returns it.
+	// Action indices are in [0, NumActions()).
+	LegalMoves(dst []int) []int
+
+	// Legal reports whether the single action is legal in this state.
+	Legal(action int) bool
+
+	// Play applies an action. It panics on illegal actions; engines only
+	// play actions obtained from LegalMoves or Legal.
+	Play(action int)
+
+	// Terminal reports whether the game has ended.
+	Terminal() bool
+
+	// Winner returns the winning player, or Nobody for a draw or an
+	// unfinished game.
+	Winner() Player
+
+	// NumActions returns the size of the (fixed) action space.
+	NumActions() int
+
+	// Encode writes the network input planes for the position into dst,
+	// which must have length C*H*W per EncodedShape. The encoding is
+	// always from the perspective of the player to move.
+	Encode(dst []float32)
+
+	// EncodedShape returns the (channels, height, width) of Encode output.
+	EncodedShape() (c, h, w int)
+
+	// Hash returns a position hash (Zobrist) suitable for transposition
+	// detection and test assertions.
+	Hash() uint64
+}
+
+// Game is a factory for initial states plus static metadata.
+type Game interface {
+	Name() string
+	NewInitial() State
+	NumActions() int
+	EncodedShape() (c, h, w int)
+	// MaxGameLength bounds the number of plies in any playable game,
+	// used to size replay buffers and synthetic-tree depth limits.
+	MaxGameLength() int
+}
+
+// Outcome converts a winner into a scalar reward from the perspective of
+// the given player: +1 win, -1 loss, 0 draw.
+func Outcome(winner, perspective Player) float64 {
+	switch {
+	case winner == Nobody:
+		return 0
+	case winner == perspective:
+		return 1
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,24 @@
+package game
+
+import "testing"
+
+func TestOpponent(t *testing.T) {
+	if P1.Opponent() != P2 || P2.Opponent() != P1 {
+		t.Fatal("Opponent wrong")
+	}
+}
+
+func TestOutcome(t *testing.T) {
+	cases := []struct {
+		winner, persp Player
+		want          float64
+	}{
+		{P1, P1, 1}, {P1, P2, -1}, {P2, P2, 1}, {P2, P1, -1},
+		{Nobody, P1, 0}, {Nobody, P2, 0},
+	}
+	for _, c := range cases {
+		if got := Outcome(c.winner, c.persp); got != c.want {
+			t.Errorf("Outcome(%v,%v) = %v, want %v", c.winner, c.persp, got, c.want)
+		}
+	}
+}

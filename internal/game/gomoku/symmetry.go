@@ -1,0 +1,55 @@
+package gomoku
+
+// NumSymmetries is the size of the dihedral group of the square board:
+// 4 rotations x optional reflection. Self-play training data is augmented
+// 8-fold, which is standard for AlphaZero-style Gomoku/Go training and
+// multiplies the samples produced per episode.
+const NumSymmetries = 8
+
+// SymmetryIndex maps a cell index through dihedral symmetry sym
+// (0..NumSymmetries-1) on a size x size board. Symmetry 0 is the identity;
+// 1..3 are 90/180/270-degree rotations; 4..7 are the same after a horizontal
+// flip.
+func SymmetryIndex(sym, size, idx int) int {
+	r, c := idx/size, idx%size
+	if sym >= 4 {
+		c = size - 1 - c
+	}
+	for i := 0; i < sym%4; i++ {
+		r, c = c, size-1-r // rotate 90 degrees clockwise
+	}
+	return r*size + c
+}
+
+// InverseSymmetry returns the symmetry that undoes sym.
+func InverseSymmetry(sym int) int {
+	switch sym {
+	case 1:
+		return 3
+	case 3:
+		return 1
+	default:
+		return sym // identity, 180, and all reflections are involutions
+	}
+}
+
+// ApplySymmetryPolicy writes into dst the policy vector transformed by sym.
+// dst and src must both have size*size entries and must not alias.
+func ApplySymmetryPolicy(dst, src []float32, sym, size int) {
+	for idx := range src {
+		dst[SymmetryIndex(sym, size, idx)] = src[idx]
+	}
+}
+
+// ApplySymmetryPlanes transforms a planes x size x size feature tensor.
+// dst and src must not alias.
+func ApplySymmetryPlanes(dst, src []float32, sym, planes, size int) {
+	n := size * size
+	for p := 0; p < planes; p++ {
+		sp := src[p*n : (p+1)*n]
+		dp := dst[p*n : (p+1)*n]
+		for idx := range sp {
+			dp[SymmetryIndex(sym, size, idx)] = sp[idx]
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package mcts
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/connect4"
+	"github.com/parmcts/parmcts/internal/stats"
+)
+
+// TestParallelDistributionsNearSerial is the statistical form of the
+// Section 5.5 argument: tree-parallel execution perturbs individual search
+// trajectories (virtual loss, stale statistics) but the resulting root
+// visit distributions must stay close to the serial reference — parallel
+// workers change *when* information arrives, not *what* the search values.
+func TestParallelDistributionsNearSerial(t *testing.T) {
+	g := connect4.New()
+	st := g.NewInitial()
+	// A midgame position with meaningful structure.
+	for _, mv := range []int{3, 3, 2, 4, 4} {
+		st.Play(mv)
+	}
+	cfg := DefaultConfig()
+	cfg.Playouts = 2000
+
+	serialDist := make([]float32, g.NumActions())
+	NewSerial(cfg, &evaluate.Random{}).Search(st, serialDist)
+
+	pool := evaluate.NewPool(&evaluate.Random{}, 4)
+	defer pool.Close()
+	engines := map[string]Engine{
+		"shared": NewShared(cfg, 4, &evaluate.Random{}),
+		"local":  NewLocal(cfg, pool, 4),
+	}
+	for name, e := range engines {
+		dist := make([]float32, g.NumActions())
+		e.Search(st, dist)
+		tv := stats.TotalVariation(serialDist, dist)
+		// Identical playout budgets and evaluator: the distributions agree
+		// up to virtual-loss perturbation. 0.35 TV is a loose envelope —
+		// failures indicate a backup or selection bug, not noise.
+		if tv > 0.35 {
+			t.Errorf("%s: total variation vs serial = %.3f (serial %v vs %v)",
+				name, tv, serialDist, dist)
+		}
+		// The top move must agree whenever the serial search has a clear
+		// preference; with near-tied candidates, argmax legitimately flips
+		// under virtual-loss perturbation.
+		top := argmax32(serialDist)
+		second := float32(-1)
+		for a, p := range serialDist {
+			if a != top && p > second {
+				second = p
+			}
+		}
+		if serialDist[top]-second > 0.1 && top != argmax32(dist) {
+			t.Errorf("%s: top move differs from serial (%d vs %d) despite a clear margin",
+				name, argmax32(dist), top)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package mcts
+
+import (
+	"sync"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// RootParallel implements the root-parallelisation baseline of Section 2.2
+// (Kato & Takeuchi): W independent trees searched by W workers with the
+// playout budget split evenly, root statistics aggregated at the end. No
+// communication during the search — and correspondingly, "multiple workers
+// visit repetitive states".
+type RootParallel struct {
+	cfg     Config
+	workers int
+	eval    evaluate.Evaluator
+	r       *rng.Rand
+}
+
+// NewRootParallel creates the baseline with the given worker count.
+func NewRootParallel(cfg Config, workers int, eval evaluate.Evaluator) *RootParallel {
+	if workers < 1 {
+		panic("mcts: root-parallel needs >= 1 worker")
+	}
+	return &RootParallel{cfg: cfg, workers: workers, eval: eval, r: rng.New(cfg.Seed)}
+}
+
+// Name implements Engine.
+func (e *RootParallel) Name() string { return "root-parallel" }
+
+// Close implements Engine.
+func (e *RootParallel) Close() {}
+
+// Search implements Engine.
+func (e *RootParallel) Search(st game.State, dist []float32) Stats {
+	perWorker := e.cfg.Playouts / e.workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	subCfg := e.cfg
+	subCfg.Playouts = perWorker
+	engines := make([]*Serial, e.workers)
+	for w := range engines {
+		c := subCfg
+		c.Seed = e.r.Uint64()
+		engines[w] = NewSerial(c, e.eval)
+	}
+	dists := make([][]float32, e.workers)
+	shards := make([]Stats, e.workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dists[w] = make([]float32, len(dist))
+			shards[w] = engines[w].Search(st, dists[w])
+		}(w)
+	}
+	wg.Wait()
+	var stats Stats
+	for i := range dist {
+		dist[i] = 0
+	}
+	for w := 0; w < e.workers; w++ {
+		for i := range dist {
+			dist[i] += dists[w][i] / float32(e.workers)
+		}
+		stats.Expansions += shards[w].Expansions
+		stats.TerminalHits += shards[w].TerminalHits
+		stats.SumDepth += shards[w].SumDepth
+	}
+	stats.Playouts = perWorker * e.workers
+	stats.Duration = time.Since(start)
+	return stats
+}
+
+// LeafParallel implements the leaf-parallelisation baseline of Section 2.2
+// (Cazenave & Jouandeau): a single sequential tree, but each leaf is
+// evaluated K times concurrently and the values averaged. With a
+// deterministic DNN evaluator the K evaluations are redundant — exactly the
+// "wasted parallelism due to the lack of diverse evaluation coverage" the
+// paper cites — which the experiments quantify.
+type LeafParallel struct {
+	cfg   Config
+	k     int
+	async evaluate.Async
+	tr    *tree.Tree
+	r     *rng.Rand
+
+	input   []float32
+	actions []int
+	priors  []float32
+}
+
+// NewLeafParallel creates the baseline with K parallel evaluations per leaf.
+func NewLeafParallel(cfg Config, k int, async evaluate.Async) *LeafParallel {
+	if k < 1 {
+		panic("mcts: leaf-parallel needs K >= 1")
+	}
+	return &LeafParallel{cfg: cfg, k: k, async: async, r: rng.New(cfg.Seed)}
+}
+
+// Name implements Engine.
+func (e *LeafParallel) Name() string { return "leaf-parallel" }
+
+// Close implements Engine.
+func (e *LeafParallel) Close() {}
+
+// Search implements Engine.
+func (e *LeafParallel) Search(st game.State, dist []float32) Stats {
+	if e.tr == nil {
+		e.tr = newTreeFor(e.cfg, st)
+	} else {
+		e.tr.Reset()
+	}
+	c, h, w := st.EncodedShape()
+	if e.input == nil {
+		e.input = make([]float32, c*h*w)
+		e.priors = make([]float32, st.NumActions())
+	}
+	var stats Stats
+	start := time.Now()
+	for p := 0; p < e.cfg.Playouts; p++ {
+		e.rollout(st, &stats)
+	}
+	stats.Playouts = e.cfg.Playouts
+	stats.Duration = time.Since(start)
+	e.tr.VisitDistribution(dist)
+	return stats
+}
+
+func (e *LeafParallel) rollout(root game.State, stats *Stats) {
+	tr := e.tr
+	st := root.Clone()
+	idx := tr.Root()
+	depth := 0
+	for tr.Node(idx).Expanded() {
+		idx = tr.SelectChild(idx)
+		st.Play(tr.Node(idx).Action())
+		depth++
+	}
+	stats.SumDepth += depth
+
+	nd := tr.Node(idx)
+	var value float64
+	switch {
+	case nd.Terminal():
+		value = nd.TerminalValue()
+		stats.TerminalHits++
+	case st.Terminal():
+		value = terminalValue(st)
+		tr.MarkTerminal(idx, value)
+		stats.TerminalHits++
+	default:
+		// Fan out K evaluations of the same state, average the values.
+		st.Encode(e.input)
+		reqs := make([]*evaluate.Request, e.k)
+		for i := range reqs {
+			reqs[i] = &evaluate.Request{
+				Input:  e.input,
+				Policy: make([]float32, st.NumActions()),
+			}
+			e.async.Submit(reqs[i])
+		}
+		e.async.Flush()
+		var sum float64
+		var lastPolicy []float32
+		for i := 0; i < e.k; i++ {
+			req := <-e.async.Completions()
+			sum += req.Value
+			lastPolicy = req.Policy
+		}
+		value = sum / float64(e.k)
+		e.actions = st.LegalMoves(e.actions[:0])
+		priors := e.priors[:len(e.actions)]
+		maskedPriors(lastPolicy, e.actions, priors)
+		if idx == tr.Root() {
+			applyRootNoise(e.cfg, e.r, priors)
+		}
+		tr.Expand(idx, e.actions, priors)
+		stats.Expansions++
+	}
+	tr.Backup(idx, value, false)
+}

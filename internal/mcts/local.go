@@ -1,0 +1,202 @@
+package mcts
+
+import (
+	"time"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// Local implements Algorithm 3: a centralized master thread owns the
+// complete tree (no locks anywhere on the hot path) and performs all
+// in-tree operations, while node evaluations stream through an asynchronous
+// evaluator — either an inference thread pool (CPU) or a batched
+// accelerator with sub-batch size B (GPU, Section 3.3).
+//
+// The master executes the rollout_n_times loop: it keeps selecting leaves
+// and submitting evaluation requests while fewer than MaxInFlight are
+// outstanding; otherwise it waits for a completion, expands the leaf with
+// the returned priors, and backs the value up.
+type Local struct {
+	cfg         Config
+	async       evaluate.Async
+	maxInFlight int
+	tr          *tree.Tree
+	r           *rng.Rand
+	free        []*localJob
+}
+
+// localJob carries the state a completion needs to expand its leaf.
+type localJob struct {
+	req     evaluate.Request
+	leaf    int32
+	actions []int
+	priors  []float32
+}
+
+// NewLocal creates a local-tree engine. maxInFlight is the worker-pool
+// size N: the master waits once that many evaluations are outstanding
+// (Algorithm 3 line 12).
+func NewLocal(cfg Config, async evaluate.Async, maxInFlight int) *Local {
+	if maxInFlight < 1 {
+		panic("mcts: local engine needs maxInFlight >= 1")
+	}
+	return &Local{cfg: cfg, async: async, maxInFlight: maxInFlight, r: rng.New(cfg.Seed)}
+}
+
+// Name implements Engine.
+func (e *Local) Name() string { return "local" }
+
+// Close implements Engine. The engine does not own the Async evaluator;
+// the caller closes it (it may be shared across moves).
+func (e *Local) Close() {}
+
+// MaxInFlight returns the outstanding-evaluation bound.
+func (e *Local) MaxInFlight() int { return e.maxInFlight }
+
+// Search implements Engine.
+func (e *Local) Search(st game.State, dist []float32) Stats {
+	if e.tr == nil {
+		e.tr = newTreeFor(e.cfg, st)
+	} else {
+		e.tr.Reset()
+	}
+	var stats Stats
+	start := time.Now()
+
+	submitted, completed, inflight := 0, 0, 0
+	for completed < e.cfg.Playouts {
+		// Opportunistically drain finished evaluations.
+		for inflight > 0 {
+			select {
+			case req := <-e.async.Completions():
+				e.finish(req, &stats)
+				inflight--
+				completed++
+			default:
+				goto drained
+			}
+		}
+	drained:
+		if submitted < e.cfg.Playouts && inflight < e.maxInFlight {
+			sync := e.selectAndSubmit(st, &stats)
+			submitted++
+			if sync {
+				completed++ // terminal rollout: no evaluation needed
+			} else {
+				inflight++
+			}
+			continue
+		}
+		if completed >= e.cfg.Playouts {
+			break
+		}
+		// Master must wait (thread pool full, or budget fully submitted).
+		if e.async.Idle() {
+			// Everything outstanding sits in a partial accelerator batch;
+			// push it to the device or we wait forever.
+			e.async.Flush()
+		}
+		req := <-e.async.Completions()
+		e.finish(req, &stats)
+		inflight--
+		completed++
+	}
+	stats.Playouts = e.cfg.Playouts
+	stats.Duration = time.Since(start)
+	e.tr.VisitDistribution(dist)
+	return stats
+}
+
+// selectAndSubmit runs Selection from the root and either backs up a
+// terminal outcome immediately (returning true) or submits an evaluation
+// request for the leaf (returning false).
+func (e *Local) selectAndSubmit(root game.State, stats *Stats) (syncDone bool) {
+	prof := e.cfg.Profile
+	tr := e.tr
+	st := root.Clone()
+	idx := tr.Root()
+
+	t0 := now(prof)
+	tr.ApplyVirtualLoss(idx, false)
+	depth := 0
+	for tr.Node(idx).Expanded() {
+		idx = tr.SelectChild(idx)
+		tr.ApplyVirtualLoss(idx, false)
+		st.Play(tr.Node(idx).Action())
+		depth++
+	}
+	stats.SelectTime += since(prof, t0)
+	stats.SumDepth += depth
+
+	nd := tr.Node(idx)
+	if nd.Terminal() {
+		t3 := now(prof)
+		tr.Backup(idx, nd.TerminalValue(), false)
+		stats.BackupTime += since(prof, t3)
+		stats.TerminalHits++
+		return true
+	}
+	if st.Terminal() {
+		value := terminalValue(st)
+		tr.MarkTerminal(idx, value)
+		t3 := now(prof)
+		tr.Backup(idx, value, false)
+		stats.BackupTime += since(prof, t3)
+		stats.TerminalHits++
+		return true
+	}
+
+	job := e.takeJob(st)
+	job.leaf = idx
+	job.actions = st.LegalMoves(job.actions[:0])
+	st.Encode(job.req.Input)
+	e.async.Submit(&job.req)
+	return false
+}
+
+// finish expands the evaluated leaf and backs up its value.
+func (e *Local) finish(req *evaluate.Request, stats *Stats) {
+	prof := e.cfg.Profile
+	job := req.Ctx.(*localJob)
+	tr := e.tr
+
+	t2 := now(prof)
+	priors := job.priors[:len(job.actions)]
+	maskedPriors(req.Policy, job.actions, priors)
+	if job.leaf == tr.Root() {
+		applyRootNoise(e.cfg, e.r, priors)
+	}
+	tr.Expand(job.leaf, job.actions, priors)
+	stats.Expansions++
+	stats.ExpandTime += since(prof, t2)
+
+	t3 := now(prof)
+	tr.Backup(job.leaf, req.Value, false)
+	stats.BackupTime += since(prof, t3)
+	e.free = append(e.free, job)
+}
+
+// takeJob recycles or allocates a job with buffers sized for st.
+func (e *Local) takeJob(st game.State) *localJob {
+	if n := len(e.free); n > 0 {
+		job := e.free[n-1]
+		e.free = e.free[:n-1]
+		return job
+	}
+	c, h, w := st.EncodedShape()
+	job := &localJob{
+		req: evaluate.Request{
+			Input:  make([]float32, c*h*w),
+			Policy: make([]float32, st.NumActions()),
+		},
+		priors: make([]float32, st.NumActions()),
+	}
+	job.req.Ctx = job
+	return job
+}
+
+// Tree exposes the engine's tree for tests.
+func (e *Local) Tree() *tree.Tree { return e.tr }

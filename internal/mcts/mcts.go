@@ -1,0 +1,167 @@
+// Package mcts implements the tree-based search engines of the paper:
+//
+//   - Serial: the single-threaded reference (used for profiling and as the
+//     algorithmic baseline of Section 5.5).
+//   - Shared: Algorithm 2 — N threads share one locked tree, each thread
+//     runs complete rollouts including its own node evaluation.
+//   - Local: Algorithm 3 — a master thread owns the tree without locks and
+//     streams node-evaluation requests to an asynchronous evaluator
+//     (inference thread pool or batched accelerator).
+//   - RootParallel / LeafParallel: the related-work baselines of
+//     Section 2.2.
+//
+// All engines consume the same game.State/evaluate interfaces, forming the
+// "single program template" the paper compiles its adaptive choice into.
+package mcts
+
+import (
+	"time"
+
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// Config holds the search hyper-parameters shared by every engine.
+type Config struct {
+	// Playouts is the per-move iteration budget (1600 in the paper).
+	Playouts int
+	// Tree holds the PUCT/virtual-loss parameters of Equation 1.
+	Tree tree.Config
+	// MaxFanout bounds the arena size; 0 means the game's action count.
+	MaxFanout int
+	// DirichletAlpha, when positive, mixes Dir(alpha) noise into the root
+	// priors (self-play exploration). NoiseFrac is the mixing weight.
+	DirichletAlpha float64
+	NoiseFrac      float64
+	// Seed makes root noise deterministic.
+	Seed uint64
+	// Profile enables per-phase latency accounting (adds two clock reads
+	// per phase; leave off in throughput runs).
+	Profile bool
+}
+
+// DefaultConfig returns the paper's search configuration.
+func DefaultConfig() Config {
+	return Config{
+		Playouts: 1600,
+		Tree:     tree.DefaultConfig(),
+	}
+}
+
+// Stats reports one Search invocation.
+type Stats struct {
+	Playouts int
+	Duration time.Duration
+	// Expansions counts nodes expanded; TerminalHits counts rollouts that
+	// ended on an already-terminal node (no DNN evaluation needed).
+	Expansions   int
+	TerminalHits int
+	// SumDepth accumulates leaf depths (AvgDepth = SumDepth/Playouts).
+	SumDepth int
+	// Phase breakdown, populated when Config.Profile is set.
+	SelectTime time.Duration
+	ExpandTime time.Duration
+	BackupTime time.Duration
+	EvalTime   time.Duration
+}
+
+// AvgDepth returns the mean leaf depth of the search.
+func (s Stats) AvgDepth() float64 {
+	if s.Playouts == 0 {
+		return 0
+	}
+	return float64(s.SumDepth) / float64(s.Playouts)
+}
+
+// PerIteration returns the amortized per-worker-iteration latency, the
+// paper's primary speed metric (Section 5.3): total move time divided by
+// the playout budget.
+func (s Stats) PerIteration() time.Duration {
+	if s.Playouts == 0 {
+		return 0
+	}
+	return s.Duration / time.Duration(s.Playouts)
+}
+
+// Engine is one parallel search implementation.
+type Engine interface {
+	// Name identifies the scheme ("serial", "shared", "local", ...).
+	Name() string
+	// Search runs the configured playout budget from st and writes the
+	// normalised root visit distribution into dist (length NumActions).
+	Search(st game.State, dist []float32) Stats
+	// Close releases engine-owned goroutines.
+	Close()
+}
+
+// maskedPriors extracts the priors of the legal actions from a full policy
+// vector and renormalises them. If the network assigns (numerically) zero
+// mass to all legal moves, the priors fall back to uniform.
+func maskedPriors(policy []float32, actions []int, out []float32) {
+	var sum float32
+	for i, a := range actions {
+		p := policy[a]
+		if p < 0 {
+			p = 0
+		}
+		out[i] = p
+		sum += p
+	}
+	if sum <= 1e-12 {
+		u := 1 / float32(len(actions))
+		for i := range actions {
+			out[i] = u
+		}
+		return
+	}
+	inv := 1 / sum
+	for i := range actions {
+		out[i] *= inv
+	}
+}
+
+// applyRootNoise mixes Dirichlet noise into freshly computed root priors.
+func applyRootNoise(cfg Config, r *rng.Rand, priors []float32) {
+	if cfg.DirichletAlpha <= 0 || cfg.NoiseFrac <= 0 {
+		return
+	}
+	noise := make([]float64, len(priors))
+	r.Dirichlet(cfg.DirichletAlpha, noise)
+	frac := float32(cfg.NoiseFrac)
+	for i := range priors {
+		priors[i] = (1-frac)*priors[i] + frac*float32(noise[i])
+	}
+}
+
+// terminalValue returns the game outcome from the perspective of the player
+// to move at st (who, being to move in a finished game, can at best have
+// drawn).
+func terminalValue(st game.State) float64 {
+	return game.Outcome(st.Winner(), st.ToMove())
+}
+
+// newTreeFor sizes and allocates a search tree for st under cfg.
+func newTreeFor(cfg Config, st game.State) *tree.Tree {
+	fanout := cfg.MaxFanout
+	if fanout <= 0 {
+		fanout = st.NumActions()
+	}
+	return tree.New(cfg.Tree, tree.SuggestCapacity(cfg.Playouts, fanout))
+}
+
+// now returns the current time only when profiling, so the phase accounting
+// costs nothing when disabled.
+func now(enabled bool) time.Time {
+	if !enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func since(enabled bool, t time.Time) time.Duration {
+	if !enabled {
+		return 0
+	}
+	return time.Since(t)
+}

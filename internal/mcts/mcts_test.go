@@ -1,0 +1,354 @@
+package mcts
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/game/connect4"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+func testCfg(playouts int) Config {
+	cfg := DefaultConfig()
+	cfg.Playouts = playouts
+	return cfg
+}
+
+// winInOnePosition returns a tic-tac-toe state where the mover (X) wins
+// immediately by playing action 2.
+func winInOnePosition() game.State {
+	s := tictactoe.New().NewInitial()
+	for _, mv := range []int{0, 3, 1, 4} {
+		s.Play(mv)
+	}
+	return s
+}
+
+// blockPosition returns a state where O must play 2 to block X's win.
+func blockPosition() game.State {
+	s := tictactoe.New().NewInitial()
+	for _, mv := range []int{0, 4, 1} {
+		s.Play(mv)
+	}
+	return s
+}
+
+func argmax32(xs []float32) int {
+	best, bestV := 0, float32(math.Inf(-1))
+	for i, v := range xs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+func checkDistribution(t *testing.T, st game.State, dist []float32) {
+	t.Helper()
+	legal := make(map[int]bool)
+	for _, mv := range st.LegalMoves(nil) {
+		legal[mv] = true
+	}
+	var sum float64
+	for a, p := range dist {
+		if p < 0 {
+			t.Fatalf("negative probability at %d", a)
+		}
+		if p > 0 && !legal[a] {
+			t.Fatalf("probability mass on illegal action %d", a)
+		}
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+}
+
+func runEngine(t *testing.T, e Engine, st game.State) ([]float32, Stats) {
+	t.Helper()
+	dist := make([]float32, st.NumActions())
+	stats := e.Search(st, dist)
+	checkDistribution(t, st, dist)
+	if root := st; !root.Terminal() && stats.Playouts == 0 {
+		t.Fatal("no playouts recorded")
+	}
+	return dist, stats
+}
+
+func TestSerialFindsImmediateWin(t *testing.T) {
+	e := NewSerial(testCfg(400), &evaluate.Random{})
+	dist, stats := runEngine(t, e, winInOnePosition())
+	if got := argmax32(dist); got != 2 {
+		t.Fatalf("best move = %d, want 2 (win); dist=%v", got, dist)
+	}
+	if stats.TerminalHits == 0 {
+		t.Error("winning line should produce terminal hits")
+	}
+	if e.Tree().OutstandingVirtualLoss() != 0 {
+		t.Error("serial search left virtual loss")
+	}
+}
+
+func TestSerialBlocksOpponentWin(t *testing.T) {
+	e := NewSerial(testCfg(1200), &evaluate.Random{})
+	dist, _ := runEngine(t, e, blockPosition())
+	if got := argmax32(dist); got != 2 {
+		t.Fatalf("best move = %d, want 2 (block); dist=%v", got, dist)
+	}
+}
+
+func TestSerialRootVisitsEqualPlayouts(t *testing.T) {
+	e := NewSerial(testCfg(300), &evaluate.Random{})
+	st := connect4.New().NewInitial()
+	runEngine(t, e, st)
+	if got := e.Tree().Node(e.Tree().Root()).Visits(); got != 300 {
+		t.Fatalf("root visits = %d, want 300", got)
+	}
+}
+
+func TestSerialSearchIsReusable(t *testing.T) {
+	e := NewSerial(testCfg(100), &evaluate.Random{})
+	st := connect4.New().NewInitial()
+	d1, _ := runEngine(t, e, st)
+	d2, _ := runEngine(t, e, st)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("same seedless search on same state diverged across reuse")
+		}
+	}
+}
+
+func TestSharedEngineCorrectness(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		e := NewShared(testCfg(400), workers, &evaluate.Random{})
+		dist, _ := runEngine(t, e, winInOnePosition())
+		if got := argmax32(dist); got != 2 {
+			t.Errorf("workers=%d: best move = %d, want 2", workers, got)
+		}
+		tr := e.Tree()
+		if got := tr.Node(tr.Root()).Visits(); got != 400 {
+			t.Errorf("workers=%d: root visits = %d, want 400", workers, got)
+		}
+		if vl := tr.OutstandingVirtualLoss(); vl != 0 {
+			t.Errorf("workers=%d: outstanding VL = %d", workers, vl)
+		}
+	}
+}
+
+func TestSharedWithBatchedSyncEvaluator(t *testing.T) {
+	// Shared-tree + accelerator queue with threshold == workers (the
+	// paper's shared+GPU configuration). The drain-on-retire path prevents
+	// end-of-move deadlock when the final partial batch cannot fill.
+	cost := accel.DefaultCostModel()
+	cost.LaunchLatency = 0
+	cost.ComputeBase = 0
+	cost.ComputePerSample = 0
+	dev := accel.NewModel(cost)
+	workers := 4
+	eval := evaluate.NewBatchedSync(dev, workers)
+	e := NewShared(testCfg(203), workers, eval) // 203 % 4 != 0: partial final batch
+	st := connect4.New().NewInitial()
+	dist, _ := runEngine(t, e, st)
+	_ = dist
+	tr := e.Tree()
+	if got := tr.Node(tr.Root()).Visits(); got != 203 {
+		t.Fatalf("root visits = %d, want 203", got)
+	}
+}
+
+func TestLocalEngineWithPool(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		pool := evaluate.NewPool(&evaluate.Random{}, workers)
+		e := NewLocal(testCfg(400), pool, workers)
+		dist, _ := runEngine(t, e, winInOnePosition())
+		if got := argmax32(dist); got != 2 {
+			t.Errorf("workers=%d: best move = %d, want 2", workers, got)
+		}
+		tr := e.Tree()
+		if got := tr.Node(tr.Root()).Visits(); got != 400 {
+			t.Errorf("workers=%d: root visits = %d, want 400", workers, got)
+		}
+		if vl := tr.OutstandingVirtualLoss(); vl != 0 {
+			t.Errorf("workers=%d: outstanding VL = %d", workers, vl)
+		}
+		pool.Close()
+	}
+}
+
+func TestLocalEngineWithBatchedAsync(t *testing.T) {
+	cost := accel.DefaultCostModel()
+	cost.LaunchLatency = 0
+	cost.ComputeBase = 0
+	cost.ComputePerSample = 0
+	for _, batch := range []int{1, 3, 8} {
+		dev := accel.NewModel(cost)
+		async := evaluate.NewBatchedAsync(dev, batch, 16)
+		e := NewLocal(testCfg(301), async, 16)
+		st := connect4.New().NewInitial()
+		runEngine(t, e, st)
+		tr := e.Tree()
+		if got := tr.Node(tr.Root()).Visits(); got != 301 {
+			t.Errorf("batch=%d: root visits = %d, want 301", batch, got)
+		}
+		async.Close()
+	}
+}
+
+func TestLocalHonoursMaxInFlight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxInFlight=0 did not panic")
+		}
+	}()
+	NewLocal(testCfg(10), nil, 0)
+}
+
+func TestRootParallelCorrectness(t *testing.T) {
+	e := NewRootParallel(testCfg(400), 4, &evaluate.Random{})
+	dist, stats := runEngine(t, e, winInOnePosition())
+	if got := argmax32(dist); got != 2 {
+		t.Fatalf("best move = %d, want 2", got)
+	}
+	if stats.Playouts != 400 {
+		t.Fatalf("playouts = %d", stats.Playouts)
+	}
+}
+
+func TestLeafParallelCorrectness(t *testing.T) {
+	pool := evaluate.NewPool(&evaluate.Random{}, 4)
+	defer pool.Close()
+	e := NewLeafParallel(testCfg(300), 4, pool)
+	dist, _ := runEngine(t, e, winInOnePosition())
+	if got := argmax32(dist); got != 2 {
+		t.Fatalf("best move = %d, want 2", got)
+	}
+}
+
+func TestEnginesAgreeOnTactics(t *testing.T) {
+	// Every scheme must find the forced win; this is the algorithm-quality
+	// analogue of Section 5.5 (parallelism alters trajectories but not the
+	// ability to see one-ply tactics).
+	st := winInOnePosition()
+	pool := evaluate.NewPool(&evaluate.Random{}, 4)
+	defer pool.Close()
+	engines := []Engine{
+		NewSerial(testCfg(400), &evaluate.Random{}),
+		NewShared(testCfg(400), 4, &evaluate.Random{}),
+		NewLocal(testCfg(400), pool, 4),
+		NewRootParallel(testCfg(400), 4, &evaluate.Random{}),
+	}
+	for _, e := range engines {
+		dist := make([]float32, st.NumActions())
+		e.Search(st, dist)
+		if got := argmax32(dist); got != 2 {
+			t.Errorf("%s: best move = %d, want 2", e.Name(), got)
+		}
+		e.Close()
+	}
+}
+
+func TestProfilePhaseTimes(t *testing.T) {
+	cfg := testCfg(200)
+	cfg.Profile = true
+	e := NewSerial(cfg, &evaluate.Random{Latency: 20_000}) // 20us eval
+	st := connect4.New().NewInitial()
+	_, stats := runEngine(t, e, st)
+	if stats.SelectTime <= 0 || stats.BackupTime <= 0 || stats.EvalTime <= 0 {
+		t.Fatalf("phase times missing: %+v", stats)
+	}
+	if stats.EvalTime < stats.SelectTime {
+		t.Errorf("eval (%v) should dominate select (%v) with a 20us DNN",
+			stats.EvalTime, stats.SelectTime)
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{Playouts: 100, Duration: 200 * 1000, SumDepth: 250}
+	if s.PerIteration() != 2000 {
+		t.Fatalf("PerIteration = %v", s.PerIteration())
+	}
+	if s.AvgDepth() != 2.5 {
+		t.Fatalf("AvgDepth = %v", s.AvgDepth())
+	}
+	var empty Stats
+	if empty.PerIteration() != 0 || empty.AvgDepth() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestDirichletNoiseChangesRootPriors(t *testing.T) {
+	cfg := testCfg(50)
+	cfg.DirichletAlpha = 0.3
+	cfg.NoiseFrac = 0.25
+	cfg.Seed = 7
+	e1 := NewSerial(cfg, &evaluate.Random{})
+	cfg.Seed = 8
+	e2 := NewSerial(cfg, &evaluate.Random{})
+	st := connect4.New().NewInitial()
+	d1 := make([]float32, st.NumActions())
+	d2 := make([]float32, st.NumActions())
+	e1.Search(st, d1)
+	e2.Search(st, d2)
+	same := true
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different noise seeds produced identical searches")
+	}
+}
+
+func TestMaskedPriors(t *testing.T) {
+	policy := []float32{0.5, 0.1, 0.2, 0.2}
+	out := make([]float32, 2)
+	maskedPriors(policy, []int{1, 3}, out)
+	if math.Abs(float64(out[0]-1.0/3)) > 1e-6 || math.Abs(float64(out[1]-2.0/3)) > 1e-6 {
+		t.Fatalf("masked priors = %v", out)
+	}
+	// zero-mass fallback
+	maskedPriors([]float32{0, 0, 0, 0}, []int{0, 2}, out)
+	if out[0] != 0.5 || out[1] != 0.5 {
+		t.Fatalf("fallback priors = %v", out)
+	}
+}
+
+func TestSerialDistributionProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		st := connect4.New().NewInitial()
+		for i := 0; i < r.Intn(10); i++ {
+			moves := st.LegalMoves(nil)
+			if len(moves) == 0 || st.Terminal() {
+				break
+			}
+			st.Play(moves[r.Intn(len(moves))])
+		}
+		if st.Terminal() {
+			return true
+		}
+		e := NewSerial(testCfg(60), &evaluate.Random{})
+		dist := make([]float32, st.NumActions())
+		e.Search(st, dist)
+		legal := make(map[int]bool)
+		for _, mv := range st.LegalMoves(nil) {
+			legal[mv] = true
+		}
+		var sum float64
+		for a, p := range dist {
+			if p < 0 || (p > 0 && !legal[a]) {
+				return false
+			}
+			sum += float64(p)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package mcts
+
+import (
+	"time"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// Serial is the single-threaded reference engine: one rollout at a time,
+// no virtual loss, always acting on the most up-to-date tree statistics.
+// Section 5.5 uses it as the algorithmic gold standard that the parallel
+// engines' training quality is compared against, and the design-time
+// profiling of Section 4.2 measures T_select/T_backup/T_DNN on it.
+type Serial struct {
+	cfg  Config
+	eval evaluate.Evaluator
+	tr   *tree.Tree
+	r    *rng.Rand
+
+	// reusable per-search scratch
+	input   []float32
+	policy  []float32
+	actions []int
+	priors  []float32
+}
+
+// NewSerial creates a serial engine.
+func NewSerial(cfg Config, eval evaluate.Evaluator) *Serial {
+	return &Serial{cfg: cfg, eval: eval, r: rng.New(cfg.Seed)}
+}
+
+// Name implements Engine.
+func (e *Serial) Name() string { return "serial" }
+
+// Close implements Engine.
+func (e *Serial) Close() {}
+
+// Search implements Engine.
+func (e *Serial) Search(st game.State, dist []float32) Stats {
+	if e.tr == nil {
+		e.tr = newTreeFor(e.cfg, st)
+	} else {
+		e.tr.Reset()
+	}
+	c, h, w := st.EncodedShape()
+	if e.input == nil {
+		e.input = make([]float32, c*h*w)
+		e.policy = make([]float32, st.NumActions())
+		e.priors = make([]float32, st.NumActions())
+	}
+	var stats Stats
+	start := time.Now()
+	for p := 0; p < e.cfg.Playouts; p++ {
+		e.rollout(st, &stats)
+	}
+	stats.Playouts = e.cfg.Playouts
+	stats.Duration = time.Since(start)
+	e.tr.VisitDistribution(dist)
+	return stats
+}
+
+// rollout performs one Selection / Expansion / Evaluation / Backup round.
+func (e *Serial) rollout(root game.State, stats *Stats) {
+	prof := e.cfg.Profile
+	tr := e.tr
+	st := root.Clone()
+	idx := tr.Root()
+
+	t0 := now(prof)
+	depth := 0
+	for tr.Node(idx).Expanded() {
+		idx = tr.SelectChild(idx)
+		st.Play(tr.Node(idx).Action())
+		depth++
+	}
+	stats.SelectTime += since(prof, t0)
+	stats.SumDepth += depth
+
+	nd := tr.Node(idx)
+	var value float64
+	switch {
+	case nd.Terminal():
+		value = nd.TerminalValue()
+		stats.TerminalHits++
+	case st.Terminal():
+		value = terminalValue(st)
+		tr.MarkTerminal(idx, value)
+		stats.TerminalHits++
+	default:
+		t1 := now(prof)
+		st.Encode(e.input)
+		value = e.eval.Evaluate(e.input, e.policy)
+		stats.EvalTime += since(prof, t1)
+
+		t2 := now(prof)
+		e.actions = st.LegalMoves(e.actions[:0])
+		priors := e.priors[:len(e.actions)]
+		maskedPriors(e.policy, e.actions, priors)
+		if idx == tr.Root() {
+			applyRootNoise(e.cfg, e.r, priors)
+		}
+		tr.Expand(idx, e.actions, priors)
+		stats.Expansions++
+		stats.ExpandTime += since(prof, t2)
+	}
+
+	t3 := now(prof)
+	tr.Backup(idx, value, false)
+	stats.BackupTime += since(prof, t3)
+}
+
+// Tree exposes the engine's tree for tests and profiling.
+func (e *Serial) Tree() *tree.Tree { return e.tr }

@@ -1,0 +1,180 @@
+package mcts
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// Drainer is implemented by evaluators that buffer requests (the
+// accelerator queue): Drain releases a partial batch. The shared engine
+// calls it when a worker retires, so stragglers blocked on a batch that can
+// no longer fill are released (end-of-move effect, Section 3.3).
+type Drainer interface {
+	Drain()
+}
+
+// Shared implements Algorithm 2: a pool of N threads, each executing
+// complete "threadsafe_rollout"s against a single tree in shared memory.
+// Virtual loss diversifies the paths; per-node locks protect the
+// multi-field virtual-loss and backup updates.
+type Shared struct {
+	cfg     Config
+	workers int
+	eval    evaluate.Evaluator
+	tr      *tree.Tree
+	r       *rng.Rand
+}
+
+// NewShared creates a shared-tree engine with the given worker count.
+func NewShared(cfg Config, workers int, eval evaluate.Evaluator) *Shared {
+	if workers < 1 {
+		panic("mcts: shared engine needs >= 1 worker")
+	}
+	return &Shared{cfg: cfg, workers: workers, eval: eval, r: rng.New(cfg.Seed)}
+}
+
+// Name implements Engine.
+func (e *Shared) Name() string { return "shared" }
+
+// Close implements Engine.
+func (e *Shared) Close() {}
+
+// Workers returns the configured worker count.
+func (e *Shared) Workers() int { return e.workers }
+
+// Search implements Engine.
+func (e *Shared) Search(st game.State, dist []float32) Stats {
+	if e.tr == nil {
+		e.tr = newTreeFor(e.cfg, st)
+	} else {
+		e.tr.Reset()
+	}
+	prof := e.cfg.Profile
+
+	var counter atomic.Int64 // playout tickets
+	var wg sync.WaitGroup
+	shards := make([]Stats, e.workers)
+	noises := make([]*rng.Rand, e.workers)
+	for w := range noises {
+		noises[w] = e.r.Split() // split on one goroutine before the race
+	}
+	start := time.Now()
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := newWorkerScratch(st)
+			noise := noises[w]
+			for {
+				t := counter.Add(1)
+				if t > int64(e.cfg.Playouts) {
+					break
+				}
+				e.rollout(st, ws, noise, &shards[w])
+			}
+			// This worker is done; release any partial accelerator batch so
+			// the remaining workers are not stranded waiting for it.
+			if d, ok := e.eval.(Drainer); ok {
+				d.Drain()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var stats Stats
+	for _, s := range shards {
+		stats.Expansions += s.Expansions
+		stats.TerminalHits += s.TerminalHits
+		stats.SumDepth += s.SumDepth
+		if prof {
+			stats.SelectTime += s.SelectTime
+			stats.ExpandTime += s.ExpandTime
+			stats.BackupTime += s.BackupTime
+			stats.EvalTime += s.EvalTime
+		}
+	}
+	stats.Playouts = e.cfg.Playouts
+	stats.Duration = time.Since(start)
+	e.tr.VisitDistribution(dist)
+	return stats
+}
+
+// workerScratch holds one worker thread's reusable buffers.
+type workerScratch struct {
+	input   []float32
+	policy  []float32
+	actions []int
+	priors  []float32
+}
+
+func newWorkerScratch(st game.State) *workerScratch {
+	c, h, w := st.EncodedShape()
+	return &workerScratch{
+		input:  make([]float32, c*h*w),
+		policy: make([]float32, st.NumActions()),
+		priors: make([]float32, st.NumActions()),
+	}
+}
+
+// rollout is the threadsafe_rollout of Algorithm 2.
+func (e *Shared) rollout(root game.State, ws *workerScratch, noise *rng.Rand, stats *Stats) {
+	prof := e.cfg.Profile
+	tr := e.tr
+	st := root.Clone()
+	idx := tr.Root()
+
+	// Selection with virtual loss. The root's VL is applied too so that
+	// sqrt(sum N) reflects in-flight traffic.
+	t0 := now(prof)
+	tr.ApplyVirtualLoss(idx, true)
+	depth := 0
+	for tr.Node(idx).Expanded() {
+		idx = tr.SelectChild(idx)
+		tr.ApplyVirtualLoss(idx, true)
+		st.Play(tr.Node(idx).Action())
+		depth++
+	}
+	stats.SelectTime += since(prof, t0)
+	stats.SumDepth += depth
+
+	nd := tr.Node(idx)
+	var value float64
+	switch {
+	case nd.Terminal():
+		value = nd.TerminalValue()
+		stats.TerminalHits++
+	case st.Terminal():
+		value = terminalValue(st)
+		tr.MarkTerminal(idx, value)
+		stats.TerminalHits++
+	default:
+		t1 := now(prof)
+		st.Encode(ws.input)
+		value = e.eval.Evaluate(ws.input, ws.policy)
+		stats.EvalTime += since(prof, t1)
+
+		t2 := now(prof)
+		ws.actions = st.LegalMoves(ws.actions[:0])
+		priors := ws.priors[:len(ws.actions)]
+		maskedPriors(ws.policy, ws.actions, priors)
+		if idx == tr.Root() {
+			applyRootNoise(e.cfg, noise, priors)
+		}
+		tr.Expand(idx, ws.actions, priors)
+		stats.Expansions++
+		stats.ExpandTime += since(prof, t2)
+	}
+
+	// Backup under locks, releasing one unit of virtual loss per level.
+	t3 := now(prof)
+	tr.Backup(idx, value, true)
+	stats.BackupTime += since(prof, t3)
+}
+
+// Tree exposes the engine's tree for tests.
+func (e *Shared) Tree() *tree.Tree { return e.tr }

@@ -1,0 +1,203 @@
+// Package nn implements the policy/value network used by DNN-MCTS.
+//
+// The architecture matches the paper's evaluation setup ("5 convolution
+// layers and 3 fully-connected layers", Section 5.1), which is the standard
+// Gomoku AlphaZero network:
+//
+//	trunk:  conv3x3(inC->c1) ReLU, conv3x3(c1->c2) ReLU, conv3x3(c2->c3) ReLU
+//	policy: conv1x1(c3->pc) ReLU, FC(pc*H*W -> actions), softmax
+//	value:  conv1x1(c3->vc) ReLU, FC(vc*H*W -> hidden) ReLU, FC(hidden -> 1), tanh
+//
+// That is 5 convolutions and 3 fully-connected layers in total. Forward and
+// backward passes are pure Go; batches are parallelised across samples in
+// internal/evaluate and internal/accel.
+package nn
+
+import (
+	"fmt"
+
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tensor"
+)
+
+// Config describes the network shape.
+type Config struct {
+	InC, H, W  int   // input planes and board dimensions
+	Trunk      []int // output channels of the three 3x3 trunk convolutions
+	PolicyC    int   // channels of the 1x1 policy-head convolution
+	ValueC     int   // channels of the 1x1 value-head convolution
+	ValueHide  int   // width of the value head's hidden FC layer
+	NumActions int   // policy output size
+}
+
+// GomokuConfig returns the paper's network for an H x W board with inC
+// input planes.
+func GomokuConfig(inC, h, w, actions int) Config {
+	return Config{
+		InC: inC, H: h, W: w,
+		Trunk:      []int{32, 64, 128},
+		PolicyC:    4,
+		ValueC:     2,
+		ValueHide:  64,
+		NumActions: actions,
+	}
+}
+
+// TinyConfig returns a small network for fast tests.
+func TinyConfig(inC, h, w, actions int) Config {
+	return Config{
+		InC: inC, H: h, W: w,
+		Trunk:      []int{4, 8, 8},
+		PolicyC:    2,
+		ValueC:     1,
+		ValueHide:  8,
+		NumActions: actions,
+	}
+}
+
+func (c Config) validate() error {
+	if c.InC <= 0 || c.H <= 0 || c.W <= 0 || c.NumActions <= 0 {
+		return fmt.Errorf("nn: invalid dimensions %+v", c)
+	}
+	if len(c.Trunk) != 3 {
+		return fmt.Errorf("nn: trunk must have exactly 3 conv layers, got %d", len(c.Trunk))
+	}
+	if c.PolicyC <= 0 || c.ValueC <= 0 || c.ValueHide <= 0 {
+		return fmt.Errorf("nn: invalid head sizes %+v", c)
+	}
+	return nil
+}
+
+// convShapes returns the five convolution shapes in order: trunk x3,
+// policy 1x1, value 1x1.
+func (c Config) convShapes() [5]tensor.Conv2DShape {
+	var s [5]tensor.Conv2DShape
+	in := c.InC
+	for i, out := range c.Trunk {
+		s[i] = tensor.Conv2DShape{InC: in, InH: c.H, InW: c.W, OutC: out, KH: 3, KW: 3, PadH: 1, PadW: 1}
+		in = out
+	}
+	s[3] = tensor.Conv2DShape{InC: in, InH: c.H, InW: c.W, OutC: c.PolicyC, KH: 1, KW: 1}
+	s[4] = tensor.Conv2DShape{InC: in, InH: c.H, InW: c.W, OutC: c.ValueC, KH: 1, KW: 1}
+	return s
+}
+
+// Network holds the parameters. Parameters are read concurrently by many
+// inference workers; mutation (training steps) must be externally
+// synchronised with inference (the training pipeline alternates phases, as
+// in Algorithm 1).
+type Network struct {
+	Cfg Config
+
+	ConvW [5]*tensor.Tensor // each OutC x (InC*KH*KW)
+	ConvB [5]*tensor.Tensor // each OutC
+
+	PolW  *tensor.Tensor // NumActions x (PolicyC*H*W)
+	PolB  *tensor.Tensor // NumActions
+	Val1W *tensor.Tensor // ValueHide x (ValueC*H*W)
+	Val1B *tensor.Tensor // ValueHide
+	Val2W *tensor.Tensor // 1 x ValueHide
+	Val2B *tensor.Tensor // 1
+}
+
+// New creates a network with He-initialised weights drawn from r.
+func New(cfg Config, r *rng.Rand) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{Cfg: cfg}
+	shapes := cfg.convShapes()
+	for i, s := range shapes {
+		n.ConvW[i] = heInit(r, s.OutC, s.ColCols())
+		n.ConvB[i] = tensor.New(s.OutC)
+	}
+	hw := cfg.H * cfg.W
+	n.PolW = heInit(r, cfg.NumActions, cfg.PolicyC*hw)
+	n.PolB = tensor.New(cfg.NumActions)
+	n.Val1W = heInit(r, cfg.ValueHide, cfg.ValueC*hw)
+	n.Val1B = tensor.New(cfg.ValueHide)
+	n.Val2W = heInit(r, 1, cfg.ValueHide)
+	n.Val2B = tensor.New(1)
+	return n, nil
+}
+
+// MustNew is New but panics on config errors; for tests and examples.
+func MustNew(cfg Config, r *rng.Rand) *Network {
+	n, err := New(cfg, r)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func heInit(r *rng.Rand, fanOut, fanIn int) *tensor.Tensor {
+	t := tensor.New(fanOut, fanIn)
+	std := float32(1.0)
+	if fanIn > 0 {
+		std = float32(1.4142135623730951 / sqrtF(float64(fanIn)))
+	}
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormFloat64()) * std
+	}
+	return t
+}
+
+func sqrtF(x float64) float64 {
+	// local wrapper to keep math import out of the hot path file
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 32; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+// NumParams returns the total parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	n.visitParams(func(t *tensor.Tensor) { total += t.Len() })
+	return total
+}
+
+// visitParams calls f on every parameter tensor in a fixed order.
+func (n *Network) visitParams(f func(*tensor.Tensor)) {
+	for i := range n.ConvW {
+		f(n.ConvW[i])
+		f(n.ConvB[i])
+	}
+	f(n.PolW)
+	f(n.PolB)
+	f(n.Val1W)
+	f(n.Val1B)
+	f(n.Val2W)
+	f(n.Val2B)
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{Cfg: n.Cfg}
+	for i := range n.ConvW {
+		c.ConvW[i] = n.ConvW[i].Clone()
+		c.ConvB[i] = n.ConvB[i].Clone()
+	}
+	c.PolW = n.PolW.Clone()
+	c.PolB = n.PolB.Clone()
+	c.Val1W = n.Val1W.Clone()
+	c.Val1B = n.Val1B.Clone()
+	c.Val2W = n.Val2W.Clone()
+	c.Val2B = n.Val2B.Clone()
+	return c
+}
+
+// InputLen returns the flattened input size C*H*W.
+func (n *Network) InputLen() int { return n.Cfg.InC * n.Cfg.H * n.Cfg.W }
+
+// L2Norm returns the squared L2 norm of all parameters (used by the loss
+// report; weight decay itself is folded into the SGD update).
+func (n *Network) L2Norm() float64 {
+	var s float64
+	n.visitParams(func(t *tensor.Tensor) { s += t.SumSquares() })
+	return s
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tensor"
+)
+
+// netWire is the gob wire format: configuration plus parameter payloads in
+// visitParams order.
+type netWire struct {
+	Cfg    Config
+	Params [][]float32
+}
+
+// Save writes the network to w in a self-describing binary format.
+func (n *Network) Save(w io.Writer) error {
+	wire := netWire{Cfg: n.Cfg}
+	n.visitParams(func(t *tensor.Tensor) {
+		wire.Params = append(wire.Params, t.Data)
+	})
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// Load reads a network previously written with Save.
+func Load(r io.Reader) (*Network, error) {
+	var wire netWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("nn: decode: %w", err)
+	}
+	net, err := New(wire.Cfg, rng.New(0)) // weights are overwritten below
+	if err != nil {
+		return nil, err
+	}
+	var idx int
+	var mismatch error
+	net.visitParams(func(t *tensor.Tensor) {
+		if mismatch != nil {
+			return
+		}
+		if idx >= len(wire.Params) || len(wire.Params[idx]) != len(t.Data) {
+			mismatch = fmt.Errorf("nn: parameter %d shape mismatch", idx)
+			return
+		}
+		copy(t.Data, wire.Params[idx])
+		idx++
+	})
+	if mismatch != nil {
+		return nil, mismatch
+	}
+	if idx != len(wire.Params) {
+		return nil, fmt.Errorf("nn: %d extra parameter blobs", len(wire.Params)-idx)
+	}
+	return net, nil
+}

@@ -1,0 +1,87 @@
+package perfmodel
+
+import "time"
+
+// Choice is the output of the design configuration workflow: the parallel
+// scheme to compile in (and, on an accelerator platform, the sub-batch
+// size B), plus the evidence behind the decision.
+type Choice struct {
+	// N is the worker count the choice was made for.
+	N int
+	// Scheme is the selected parallel implementation.
+	Scheme Scheme
+	// BatchSize is the accelerator sub-batch size B for the local scheme
+	// (equals N for the shared scheme, which always submits full batches).
+	BatchSize int
+	// PredictedShared and PredictedLocal are the amortized
+	// per-worker-iteration latencies the decision compared (model-derived,
+	// or test-run-derived for local+GPU) — the paper's speed metric.
+	PredictedShared time.Duration
+	PredictedLocal  time.Duration
+	// Probes counts the test runs spent searching B (0 on CPU-only).
+	Probes int
+}
+
+// PerIterationShared returns the per-iteration prediction for the shared
+// scheme.
+func (c Choice) PerIterationShared() time.Duration { return c.PredictedShared }
+
+// PerIterationLocal returns the per-iteration prediction for the local
+// scheme.
+func (c Choice) PerIterationLocal() time.Duration { return c.PredictedLocal }
+
+// ConfigureCPU runs the CPU-only design configuration workflow: plug the
+// profiled parameters into Equations 3 and 5 and pick the faster scheme.
+func ConfigureCPU(p Params, n int) Choice {
+	shared := PerIteration(SharedCPU(p, n), n)
+	local := PerIteration(LocalCPU(p, n), n)
+	c := Choice{N: n, PredictedShared: shared, PredictedLocal: local, BatchSize: n}
+	if local <= shared {
+		c.Scheme = SchemeLocal
+	} else {
+		c.Scheme = SchemeShared
+	}
+	return c
+}
+
+// ConfigureGPU runs the CPU-GPU workflow. The shared scheme's latency comes
+// from Equation 4 (its batch size is pinned to N). The local scheme's best
+// sub-batch size B is found with Algorithm 4 over testRun, the caller's
+// "Test Run" that measures one move and reports the amortized
+// per-worker-iteration latency at a given B (total move time / playouts,
+// exactly how Section 5.3 measures); when testRun is nil the Equation 6
+// model substitutes for it.
+func ConfigureGPU(p Params, n int, testRun func(b int) time.Duration) Choice {
+	return configureGPU(PerIteration(SharedGPU(p, n), n), p, n, testRun)
+}
+
+// ConfigureGPUMeasured is ConfigureGPU with a measured (rather than
+// Equation 4-modeled) shared-scheme per-iteration latency, for workflows
+// that can afford one extra test run: comparing two measurements avoids
+// model error flipping marginal decisions.
+func ConfigureGPUMeasured(sharedPerIter time.Duration, p Params, n int, testRun func(b int) time.Duration) Choice {
+	return configureGPU(sharedPerIter, p, n, testRun)
+}
+
+func configureGPU(shared time.Duration, p Params, n int, testRun func(b int) time.Duration) Choice {
+	probe := testRun
+	if probe == nil {
+		probe = func(b int) time.Duration { return PerIteration(LocalGPU(p, n, b), n) }
+	}
+	bestB, probes := FindMinV(1, n, probe)
+	local := probe(bestB)
+	c := Choice{
+		N:               n,
+		BatchSize:       bestB,
+		PredictedShared: shared,
+		PredictedLocal:  local,
+		Probes:          probes,
+	}
+	if local <= shared {
+		c.Scheme = SchemeLocal
+	} else {
+		c.Scheme = SchemeShared
+		c.BatchSize = n
+	}
+	return c
+}

@@ -1,0 +1,60 @@
+package perfmodel
+
+import "time"
+
+// FindMinV locates a global minimum of a V-sequence T over the index range
+// [lo, hi] using Algorithm 4: binary search that compares adjacent probes
+// and recurses into the half that must contain a minimum. probe(i) is the
+// paper's "Test Run with B = i" — typically a timed single-move search.
+//
+// The sequence must be a V-sequence: strictly decreasing then strictly
+// increasing (either phase may be empty, and the two phases may share one
+// equal pair at the valley). Measured latencies are real-valued, so the
+// paper's analysis assumes this implicitly; with plateaus inside a phase no
+// pairwise-comparison search can guarantee the global minimum. Probes are
+// memoized, so the number of distinct test runs is O(log(hi-lo)) — the
+// complexity claim of Section 4.2 — which FindMinV reports with the argmin.
+func FindMinV(lo, hi int, probe func(int) time.Duration) (argmin int, probes int) {
+	if lo > hi {
+		panic("perfmodel: FindMinV with empty range")
+	}
+	memo := make(map[int]time.Duration)
+	cached := func(i int) time.Duration {
+		if v, ok := memo[i]; ok {
+			return v
+		}
+		v := probe(i)
+		memo[i] = v
+		probes++
+		return v
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cached(mid) >= cached(mid+1) {
+			lo = mid + 1 // minimum is strictly to the right of mid
+		} else {
+			hi = mid // T[mid] < T[mid+1]: mid is in the non-increasing half or at the valley
+		}
+	}
+	return lo, probes
+}
+
+// ArgminLinear is the naive O(N) exploration FindMinV replaces; it is kept
+// as the reference oracle for tests and for the ablation benchmark
+// comparing the two design-space exploration strategies.
+func ArgminLinear(lo, hi int, probe func(int) time.Duration) (argmin int, probes int) {
+	if lo > hi {
+		panic("perfmodel: ArgminLinear with empty range")
+	}
+	best := lo
+	bestV := probe(lo)
+	probes = 1
+	for i := lo + 1; i <= hi; i++ {
+		v := probe(i)
+		probes++
+		if v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, probes
+}

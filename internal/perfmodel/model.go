@@ -1,0 +1,139 @@
+// Package perfmodel implements Section 4 of the paper: the high-level
+// performance models for the two tree-parallel schemes (Equations 3-6), the
+// design-time profiling that supplies their inputs, the O(log N) V-sequence
+// search for the accelerator sub-batch size (Algorithm 4), and the design
+// configuration workflow that ties them together.
+package perfmodel
+
+import (
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+)
+
+// Scheme identifies a tree-parallel implementation.
+type Scheme int
+
+// The two schemes the adaptive framework chooses between.
+const (
+	SchemeShared Scheme = iota
+	SchemeLocal
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	if s == SchemeShared {
+		return "shared"
+	}
+	return "local"
+}
+
+// Params holds the profiled application/hardware quantities the models
+// consume (Section 4.2). All per-iteration latencies are for a single
+// worker on a single thread.
+type Params struct {
+	// TSelect and TBackup are the amortized per-iteration in-tree operation
+	// latencies measured on a synthetic tree with the target fanout/depth.
+	TSelect time.Duration
+	TBackup time.Duration
+	// TDNNCPU is the single-threaded CPU inference latency for one state.
+	TDNNCPU time.Duration
+	// TSharedAccess is the shared-memory (DDR) access latency each worker
+	// pays when touching contended nodes near the root; the paper estimates
+	// it "as the DDR access latency documented for the target CPU".
+	TSharedAccess time.Duration
+	// GPU, when non-nil, describes the accelerator (Equations 4 and 6).
+	GPU *accel.CostModel
+}
+
+// SharedCPU evaluates Equation 3: the latency of one round of N worker
+// iterations under the shared-tree scheme on a CPU,
+//
+//	T ≈ T_shared_access*N + T_select + T_backup + T_DNN_CPU
+//
+// The in-tree operations of the N workers overlap except for the serialised
+// root-level communication (the N*T_access term); each worker then runs its
+// own DNN inference on its own thread.
+func SharedCPU(p Params, n int) time.Duration {
+	return time.Duration(n)*p.TSharedAccess + p.TSelect + p.TBackup + p.TDNNCPU
+}
+
+// LocalCPU evaluates Equation 5: one round of N iterations under the
+// local-tree scheme on a CPU,
+//
+//	T ≈ max((T_select+T_backup)*N, T_DNN_CPU)
+//
+// The master's N sequential in-tree operations overlap with the worker
+// pool's N parallel inferences; whichever is longer bounds the round.
+func LocalCPU(p Params, n int) time.Duration {
+	inTree := time.Duration(n) * (p.TSelect + p.TBackup)
+	if inTree > p.TDNNCPU {
+		return inTree
+	}
+	return p.TDNNCPU
+}
+
+// SharedGPU evaluates Equation 4: Equation 3 with the DNN term replaced by
+// a full-batch accelerator call (batch = N, as Section 3.3 prescribes for
+// the shared scheme).
+func SharedGPU(p Params, n int) time.Duration {
+	if p.GPU == nil {
+		panic("perfmodel: SharedGPU requires Params.GPU")
+	}
+	gpu := p.GPU.TransferTime(n) + p.GPU.ComputeTime(n)
+	return time.Duration(n)*p.TSharedAccess + p.TSelect + p.TBackup + gpu
+}
+
+// PCIeTime evaluates the T_PCIe term of Equation 6 for n total samples
+// moved in sub-batches of b: (n/b) launches each costing L, plus the
+// bandwidth term for all n samples.
+func PCIeTime(m accel.CostModel, n, b int) time.Duration {
+	launches := (n + b - 1) / b
+	bytes := float64(n * m.BytesPerSample)
+	return time.Duration(launches)*m.LaunchLatency +
+		time.Duration(bytes/m.LinkBytesPerSec*1e9)*time.Nanosecond
+}
+
+// LocalGPU evaluates Equation 6: one round of N iterations under the
+// local-tree scheme with the DNN offloaded in sub-batches of size B on
+// N/B streams,
+//
+//	T ≈ max((T_select+T_backup)*N, T_PCIe, T_GPU_compute(batch=B))
+//
+// Section 4.2 establishes that the first two terms are non-increasing in B
+// and the third non-decreasing, making the sequence over B a V-sequence.
+func LocalGPU(p Params, n, b int) time.Duration {
+	if p.GPU == nil {
+		panic("perfmodel: LocalGPU requires Params.GPU")
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	inTree := time.Duration(n) * (p.TSelect + p.TBackup)
+	pcie := PCIeTime(*p.GPU, n, b)
+	compute := p.GPU.ComputeTime(b)
+	m := inTree
+	if pcie > m {
+		m = pcie
+	}
+	if compute > m {
+		m = compute
+	}
+	return m
+}
+
+// PerIteration converts a round latency into the paper's amortized
+// per-worker-iteration metric.
+func PerIteration(round time.Duration, n int) time.Duration {
+	if n < 1 {
+		return round
+	}
+	return round / time.Duration(n)
+}
+
+// DefaultSharedAccess is a representative DDR round-trip latency for a
+// many-core workstation CPU, used when no measured value is supplied.
+const DefaultSharedAccess = 90 * time.Nanosecond

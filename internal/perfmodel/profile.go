@@ -1,0 +1,116 @@
+package perfmodel
+
+import (
+	"time"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// SyntheticSpec describes the design-time profiling workload of Section
+// 4.2: a synthetic tree "constructed for one episode with random-generated
+// UCT scores, emulating the same fanout and depth limit defined by the
+// DNN-MCTS algorithm".
+type SyntheticSpec struct {
+	// Fanout is the branching factor (the game's action-space size).
+	Fanout int
+	// DepthLimit caps the tree depth; deeper selections are treated as
+	// terminal (the game's maximum length).
+	DepthLimit int
+	// Playouts is the number of select/expand/backup iterations profiled
+	// (one move's budget).
+	Playouts int
+	// Seed drives the random priors and leaf values.
+	Seed uint64
+}
+
+// InTreeProfile reports the amortized single-worker in-tree latencies.
+type InTreeProfile struct {
+	TSelect  time.Duration // mean selection time per iteration
+	TBackup  time.Duration // mean backup (incl. expansion bookkeeping) per iteration
+	AvgDepth float64       // mean leaf depth reached
+	Nodes    int           // nodes allocated over the episode
+}
+
+// ProfileInTree measures T_select and T_backup by running a full episode of
+// pure in-tree operations (no game logic, no DNN) on a synthetic tree.
+func ProfileInTree(spec SyntheticSpec) InTreeProfile {
+	if spec.Fanout < 1 || spec.Playouts < 1 {
+		panic("perfmodel: invalid synthetic spec")
+	}
+	if spec.DepthLimit < 1 {
+		spec.DepthLimit = 1 << 20
+	}
+	r := rng.New(spec.Seed)
+	tr := tree.New(tree.DefaultConfig(), tree.SuggestCapacity(spec.Playouts, spec.Fanout))
+	actions := make([]int, spec.Fanout)
+	for i := range actions {
+		actions[i] = i
+	}
+	priors := make([]float32, spec.Fanout)
+
+	var selectTotal, backupTotal time.Duration
+	var depthTotal int
+	for p := 0; p < spec.Playouts; p++ {
+		t0 := time.Now()
+		idx := tr.Root()
+		depth := 0
+		for tr.Node(idx).Expanded() {
+			idx = tr.SelectChild(idx)
+			depth++
+		}
+		selectTotal += time.Since(t0)
+		depthTotal += depth
+
+		if depth < spec.DepthLimit && !tr.Node(idx).Terminal() {
+			var sum float32
+			for i := range priors {
+				priors[i] = r.Float32() + 1e-3
+				sum += priors[i]
+			}
+			inv := 1 / sum
+			for i := range priors {
+				priors[i] *= inv
+			}
+			tr.Expand(idx, actions, priors)
+		} else if depth >= spec.DepthLimit {
+			tr.MarkTerminal(idx, r.Float64()*2-1)
+		}
+
+		t1 := time.Now()
+		tr.Backup(idx, r.Float64()*2-1, false)
+		backupTotal += time.Since(t1)
+	}
+	return InTreeProfile{
+		TSelect:  selectTotal / time.Duration(spec.Playouts),
+		TBackup:  backupTotal / time.Duration(spec.Playouts),
+		AvgDepth: float64(depthTotal) / float64(spec.Playouts),
+		Nodes:    tr.Allocated(),
+	}
+}
+
+// ProfileDNN measures the amortized single-threaded inference latency of
+// eval over iters calls on random inputs — T_DNN_CPU of Equation 3/5. The
+// paper profiles "the DNN filled with random parameters and inputs of the
+// same dimensions defined by the target algorithm", which is exactly what a
+// freshly initialised network gives.
+func ProfileDNN(eval evaluate.Evaluator, inputLen, actions, iters int) time.Duration {
+	if iters < 1 {
+		panic("perfmodel: ProfileDNN needs iters >= 1")
+	}
+	r := rng.New(0xD44)
+	input := make([]float32, inputLen)
+	policy := make([]float32, actions)
+	for i := range input {
+		input[i] = r.Float32()
+	}
+	// Warm-up: first call pays one-time allocation (workspace pools).
+	eval.Evaluate(input, policy)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		input[i%inputLen] = r.Float32() // perturb to defeat value caching
+		eval.Evaluate(input, policy)
+	}
+	return time.Since(start) / time.Duration(iters)
+}

@@ -1,0 +1,154 @@
+// Package queue provides the two communication primitives the paper's
+// local-tree scheme is built from: the FIFO pipes connecting the master
+// thread to its worker pool (Figure 2a), and the accelerator request queue
+// that accumulates DNN inference tasks until a threshold batch size is
+// reached (Section 3.3).
+package queue
+
+import "sync"
+
+// FIFO is a first-in-first-out pipe with a fixed capacity. Push blocks when
+// the pipe is full, Pop blocks when it is empty; both unblock on Close.
+// It is a thin wrapper over a buffered channel, named to match the paper's
+// terminology and to centralise closed-pipe semantics.
+type FIFO[T any] struct {
+	ch chan T
+}
+
+// NewFIFO creates a pipe holding up to capacity elements.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity < 0 {
+		panic("queue: negative capacity")
+	}
+	return &FIFO[T]{ch: make(chan T, capacity)}
+}
+
+// Push enqueues v, blocking while the pipe is full. Pushing to a closed
+// pipe panics (a closed pipe means the consumer is gone — a program bug).
+func (q *FIFO[T]) Push(v T) { q.ch <- v }
+
+// TryPush enqueues v without blocking; it reports whether v was accepted.
+func (q *FIFO[T]) TryPush(v T) bool {
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Pop dequeues the oldest element, blocking while the pipe is empty.
+// ok is false once the pipe is closed and drained.
+func (q *FIFO[T]) Pop() (v T, ok bool) {
+	v, ok = <-q.ch
+	return v, ok
+}
+
+// TryPop dequeues without blocking; ok is false if the pipe was empty or
+// closed-and-drained.
+func (q *FIFO[T]) TryPop() (v T, ok bool) {
+	select {
+	case v, ok = <-q.ch:
+		return v, ok
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// Len returns the number of buffered elements.
+func (q *FIFO[T]) Len() int { return len(q.ch) }
+
+// Cap returns the pipe capacity.
+func (q *FIFO[T]) Cap() int { return cap(q.ch) }
+
+// Close marks the producer side finished. Pending elements remain poppable.
+func (q *FIFO[T]) Close() { close(q.ch) }
+
+// Chan exposes the receive side for use in select statements.
+func (q *FIFO[T]) Chan() <-chan T { return q.ch }
+
+// Batcher is the accelerator queue of Section 3.3: producers Add requests,
+// and whenever the buffered count reaches the threshold the whole batch is
+// handed to the flush function. Flush runs synchronously on the Add (or
+// FlushNow) caller's goroutine while holding no Batcher lock, so producers
+// on other goroutines keep accumulating the next batch concurrently.
+type Batcher[T any] struct {
+	mu        sync.Mutex
+	buf       []T
+	threshold int
+	flush     func([]T)
+}
+
+// NewBatcher creates a batcher that calls flush with each full batch of
+// size threshold. The slice passed to flush is owned by the callee.
+func NewBatcher[T any](threshold int, flush func([]T)) *Batcher[T] {
+	if threshold < 1 {
+		panic("queue: batch threshold must be >= 1")
+	}
+	if flush == nil {
+		panic("queue: nil flush")
+	}
+	return &Batcher[T]{threshold: threshold, flush: flush, buf: make([]T, 0, threshold)}
+}
+
+// Threshold returns the current flush threshold.
+func (b *Batcher[T]) Threshold() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.threshold
+}
+
+// SetThreshold changes the flush threshold; if the buffer already holds at
+// least n elements they are flushed immediately.
+func (b *Batcher[T]) SetThreshold(n int) {
+	if n < 1 {
+		panic("queue: batch threshold must be >= 1")
+	}
+	b.mu.Lock()
+	b.threshold = n
+	batch := b.takeIfFullLocked()
+	b.mu.Unlock()
+	if batch != nil {
+		b.flush(batch)
+	}
+}
+
+// Add enqueues one request, flushing if the threshold is reached.
+func (b *Batcher[T]) Add(v T) {
+	b.mu.Lock()
+	b.buf = append(b.buf, v)
+	batch := b.takeIfFullLocked()
+	b.mu.Unlock()
+	if batch != nil {
+		b.flush(batch)
+	}
+}
+
+func (b *Batcher[T]) takeIfFullLocked() []T {
+	if len(b.buf) < b.threshold {
+		return nil
+	}
+	batch := b.buf
+	b.buf = make([]T, 0, b.threshold)
+	return batch
+}
+
+// FlushNow hands any buffered requests to flush regardless of threshold.
+// Used at the end of a search to drain a partial batch.
+func (b *Batcher[T]) FlushNow() {
+	b.mu.Lock()
+	batch := b.buf
+	b.buf = make([]T, 0, b.threshold)
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}
+
+// Pending returns the number of buffered (unflushed) requests.
+func (b *Batcher[T]) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}

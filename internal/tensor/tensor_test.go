@@ -1,0 +1,430 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+func randSlice(r *rng.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = r.Float32()*2 - 1
+	}
+	return s
+}
+
+func naiveMatMul(a, b []float32, m, k, n int) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero dim did not panic")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestFromSliceAndReshape(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	tt := FromSlice(data, 2, 3)
+	if tt.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v", tt.At(1, 2))
+	}
+	tt.Set(9, 0, 1)
+	if data[1] != 9 {
+		t.Error("FromSlice should not copy")
+	}
+	r := tt.Reshape(3, 2)
+	if r.At(2, 1) != 6 {
+		t.Errorf("reshaped At(2,1) = %v", r.At(2, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad reshape did not panic")
+		}
+	}()
+	tt.Reshape(4, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(3)
+	b := a.Clone()
+	b.Data[0] = 7
+	if a.Data[0] != 3 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestAtBoundsPanic(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds At did not panic")
+		}
+	}()
+	a.At(2, 0)
+}
+
+func TestAXPYScaleDot(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	a.AXPY(2, b)
+	want := []float32{9, 12, 15}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Errorf("AXPY[%d] = %v, want %v", i, a.Data[i], want[i])
+		}
+	}
+	a.Scale(0.5)
+	if a.Data[2] != 7.5 {
+		t.Errorf("Scale wrong: %v", a.Data)
+	}
+	if d := Dot([]float32{1, 2}, []float32{3, 4}); d != 11 {
+		t.Errorf("Dot = %v", d)
+	}
+	if s := b.SumSquares(); math.Abs(s-77) > 1e-6 {
+		t.Errorf("SumSquares = %v", s)
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	r := rng.New(21)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 13}, {64, 64, 64}, {130, 70, 90}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randSlice(r, m*k), randSlice(r, k*n)
+		c := make([]float32, m*n)
+		MatMul(c, a, b, m, k, n)
+		want := naiveMatMul(a, b, m, k, n)
+		if d := maxAbsDiff(c, want); d > 1e-4 {
+			t.Errorf("MatMul(%v) max diff %v", dims, d)
+		}
+	}
+}
+
+func TestMatMulTransBMatchesNaive(t *testing.T) {
+	r := rng.New(22)
+	for _, dims := range [][3]int{{2, 3, 4}, {33, 17, 25}, {100, 64, 80}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, bT := randSlice(r, m*k), randSlice(r, n*k)
+		// build B (k x n) from bT (n x k)
+		b := make([]float32, k*n)
+		for j := 0; j < n; j++ {
+			for p := 0; p < k; p++ {
+				b[p*n+j] = bT[j*k+p]
+			}
+		}
+		c := make([]float32, m*n)
+		MatMulTransB(c, a, bT, m, k, n)
+		want := naiveMatMul(a, b, m, k, n)
+		if d := maxAbsDiff(c, want); d > 1e-4 {
+			t.Errorf("MatMulTransB(%v) max diff %v", dims, d)
+		}
+	}
+}
+
+func TestMatMulTransAMatchesNaive(t *testing.T) {
+	r := rng.New(23)
+	m, k, n := 7, 11, 5
+	aT := randSlice(r, k*m) // A stored (k x m)
+	b := randSlice(r, k*n)
+	a := make([]float32, m*k)
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			a[i*k+p] = aT[p*m+i]
+		}
+	}
+	c := make([]float32, m*n)
+	MatMulTransA(c, aT, b, m, k, n)
+	want := naiveMatMul(a, b, m, k, n)
+	if d := maxAbsDiff(c, want); d > 1e-4 {
+		t.Errorf("MatMulTransA max diff %v", d)
+	}
+}
+
+func TestMatMulPanicsOnShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer did not panic")
+		}
+	}()
+	MatMul(make([]float32, 3), make([]float32, 4), make([]float32, 4), 2, 2, 2)
+}
+
+func TestAddBiasAndBiasGrad(t *testing.T) {
+	m := []float32{1, 2, 3, 4}
+	AddBiasRows(m, []float32{10, 20}, 2, 2)
+	want := []float32{11, 22, 13, 24}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("AddBiasRows[%d] = %v", i, m[i])
+		}
+	}
+	dB := make([]float32, 2)
+	BiasGradRows(dB, []float32{1, 2, 3, 4}, 2, 2)
+	if dB[0] != 4 || dB[1] != 6 {
+		t.Errorf("BiasGradRows = %v", dB)
+	}
+}
+
+func TestReLUAndGrad(t *testing.T) {
+	src := FromSlice([]float32{-1, 0, 2}, 3)
+	dst := New(3)
+	ReLU(dst, src)
+	if dst.Data[0] != 0 || dst.Data[1] != 0 || dst.Data[2] != 2 {
+		t.Errorf("ReLU = %v", dst.Data)
+	}
+	dDst := FromSlice([]float32{5, 5, 5}, 3)
+	dSrc := New(3)
+	ReLUGrad(dSrc, dDst, src)
+	if dSrc.Data[0] != 0 || dSrc.Data[1] != 0 || dSrc.Data[2] != 5 {
+		t.Errorf("ReLUGrad = %v", dSrc.Data)
+	}
+}
+
+func TestTanhGradNumerically(t *testing.T) {
+	r := rng.New(24)
+	x := FromSlice(randSlice(r, 16), 16)
+	y := New(16)
+	Tanh(y, x)
+	dOut := FromSlice(randSlice(r, 16), 16)
+	dX := New(16)
+	TanhGrad(dX, dOut, y)
+	const eps = 1e-3
+	for i := 0; i < 16; i++ {
+		xp := x.Clone()
+		xp.Data[i] += eps
+		xm := x.Clone()
+		xm.Data[i] -= eps
+		yp, ym := New(16), New(16)
+		Tanh(yp, xp)
+		Tanh(ym, xm)
+		var lp, lm float64
+		for j := range yp.Data {
+			lp += float64(yp.Data[j] * dOut.Data[j])
+			lm += float64(ym.Data[j] * dOut.Data[j])
+		}
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dX.Data[i])) > 1e-2 {
+			t.Errorf("tanh grad[%d]: numeric %v analytic %v", i, num, dX.Data[i])
+		}
+	}
+}
+
+func TestSoftmaxRowsProperties(t *testing.T) {
+	r := rng.New(25)
+	if err := quick.Check(func(seed uint64) bool {
+		rr := rng.New(seed)
+		rows, cols := rr.Intn(4)+1, rr.Intn(20)+2
+		src := FromSlice(randSlice(r, rows*cols), rows*cols)
+		// include large magnitudes to exercise stability
+		src.Data[0] = 80
+		dst := New(rows * cols)
+		SoftmaxRows(dst, src, rows, cols)
+		for row := 0; row < rows; row++ {
+			var sum float64
+			for c := 0; c < cols; c++ {
+				v := dst.Data[row*cols+c]
+				if v < 0 || math.IsNaN(float64(v)) {
+					return false
+				}
+				sum += float64(v)
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogSoftmaxMatchesSoftmax(t *testing.T) {
+	r := rng.New(26)
+	rows, cols := 3, 7
+	src := FromSlice(randSlice(r, rows*cols), rows*cols)
+	sm, lsm := New(rows*cols), New(rows*cols)
+	SoftmaxRows(sm, src, rows, cols)
+	LogSoftmaxRows(lsm, src, rows, cols)
+	for i := range sm.Data {
+		if math.Abs(math.Log(float64(sm.Data[i]))-float64(lsm.Data[i])) > 1e-4 {
+			t.Errorf("log softmax mismatch at %d: log(%v) vs %v", i, sm.Data[i], lsm.Data[i])
+		}
+	}
+}
+
+// naiveConv computes a direct convolution for verification.
+func naiveConv(img, weight, bias []float32, s Conv2DShape) []float32 {
+	outH, outW := s.OutH(), s.OutW()
+	out := make([]float32, s.OutC*outH*outW)
+	for oc := 0; oc < s.OutC; oc++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				sum := bias[oc]
+				for ic := 0; ic < s.InC; ic++ {
+					for ky := 0; ky < s.KH; ky++ {
+						for kx := 0; kx < s.KW; kx++ {
+							iy, ix := oy+ky-s.PadH, ox+kx-s.PadW
+							if iy < 0 || iy >= s.InH || ix < 0 || ix >= s.InW {
+								continue
+							}
+							w := weight[oc*s.ColCols()+ic*s.KH*s.KW+ky*s.KW+kx]
+							sum += w * img[ic*s.InH*s.InW+iy*s.InW+ix]
+						}
+					}
+				}
+				out[oc*outH*outW+oy*outW+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DForwardMatchesNaive(t *testing.T) {
+	r := rng.New(27)
+	shapes := []Conv2DShape{
+		{InC: 1, InH: 5, InW: 5, OutC: 2, KH: 3, KW: 3, PadH: 1, PadW: 1},
+		{InC: 3, InH: 7, InW: 6, OutC: 4, KH: 3, KW: 3, PadH: 1, PadW: 1},
+		{InC: 2, InH: 8, InW: 8, OutC: 3, KH: 5, KW: 5, PadH: 0, PadW: 0},
+		{InC: 4, InH: 15, InW: 15, OutC: 8, KH: 3, KW: 3, PadH: 1, PadW: 1},
+	}
+	for _, s := range shapes {
+		img := randSlice(r, s.InC*s.InH*s.InW)
+		w := randSlice(r, s.OutC*s.ColCols())
+		b := randSlice(r, s.OutC)
+		out := make([]float32, s.OutC*s.OutH()*s.OutW())
+		col := make([]float32, s.ColRows()*s.ColCols())
+		Conv2DForward(out, img, w, b, col, s)
+		want := naiveConv(img, w, b, s)
+		if d := maxAbsDiff(out, want); d > 1e-4 {
+			t.Errorf("conv %+v: max diff %v", s, d)
+		}
+	}
+}
+
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> must hold for the pair to be valid
+	// linear adjoints, which is what the backward pass relies on.
+	r := rng.New(28)
+	s := Conv2DShape{InC: 2, InH: 6, InW: 5, OutC: 1, KH: 3, KW: 3, PadH: 1, PadW: 1}
+	x := randSlice(r, s.InC*s.InH*s.InW)
+	y := randSlice(r, s.ColRows()*s.ColCols())
+	cx := make([]float32, s.ColRows()*s.ColCols())
+	Im2Col(cx, x, s)
+	var lhs float64
+	for i := range cx {
+		lhs += float64(cx[i]) * float64(y[i])
+	}
+	xty := make([]float32, len(x))
+	Col2Im(xty, y, s)
+	var rhs float64
+	for i := range x {
+		rhs += float64(x[i]) * float64(xty[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-2*math.Max(1, math.Abs(lhs)) {
+		t.Errorf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestConv2DBackwardNumerically(t *testing.T) {
+	r := rng.New(29)
+	s := Conv2DShape{InC: 2, InH: 4, InW: 4, OutC: 3, KH: 3, KW: 3, PadH: 1, PadW: 1}
+	img := randSlice(r, s.InC*s.InH*s.InW)
+	w := randSlice(r, s.OutC*s.ColCols())
+	b := randSlice(r, s.OutC)
+	pix := s.OutH() * s.OutW()
+	dOut := randSlice(r, s.OutC*pix)
+
+	loss := func(img, w, b []float32) float64 {
+		out := make([]float32, s.OutC*pix)
+		col := make([]float32, s.ColRows()*s.ColCols())
+		Conv2DForward(out, img, w, b, col, s)
+		var l float64
+		for i := range out {
+			l += float64(out[i]) * float64(dOut[i])
+		}
+		return l
+	}
+
+	col := make([]float32, s.ColRows()*s.ColCols())
+	Im2Col(col, img, s)
+	dImg := make([]float32, len(img))
+	dW := make([]float32, len(w))
+	dB := make([]float32, len(b))
+	dCol := make([]float32, len(col))
+	Conv2DBackward(dImg, dW, dB, dOut, w, col, dCol, s)
+
+	const eps = 1e-2
+	check := func(name string, buf []float32, grad []float32, count int) {
+		for trial := 0; trial < count; trial++ {
+			i := r.Intn(len(buf))
+			orig := buf[i]
+			buf[i] = orig + eps
+			lp := loss(img, w, b)
+			buf[i] = orig - eps
+			lm := loss(img, w, b)
+			buf[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-float64(grad[i])) > 2e-2*math.Max(1, math.Abs(num)) {
+				t.Errorf("%s grad[%d]: numeric %v analytic %v", name, i, num, grad[i])
+			}
+		}
+	}
+	check("weight", w, dW, 20)
+	check("bias", b, dB, 3)
+	check("input", img, dImg, 20)
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := rng.New(1)
+	const m, k, n = 128, 128, 128
+	a, bb := randSlice(r, m*k), randSlice(r, k*n)
+	c := make([]float32, m*n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, bb, m, k, n)
+	}
+}
+
+func BenchmarkConvGomokuLayer(b *testing.B) {
+	// One 32->64-channel 3x3 conv over a 15x15 board: the dominant layer of
+	// the paper's network.
+	r := rng.New(2)
+	s := Conv2DShape{InC: 32, InH: 15, InW: 15, OutC: 64, KH: 3, KW: 3, PadH: 1, PadW: 1}
+	img := randSlice(r, s.InC*s.InH*s.InW)
+	w := randSlice(r, s.OutC*s.ColCols())
+	bias := randSlice(r, s.OutC)
+	out := make([]float32, s.OutC*s.OutH()*s.OutW())
+	col := make([]float32, s.ColRows()*s.ColCols())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Conv2DForward(out, img, w, bias, col, s)
+	}
+}

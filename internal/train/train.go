@@ -1,0 +1,200 @@
+// Package train implements the outer DNN-MCTS training pipeline of
+// Algorithm 1: iterated data collection through self-play episodes driven
+// by a (parallel) search engine, followed by SGD updates on the collected
+// (state, visit-distribution, outcome) triples, with the loss of Equation 2
+// tracked over wall-clock time (the metric of Figure 7) and the
+// samples-per-second throughput of Figure 6.
+package train
+
+import (
+	"math"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// Augmenter expands a training sample into equivalent variants (board
+// symmetries). A nil Augmenter means no augmentation.
+type Augmenter interface {
+	Augment(s nn.Sample) []nn.Sample
+}
+
+// GomokuAugmenter applies the 8 dihedral symmetries of the square board to
+// both the input planes and the policy target.
+type GomokuAugmenter struct {
+	Size   int // board edge
+	Planes int // encoding planes
+}
+
+// Augment implements Augmenter.
+func (a GomokuAugmenter) Augment(s nn.Sample) []nn.Sample {
+	out := make([]nn.Sample, 0, gomoku.NumSymmetries)
+	for sym := 0; sym < gomoku.NumSymmetries; sym++ {
+		if sym == 0 {
+			out = append(out, s)
+			continue
+		}
+		input := make([]float32, len(s.Input))
+		policy := make([]float32, len(s.Policy))
+		gomoku.ApplySymmetryPlanes(input, s.Input, sym, a.Planes, a.Size)
+		gomoku.ApplySymmetryPolicy(policy, s.Policy, sym, a.Size)
+		out = append(out, nn.Sample{Input: input, Policy: policy, Value: s.Value})
+	}
+	return out
+}
+
+// Replay is a bounded FIFO sample store ("dataset" of Algorithm 1) with
+// uniform random mini-batch sampling.
+type Replay struct {
+	buf  []nn.Sample
+	next int
+	full bool
+}
+
+// NewReplay creates a replay buffer holding up to capacity samples.
+func NewReplay(capacity int) *Replay {
+	if capacity < 1 {
+		panic("train: replay capacity must be >= 1")
+	}
+	return &Replay{buf: make([]nn.Sample, 0, capacity)}
+}
+
+// Add appends a sample, evicting the oldest when full.
+func (r *Replay) Add(s nn.Sample) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+		return
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % cap(r.buf)
+	r.full = true
+}
+
+// Len returns the number of stored samples.
+func (r *Replay) Len() int { return len(r.buf) }
+
+// Cap returns the buffer capacity.
+func (r *Replay) Cap() int { return cap(r.buf) }
+
+// Sample draws n samples uniformly with replacement (standard for
+// AlphaZero-style training; mini-batches may overlap).
+func (r *Replay) Sample(rnd *rng.Rand, n int) []nn.Sample {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]nn.Sample, n)
+	for i := range out {
+		out[i] = r.buf[rnd.Intn(len(r.buf))]
+	}
+	return out
+}
+
+// SampleAction draws an action from a visit distribution with the given
+// temperature: 1 reproduces the distribution (early-game exploration),
+// values near 0 sharpen towards argmax (competitive play). A temperature
+// of exactly 0 is a deterministic argmax.
+func SampleAction(rnd *rng.Rand, dist []float32, temperature float64) int {
+	if temperature <= 0 {
+		best, bestV := -1, float32(-1)
+		for a, p := range dist {
+			if p > bestV {
+				best, bestV = a, p
+			}
+		}
+		return best
+	}
+	// Exponentiate visit shares by 1/T and sample.
+	weights := make([]float64, len(dist))
+	var sum float64
+	for a, p := range dist {
+		if p <= 0 {
+			continue
+		}
+		w := math.Pow(float64(p), 1/temperature)
+		weights[a] = w
+		sum += w
+	}
+	if sum <= 0 {
+		return SampleAction(rnd, dist, 0)
+	}
+	x := rnd.Float64() * sum
+	for a, w := range weights {
+		x -= w
+		if x <= 0 && w > 0 {
+			return a
+		}
+	}
+	return SampleAction(rnd, dist, 0)
+}
+
+// EpisodeOptions configures one self-play episode.
+type EpisodeOptions struct {
+	// TempMoves is the number of opening moves sampled at temperature 1;
+	// later moves are argmax.
+	TempMoves int
+	// MaxMoves truncates pathological games (0 = game.MaxGameLength).
+	MaxMoves int
+	// Rand drives move sampling.
+	Rand *rng.Rand
+}
+
+// EpisodeResult is the data one self-play game produced.
+type EpisodeResult struct {
+	// Samples holds one (s_t, pi_t, r) triple per move, outcomes filled in
+	// from the final result (Algorithm 1 line 12). Unaugmented.
+	Samples []nn.Sample
+	// Moves is the episode length.
+	Moves int
+	// Winner is the game result.
+	Winner game.Player
+	// SearchTime is the total tree-based search time.
+	SearchTime time.Duration
+}
+
+// SelfPlayEpisode plays one complete game with the engine choosing both
+// sides' moves (lines 3-12 of Algorithm 1).
+func SelfPlayEpisode(g game.Game, engine mcts.Engine, opts EpisodeOptions) EpisodeResult {
+	if opts.Rand == nil {
+		opts.Rand = rng.New(0)
+	}
+	maxMoves := opts.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = g.MaxGameLength()
+	}
+	st := g.NewInitial()
+	c, h, w := g.EncodedShape()
+	inputLen := c * h * w
+
+	var res EpisodeResult
+	var movers []game.Player
+	dist := make([]float32, g.NumActions())
+	for !st.Terminal() && res.Moves < maxMoves {
+		t0 := time.Now()
+		engine.Search(st, dist)
+		res.SearchTime += time.Since(t0)
+
+		input := make([]float32, inputLen)
+		st.Encode(input)
+		policy := make([]float32, len(dist))
+		copy(policy, dist)
+		res.Samples = append(res.Samples, nn.Sample{Input: input, Policy: policy})
+		movers = append(movers, st.ToMove())
+
+		temp := 0.0
+		if res.Moves < opts.TempMoves {
+			temp = 1.0
+		}
+		action := SampleAction(opts.Rand, dist, temp)
+		st.Play(action)
+		res.Moves++
+	}
+	res.Winner = st.Winner()
+	for i := range res.Samples {
+		res.Samples[i].Value = game.Outcome(res.Winner, movers[i])
+	}
+	return res
+}

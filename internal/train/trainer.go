@@ -1,0 +1,157 @@
+package train
+
+import (
+	"time"
+
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// TrainerConfig configures the full DNN-MCTS training loop.
+type TrainerConfig struct {
+	// Episodes is the number of self-play games (outer loop of Alg. 1).
+	Episodes int
+	// SGDIterations is the number of mini-batch updates per episode
+	// (Algorithm 1 lines 13-15).
+	SGDIterations int
+	// BatchSize is the SGD mini-batch size.
+	BatchSize int
+	// LR, Momentum, WeightDecay are the optimizer hyper-parameters
+	// (weight decay is the c||theta||^2 of Equation 2).
+	LR, Momentum, WeightDecay float64
+	// ReplayCapacity bounds the dataset (0 = 50000).
+	ReplayCapacity int
+	// TempMoves is the exploration temperature horizon per episode.
+	TempMoves int
+	// TrainWorkers is the thread count for gradient computation — the
+	// paper's CPU configuration dedicates 32 threads to training
+	// (Section 5.4); 0 uses GOMAXPROCS.
+	TrainWorkers int
+	// Augmenter optionally expands samples by board symmetry.
+	Augmenter Augmenter
+	// Seed drives episode move sampling and batch draws.
+	Seed uint64
+}
+
+// EpisodeStats reports one outer-loop iteration.
+type EpisodeStats struct {
+	Episode int
+	Moves   int
+	Winner  game.Player
+	// Loss is the Equation 2 decomposition of the episode's last update.
+	Loss nn.BatchResult
+	// SamplesProcessed counts the move samples generated this episode
+	// (pre-augmentation) — the numerator of the paper's throughput metric.
+	SamplesProcessed int
+	// SearchTime and TrainTime split the episode's wall clock between the
+	// tree-based search stage and the DNN update stage.
+	SearchTime time.Duration
+	TrainTime  time.Duration
+	// Elapsed is the wall-clock time since training started (x-axis of
+	// Figure 7).
+	Elapsed time.Duration
+}
+
+// Throughput returns processed samples per second — the metric of Figure 6:
+// samples / (tree-based search time + DNN update time).
+func (s EpisodeStats) Throughput() float64 {
+	denom := (s.SearchTime + s.TrainTime).Seconds()
+	if denom <= 0 {
+		return 0
+	}
+	return float64(s.SamplesProcessed) / denom
+}
+
+// Trainer owns the network, optimizer, replay buffer and search engine.
+type Trainer struct {
+	cfg    TrainerConfig
+	g      game.Game
+	engine mcts.Engine
+	net    *nn.Network
+	opt    *nn.SGD
+	replay *Replay
+	r      *rng.Rand
+}
+
+// NewTrainer assembles a training pipeline. The engine is typically the
+// adaptive framework's choice; any mcts.Engine works.
+func NewTrainer(g game.Game, engine mcts.Engine, net *nn.Network, cfg TrainerConfig) *Trainer {
+	if cfg.Episodes < 1 {
+		panic("train: Episodes must be >= 1")
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 32
+	}
+	if cfg.SGDIterations < 1 {
+		cfg.SGDIterations = 1
+	}
+	if cfg.ReplayCapacity < 1 {
+		cfg.ReplayCapacity = 50000
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.01
+	}
+	return &Trainer{
+		cfg:    cfg,
+		g:      g,
+		engine: engine,
+		net:    net,
+		opt:    nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+		replay: NewReplay(cfg.ReplayCapacity),
+		r:      rng.New(cfg.Seed),
+	}
+}
+
+// Net returns the network being trained.
+func (t *Trainer) Net() *nn.Network { return t.net }
+
+// Replay returns the dataset.
+func (t *Trainer) Replay() *Replay { return t.replay }
+
+// Run executes the configured number of episodes, invoking onEpisode (if
+// non-nil) after each one. It returns the per-episode statistics.
+func (t *Trainer) Run(onEpisode func(EpisodeStats)) []EpisodeStats {
+	all := make([]EpisodeStats, 0, t.cfg.Episodes)
+	start := time.Now()
+	for ep := 0; ep < t.cfg.Episodes; ep++ {
+		res := SelfPlayEpisode(t.g, t.engine, EpisodeOptions{
+			TempMoves: t.cfg.TempMoves,
+			Rand:      t.r.Split(),
+		})
+		for _, s := range res.Samples {
+			if t.cfg.Augmenter != nil {
+				for _, aug := range t.cfg.Augmenter.Augment(s) {
+					t.replay.Add(aug)
+				}
+			} else {
+				t.replay.Add(s)
+			}
+		}
+
+		t0 := time.Now()
+		var last nn.BatchResult
+		for it := 0; it < t.cfg.SGDIterations; it++ {
+			batch := t.replay.Sample(t.r, t.cfg.BatchSize)
+			last = nn.TrainBatch(t.net, t.opt, batch, t.cfg.TrainWorkers)
+		}
+		trainTime := time.Since(t0)
+
+		stats := EpisodeStats{
+			Episode:          ep,
+			Moves:            res.Moves,
+			Winner:           res.Winner,
+			Loss:             last,
+			SamplesProcessed: len(res.Samples),
+			SearchTime:       res.SearchTime,
+			TrainTime:        trainTime,
+			Elapsed:          time.Since(start),
+		}
+		all = append(all, stats)
+		if onEpisode != nil {
+			onEpisode(stats)
+		}
+	}
+	return all
+}

@@ -1,0 +1,436 @@
+// Package tree implements the Monte-Carlo search tree shared by all engine
+// variants. Following the paper (Section 4.2), the tree is "managed as a
+// dynamically allocated array of node structs": nodes live in a
+// preallocated arena and refer to each other by index, which keeps the
+// structure compact, cache-friendly for the local-tree scheme, and free of
+// pointer-chasing allocation during search.
+//
+// Mutable per-node statistics (visit count N, accumulated value W, virtual
+// loss VL) are stored atomically so the shared-tree scheme's selection phase
+// can read them without locks, while expansion and the multi-field
+// virtual-loss/backup updates take the per-node mutex exactly as Algorithm 2
+// describes ("obtain lock ... release lock").
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// wScale converts float64 values into fixed-point int64 so W can be updated
+// with atomic adds. Values are bounded by the playout count (<= millions),
+// so 2^20 fractional bits cannot overflow int64 in any realistic search.
+const wScale = 1 << 20
+
+// nilNode marks an absent node reference.
+const nilNode int32 = -1
+
+// VirtualLossMode selects how in-flight traversals discourage path
+// collisions between parallel workers.
+type VirtualLossMode int
+
+// Virtual-loss variants referenced in Section 2.1: a pre-defined constant
+// penalty (Chaslot et al.) or a visit-count-style correction that treats
+// in-flight evaluations as already-counted visits (WU-UCT).
+const (
+	// VLConstant subtracts a constant loss per in-flight traversal.
+	VLConstant VirtualLossMode = iota
+	// VLUnobserved counts in-flight traversals as visits without biasing Q
+	// (the "watch the unobserved" correction).
+	VLUnobserved
+	// VLNone disables virtual loss entirely: in-flight traversals do not
+	// influence selection at all. This is the no-diversification baseline
+	// used by the ablation studies; parallel workers will pile onto the
+	// same paths and duplicate evaluations.
+	VLNone
+)
+
+// Config holds the search-tree hyper-parameters of Equation 1.
+type Config struct {
+	// CPuct is the exploration constant c in Equation 1.
+	CPuct float64
+	// VirtualLoss is the per-traversal penalty magnitude for VLConstant.
+	VirtualLoss float64
+	// VLMode selects the virtual-loss variant.
+	VLMode VirtualLossMode
+}
+
+// DefaultConfig returns the hyper-parameters used by the evaluation.
+func DefaultConfig() Config {
+	return Config{CPuct: 5.0, VirtualLoss: 1.0, VLMode: VLConstant}
+}
+
+// Node is one tree node. The edge statistics (N, W, P) describe the edge
+// from the node's parent to this node, following the usual AlphaZero
+// formulation of Q(s,a)/N(s,a)/P(s,a).
+type Node struct {
+	mu sync.Mutex
+
+	parent int32 // arena index of the parent, nilNode for the root
+	action int32 // action that leads from the parent to this node
+
+	firstChild  atomic.Int32 // arena index of the first child; nilNode while unexpanded
+	numChildren int32
+
+	prior float32 // P(s,a) from the parent's DNN policy
+
+	n  atomic.Int32 // N(s,a): completed visits
+	vl atomic.Int32 // outstanding virtual-loss traversals
+	w  atomic.Int64 // W(s,a): accumulated value, fixed-point wScale
+
+	terminal  bool    // the game ends at this node
+	termValue float64 // outcome from the perspective of the player to move here
+}
+
+// Parent returns the parent index, or -1 for the root.
+func (nd *Node) Parent() int32 { return nd.parent }
+
+// Action returns the action leading into this node.
+func (nd *Node) Action() int { return int(nd.action) }
+
+// Prior returns P(s,a).
+func (nd *Node) Prior() float64 { return float64(nd.prior) }
+
+// Visits returns N(s,a).
+func (nd *Node) Visits() int { return int(nd.n.Load()) }
+
+// VirtualLossCount returns the number of in-flight traversals through the
+// node's edge.
+func (nd *Node) VirtualLossCount() int { return int(nd.vl.Load()) }
+
+// TotalValue returns W(s,a).
+func (nd *Node) TotalValue() float64 { return float64(nd.w.Load()) / wScale }
+
+// Q returns the mean action value W/N (0 when unvisited).
+func (nd *Node) Q() float64 {
+	n := nd.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(nd.w.Load()) / wScale / float64(n)
+}
+
+// Expanded reports whether children have been attached.
+func (nd *Node) Expanded() bool { return nd.firstChild.Load() != nilNode }
+
+// Terminal reports whether the node is a game-over state.
+func (nd *Node) Terminal() bool { return nd.terminal }
+
+// TerminalValue returns the game outcome recorded at a terminal node, from
+// the perspective of the player to move there.
+func (nd *Node) TerminalValue() float64 { return nd.termValue }
+
+// Tree is an arena of nodes plus the scoring configuration.
+type Tree struct {
+	cfg   Config
+	nodes []Node
+	// next is the allocation cursor; accessed under allocMu in shared mode.
+	next    int32
+	allocMu sync.Mutex
+	root    int32
+	full    atomic.Bool
+	// doubleExpand counts Expand calls that found the node already
+	// expanded by a racing worker — each one is a wasted (duplicate) DNN
+	// evaluation, the quantity virtual loss exists to minimise.
+	doubleExpand atomic.Int64
+}
+
+// New creates a tree with storage for capacity nodes and installs a fresh
+// root. Capacity is fixed for the lifetime of the tree: growing the arena
+// would move nodes under concurrent readers. Size it as
+// playouts*avgFanout+1 (see SuggestCapacity).
+func New(cfg Config, capacity int) *Tree {
+	if capacity < 1 {
+		panic("tree: capacity must be at least 1")
+	}
+	t := &Tree{cfg: cfg, nodes: make([]Node, capacity)}
+	t.Reset()
+	return t
+}
+
+// SuggestCapacity returns an arena size for a search of the given playout
+// budget and action-space size: every playout expands at most one node with
+// at most fanout children.
+func SuggestCapacity(playouts, fanout int) int {
+	return playouts*fanout + fanout + 1
+}
+
+// Config returns the scoring configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Capacity returns the arena size.
+func (t *Tree) Capacity() int { return len(t.nodes) }
+
+// Allocated returns the number of nodes currently in use.
+func (t *Tree) Allocated() int {
+	t.allocMu.Lock()
+	defer t.allocMu.Unlock()
+	return int(t.next)
+}
+
+// Full reports whether an expansion has ever been rejected for capacity.
+func (t *Tree) Full() bool { return t.full.Load() }
+
+// DoubleExpansions returns the number of duplicate expansions since the
+// last Reset — rollouts whose evaluation was wasted because a racing
+// worker expanded the same leaf first.
+func (t *Tree) DoubleExpansions() int64 { return t.doubleExpand.Load() }
+
+// Root returns the root node index.
+func (t *Tree) Root() int32 { return t.root }
+
+// Node returns the node at index i.
+func (t *Tree) Node(i int32) *Node { return &t.nodes[i] }
+
+// Reset discards all nodes and installs a fresh root. Must not run
+// concurrently with any other tree operation.
+func (t *Tree) Reset() {
+	t.next = 0
+	t.full.Store(false)
+	t.doubleExpand.Store(0)
+	t.root = t.allocNode(nilNode, -1, 1)
+}
+
+// RebaseRoot makes the child of the current root reached via action the new
+// root, discarding the rest of the tree (subtree reuse across moves is
+// deliberately not implemented: the paper's workload rebuilds the tree each
+// move, 1600 playouts per move). Must not run concurrently.
+func (t *Tree) RebaseRoot() { t.Reset() }
+
+func (t *Tree) allocNode(parent, action int32, prior float32) int32 {
+	idx := t.next
+	t.next++
+	nd := &t.nodes[idx]
+	nd.parent = parent
+	nd.action = action
+	nd.prior = prior
+	nd.firstChild.Store(nilNode)
+	nd.numChildren = 0
+	nd.n.Store(0)
+	nd.vl.Store(0)
+	nd.w.Store(0)
+	nd.terminal = false
+	nd.termValue = 0
+	return idx
+}
+
+// Expand attaches children for the given actions/priors to node idx. It is
+// safe to call concurrently: the per-node mutex serialises double expansion
+// (two shared-tree workers can race to the same leaf), and the second
+// caller becomes a no-op. markTerminal attaches no children and records the
+// game outcome instead.
+//
+// Expand returns false when the arena has no room for the children; the
+// caller should still back up the evaluation (the node simply stays a leaf).
+func (t *Tree) Expand(idx int32, actions []int, priors []float32) bool {
+	if len(actions) == 0 {
+		panic("tree: Expand with no actions")
+	}
+	if len(actions) != len(priors) {
+		panic(fmt.Sprintf("tree: %d actions but %d priors", len(actions), len(priors)))
+	}
+	nd := &t.nodes[idx]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.firstChild.Load() != nilNode {
+		t.doubleExpand.Add(1)
+		return true // another worker expanded first
+	}
+	t.allocMu.Lock()
+	if int(t.next)+len(actions) > len(t.nodes) {
+		t.allocMu.Unlock()
+		t.full.Store(true)
+		return false
+	}
+	first := t.next
+	for i, a := range actions {
+		t.allocNode(idx, int32(a), priors[i])
+	}
+	t.allocMu.Unlock()
+	nd.numChildren = int32(len(actions))
+	// Publishing firstChild last makes the children visible atomically.
+	nd.firstChild.Store(first)
+	return true
+}
+
+// MarkTerminal records that the game ends at idx with the given outcome
+// (from the perspective of the player to move at idx).
+func (t *Tree) MarkTerminal(idx int32, value float64) {
+	nd := &t.nodes[idx]
+	nd.mu.Lock()
+	nd.terminal = true
+	nd.termValue = value
+	nd.mu.Unlock()
+}
+
+// Children calls f for each child index of idx. It returns immediately for
+// unexpanded nodes.
+func (t *Tree) Children(idx int32, f func(child int32, nd *Node)) {
+	nd := &t.nodes[idx]
+	first := nd.firstChild.Load()
+	if first == nilNode {
+		return
+	}
+	for i := int32(0); i < nd.numChildren; i++ {
+		f(first+i, &t.nodes[first+i])
+	}
+}
+
+// score computes the PUCT score (Equation 1) of a child edge, adjusted for
+// the configured virtual-loss mode.
+func (t *Tree) score(parentVisits float64, child *Node) float64 {
+	n := float64(child.n.Load())
+	vl := float64(child.vl.Load())
+	w := float64(child.w.Load()) / wScale
+
+	var q, nEff float64
+	switch t.cfg.VLMode {
+	case VLNone:
+		nEff = n
+		if n > 0 {
+			q = w / n
+		}
+	case VLConstant:
+		// In-flight traversals count as visits that each lost VirtualLoss.
+		nEff = n + vl
+		if nEff > 0 {
+			q = (w - t.cfg.VirtualLoss*vl) / nEff
+		}
+	case VLUnobserved:
+		// In-flight traversals inflate the visit count only.
+		nEff = n + vl
+		if n > 0 {
+			q = w / n
+		}
+	}
+	u := t.cfg.CPuct * float64(child.prior) * math.Sqrt(parentVisits) / (1 + nEff)
+	return q + u
+}
+
+// SelectChild returns the child of idx with the maximal PUCT score, or
+// nilNode if idx is unexpanded. Ties break towards the lowest index, which
+// is deterministic given a deterministic prior order.
+func (t *Tree) SelectChild(idx int32) int32 {
+	nd := &t.nodes[idx]
+	first := nd.firstChild.Load()
+	if first == nilNode {
+		return nilNode
+	}
+	// Parent visit total Σ_b N(s,b) including in-flight traversals.
+	parentVisits := float64(nd.n.Load() + nd.vl.Load())
+	if parentVisits < 1 {
+		parentVisits = 1
+	}
+	best := first
+	bestScore := math.Inf(-1)
+	for i := int32(0); i < nd.numChildren; i++ {
+		c := &t.nodes[first+i]
+		s := t.score(parentVisits, c)
+		if s > bestScore {
+			bestScore = s
+			best = first + i
+		}
+	}
+	return best
+}
+
+// ApplyVirtualLoss marks the edge into idx as having an in-flight
+// traversal. In shared mode the per-node lock is taken to mirror the
+// paper's "obtain lock; update node's UCT score with virtual loss; release
+// lock" step; pass locked=false on the single-owner master thread.
+func (t *Tree) ApplyVirtualLoss(idx int32, locked bool) {
+	nd := &t.nodes[idx]
+	if locked {
+		nd.mu.Lock()
+		nd.vl.Add(1)
+		nd.mu.Unlock()
+	} else {
+		nd.vl.Add(1)
+	}
+}
+
+// Backup propagates a leaf evaluation to the root (Section 2.1 step 3),
+// incrementing N, accumulating W with alternating sign, and releasing one
+// unit of virtual loss per level. value must be from the perspective of the
+// player to move at the leaf node.
+func (t *Tree) Backup(leaf int32, value float64, locked bool) {
+	// The edge into the leaf was chosen by the leaf's parent player, whose
+	// perspective is the negation of the leaf mover's value.
+	v := -value
+	for idx := leaf; idx != nilNode; {
+		nd := &t.nodes[idx]
+		if locked {
+			nd.mu.Lock()
+		}
+		nd.n.Add(1)
+		nd.w.Add(int64(v * wScale))
+		if nd.vl.Load() > 0 {
+			nd.vl.Add(-1)
+		}
+		if locked {
+			nd.mu.Unlock()
+		}
+		v = -v
+		idx = nd.parent
+	}
+}
+
+// PathLength returns the number of edges between idx and the root.
+func (t *Tree) PathLength(idx int32) int {
+	depth := 0
+	for i := t.nodes[idx].parent; i != nilNode; i = t.nodes[i].parent {
+		depth++
+	}
+	return depth
+}
+
+// VisitDistribution writes the root children's normalised visit counts into
+// dst (indexed by action) and returns the total visits. This is the
+// "normalized root's children list wrt visit count" of Algorithms 2 and 3.
+func (t *Tree) VisitDistribution(dst []float32) int {
+	for i := range dst {
+		dst[i] = 0
+	}
+	total := 0
+	t.Children(t.root, func(_ int32, nd *Node) {
+		total += int(nd.n.Load())
+	})
+	if total == 0 {
+		return 0
+	}
+	inv := 1 / float32(total)
+	t.Children(t.root, func(_ int32, nd *Node) {
+		dst[nd.action] = float32(nd.n.Load()) * inv
+	})
+	return total
+}
+
+// MaxDepth returns the maximum depth over all allocated nodes (root = 0).
+// Intended for tests and profiling, not hot paths.
+func (t *Tree) MaxDepth() int {
+	t.allocMu.Lock()
+	n := int(t.next)
+	t.allocMu.Unlock()
+	maxD := 0
+	for i := 0; i < n; i++ {
+		if d := t.PathLength(int32(i)); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// OutstandingVirtualLoss sums VL over all allocated nodes; it must be zero
+// after every search completes (checked by property tests).
+func (t *Tree) OutstandingVirtualLoss() int {
+	t.allocMu.Lock()
+	n := int(t.next)
+	t.allocMu.Unlock()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += int(t.nodes[i].vl.Load())
+	}
+	return total
+}

@@ -1,0 +1,58 @@
+package tree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVLNoneDoesNotDivert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VLMode = VLNone
+	tr := New(cfg, 16)
+	tr.Expand(tr.Root(), []int{0, 1, 2}, []float32{0.34, 0.33, 0.33})
+	first := tr.SelectChild(tr.Root())
+	tr.ApplyVirtualLoss(first, false)
+	tr.ApplyVirtualLoss(first, false)
+	if second := tr.SelectChild(tr.Root()); second != first {
+		t.Fatal("VLNone must ignore in-flight traversals during selection")
+	}
+}
+
+func TestDoubleExpansionsCounter(t *testing.T) {
+	tr := New(DefaultConfig(), 64)
+	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5})
+	if got := tr.DoubleExpansions(); got != 0 {
+		t.Fatalf("fresh expansion counted as duplicate: %d", got)
+	}
+	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5})
+	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5})
+	if got := tr.DoubleExpansions(); got != 2 {
+		t.Fatalf("duplicates = %d, want 2", got)
+	}
+	tr.Reset()
+	if got := tr.DoubleExpansions(); got != 0 {
+		t.Fatalf("Reset did not clear duplicates: %d", got)
+	}
+}
+
+func TestDoubleExpansionsUnderRace(t *testing.T) {
+	// W workers all race to expand the same fresh leaf: exactly one wins,
+	// W-1 duplicates are counted.
+	tr := New(DefaultConfig(), 1<<10)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Expand(tr.Root(), []int{0, 1, 2}, []float32{0.4, 0.3, 0.3})
+		}()
+	}
+	wg.Wait()
+	if got := tr.DoubleExpansions(); got != workers-1 {
+		t.Fatalf("duplicates = %d, want %d", got, workers-1)
+	}
+	if got := tr.Allocated(); got != 4 { // root + 3 children, once
+		t.Fatalf("allocated = %d, want 4", got)
+	}
+}
