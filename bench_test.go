@@ -16,7 +16,9 @@ import (
 	"github.com/parmcts/parmcts/internal/experiments"
 	"github.com/parmcts/parmcts/internal/game/gomoku"
 	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
 	"github.com/parmcts/parmcts/internal/perfmodel"
+	"github.com/parmcts/parmcts/internal/rng"
 	"github.com/parmcts/parmcts/internal/simsched"
 	"github.com/parmcts/parmcts/internal/stats"
 	"github.com/parmcts/parmcts/internal/tree"
@@ -210,6 +212,78 @@ func BenchmarkVirtualLossModes(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e.Search(st, dist)
 			}
+		})
+	}
+}
+
+// benchForwardBatch times nn.ForwardBatch on the paper's Gomoku network at
+// one batch size; BenchmarkForwardBatch{1,8,32} back the throughput claims
+// in BENCH_batched_inference.json.
+func benchForwardBatch(b *testing.B, batch int) {
+	r := rng.New(7)
+	net := nn.MustNew(nn.GomokuConfig(4, 15, 15, 225), r)
+	ws := nn.NewBatchWorkspace(net, batch)
+	inputs := make([][]float32, batch)
+	policies := make([][]float32, batch)
+	values := make([]float64, batch)
+	for i := range inputs {
+		in := make([]float32, net.InputLen())
+		for j := range in {
+			if r.Float32() < 0.1 {
+				in[j] = 1
+			}
+		}
+		inputs[i] = in
+		policies[i] = make([]float32, 225)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(ws, inputs, policies, values)
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkForwardBatch1(b *testing.B)  { benchForwardBatch(b, 1) }
+func BenchmarkForwardBatch8(b *testing.B)  { benchForwardBatch(b, 8) }
+func BenchmarkForwardBatch32(b *testing.B) { benchForwardBatch(b, 32) }
+
+// BenchmarkCacheContention compares the lock-striped evaluation cache
+// against a single-mutex (shards=1) configuration under concurrent
+// shared-tree-style access: 8 goroutines, hot working set, cheap inner
+// evaluator so lock handoff dominates.
+func BenchmarkCacheContention(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{{"global", 1}, {"sharded64", 64}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			c := evaluate.NewCachedSharded(&evaluate.Random{}, 4096, cfg.shards)
+			const workers = 8
+			inputs := make([][]float32, 256)
+			r := rng.New(3)
+			for i := range inputs {
+				in := make([]float32, 64)
+				for j := range in {
+					if r.Float32() < 0.3 {
+						in[j] = 1
+					}
+				}
+				inputs[i] = in
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := (b.N + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					pol := make([]float32, 9)
+					for i := 0; i < per; i++ {
+						c.Evaluate(inputs[(seed*31+i)%len(inputs)], pol)
+					}
+				}(w)
+			}
+			wg.Wait()
 		})
 	}
 }

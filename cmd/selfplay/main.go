@@ -22,6 +22,7 @@ import (
 	"github.com/parmcts/parmcts/internal/game/gomoku"
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/perfmodel"
 	"github.com/parmcts/parmcts/internal/rng"
 	"github.com/parmcts/parmcts/internal/train"
 )
@@ -33,6 +34,7 @@ func main() {
 		playouts = flag.Int("playouts", 100, "per-move playout budget")
 		episodes = flag.Int("episodes", 8, "self-play episodes")
 		platform = flag.String("platform", "cpu", "cpu or gpu")
+		scheme   = flag.String("scheme", "auto", "auto, shared, or local: force a parallel scheme instead of the model decision")
 		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
 		savePath = flag.String("save", "", "write the trained network here")
 		seed     = flag.Uint64("seed", 1, "run seed")
@@ -58,6 +60,18 @@ func main() {
 		Workers:         *n,
 		ProfilePlayouts: 200,
 		DNNProfileIters: 5,
+	}
+	switch *scheme {
+	case "auto":
+	case "shared":
+		s := perfmodel.SchemeShared
+		opts.ForceScheme = &s
+	case "local":
+		s := perfmodel.SchemeLocal
+		opts.ForceScheme = &s
+	default:
+		fmt.Fprintln(os.Stderr, "selfplay: -scheme must be auto, shared, or local")
+		os.Exit(2)
 	}
 	if *platform == "gpu" {
 		cost := experiments.PaperShapedParams(*playouts).Accel

@@ -1,0 +1,3 @@
+module github.com/parmcts/parmcts
+
+go 1.24

@@ -21,6 +21,7 @@
 package accel
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -154,60 +155,92 @@ func synthesize(input []float32, policy []float32, value *float64) {
 }
 
 // Hosted computes the real network on host cores with modeled
-// launch/transfer latency injected.
+// launch/transfer latency injected. Batches run through the genuinely
+// batched nn.ForwardBatch (one GEMM per layer for the whole sub-batch)
+// rather than a per-sample loop.
 type Hosted struct {
-	net       *nn.Network
-	model     CostModel
-	workers   int
-	wsPool    sync.Pool
+	net     *nn.Network
+	model   CostModel
+	workers int
+	// pools maps a power-of-two batch capacity to a sync.Pool of
+	// *nn.BatchWorkspace with that capacity, so recurring batch sizes reuse
+	// their buffers instead of reallocating the (large) activation matrices
+	// on every Infer call.
+	pools     sync.Map
 	computeMu sync.Mutex
 }
 
-// NewHosted creates a hosted device evaluating net with up to workers
-// parallel goroutines per batch (0 = GOMAXPROCS).
+// NewHosted creates a hosted device that splits each batch across up to
+// workers sub-batches evaluated concurrently (0 = GOMAXPROCS).
 func NewHosted(net *nn.Network, model CostModel, workers int) *Hosted {
-	d := &Hosted{net: net, model: model, workers: workers}
-	d.wsPool.New = func() interface{} { return nn.NewWorkspace(net) }
-	return d
+	return &Hosted{net: net, model: model, workers: workers}
 }
 
 // Name implements Device.
 func (d *Hosted) Name() string { return "sim-gpu(hosted)" }
 
-// Infer implements Device.
+// getWorkspace returns a pooled BatchWorkspace with capacity >= batch.
+// Capacities are rounded up to the next power of two so the number of
+// distinct pools stays logarithmic in the largest batch ever seen.
+func (d *Hosted) getWorkspace(batch int) *nn.BatchWorkspace {
+	capB := 1
+	for capB < batch {
+		capB <<= 1
+	}
+	p, ok := d.pools.Load(capB)
+	if !ok {
+		p, _ = d.pools.LoadOrStore(capB, &sync.Pool{New: func() interface{} {
+			return nn.NewBatchWorkspace(d.net, capB)
+		}})
+	}
+	return p.(*sync.Pool).Get().(*nn.BatchWorkspace)
+}
+
+func (d *Hosted) putWorkspace(ws *nn.BatchWorkspace) {
+	if p, ok := d.pools.Load(ws.Cap()); ok {
+		p.(*sync.Pool).Put(ws)
+	}
+}
+
+// Infer implements Device: the batch is split into contiguous per-worker
+// sub-batches, each evaluated with one batched forward pass. As on the real
+// accelerator, compute serialises across concurrent submissions while
+// transfers overlap.
 func (d *Hosted) Infer(inputs [][]float32, policies [][]float32, values []float64) {
-	spin(d.model.TransferTime(len(inputs)))
+	n := len(inputs)
+	if n == 0 {
+		return
+	}
+	spin(d.model.TransferTime(n))
 	d.computeMu.Lock()
 	defer d.computeMu.Unlock()
 	workers := d.workers
 	if workers <= 0 {
-		workers = len(inputs)
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(inputs) {
-		workers = len(inputs)
+	if workers > n {
+		workers = n
 	}
-	var next int
-	var mu sync.Mutex
+	if workers == 1 {
+		ws := d.getWorkspace(n)
+		d.net.ForwardBatch(ws, inputs, policies, values)
+		d.putWorkspace(ws)
+		return
+	}
+	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			ws := d.wsPool.Get().(*nn.Workspace)
-			defer d.wsPool.Put(ws)
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(inputs) {
-					return
-				}
-				pol, val := d.net.Forward(ws, inputs[i])
-				copy(policies[i], pol)
-				values[i] = val
-			}
-		}()
+			ws := d.getWorkspace(hi - lo)
+			defer d.putWorkspace(ws)
+			d.net.ForwardBatch(ws, inputs[lo:hi], policies[lo:hi], values[lo:hi])
+		}(lo, hi)
 	}
 	wg.Wait()
 }

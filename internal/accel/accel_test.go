@@ -144,13 +144,17 @@ func TestHostedComputesRealNetworkInParallel(t *testing.T) {
 	values := make([]float64, batch)
 	dev.Infer(inputs, policies, values)
 	ws := nn.NewWorkspace(net)
+	// Batched GEMMs may order accumulations differently from the
+	// single-sample pass depending on the matrix width, so agreement is to
+	// rounding tolerance rather than bitwise (see the nn property test).
+	const tol = 1e-5
 	for i := range inputs {
 		wantPol, wantV := net.Forward(ws, inputs[i])
-		if values[i] != wantV {
-			t.Fatalf("value[%d] mismatch", i)
+		if math.Abs(values[i]-wantV) > tol {
+			t.Fatalf("value[%d] mismatch: %v vs %v", i, values[i], wantV)
 		}
 		for j := range wantPol {
-			if policies[i][j] != wantPol[j] {
+			if math.Abs(float64(policies[i][j]-wantPol[j])) > tol {
 				t.Fatalf("policy[%d] mismatch", i)
 			}
 		}

@@ -1,0 +1,38 @@
+package accel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+func BenchmarkHostedInferGomoku(b *testing.B) {
+	r := rng.New(7)
+	net := nn.MustNew(nn.GomokuConfig(4, 15, 15, 225), r)
+	model := accel.CostModel{} // zero latency model: measure pure compute
+	for _, batch := range []int{1, 8, 16, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			dev := accel.NewHosted(net, model, 0)
+			inputs := make([][]float32, batch)
+			policies := make([][]float32, batch)
+			values := make([]float64, batch)
+			for i := range inputs {
+				in := make([]float32, net.InputLen())
+				for j := range in {
+					if r.Float32() < 0.1 {
+						in[j] = 1
+					}
+				}
+				inputs[i] = in
+				policies[i] = make([]float32, 225)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dev.Infer(inputs, policies, values)
+			}
+		})
+	}
+}

@@ -4,6 +4,17 @@ import (
 	"sync"
 )
 
+// defaultShards is the shard count used by NewCached. 64 shards keep the
+// probability of two shared-tree workers colliding on one lock below 2%
+// even at 64 workers, while the per-shard maps stay large enough for the
+// clock hand to have real choices.
+const defaultShards = 64
+
+// minEntriesPerShard floors the per-shard capacity NewCached will accept
+// before reducing the shard count: a shard holding one or two entries
+// evicts on nearly every insert, so tiny caches keep fewer stripes.
+const minEntriesPerShard = 8
+
 // Cached wraps a synchronous evaluator with a bounded transposition cache
 // keyed by the input planes. Within one move's 1600 playouts, and across
 // consecutive moves, identical positions are evaluated repeatedly (the
@@ -12,11 +23,25 @@ import (
 // beyond the paper — DESIGN.md lists it under future-work items — and the
 // Stats method makes its benefit measurable.
 //
-// The cache is safe for concurrent use by shared-tree workers. Eviction is
-// clock-style (second chance) over a fixed-size table, which avoids the
-// allocation and lock churn of a strict LRU list.
+// The cache is safe for concurrent use by shared-tree workers. The table is
+// split into lock-striped shards selected by the input hash, so workers
+// evaluating different positions contend only when their hashes land in the
+// same stripe, instead of serialising on one global mutex. Eviction is
+// clock-style (second chance) per shard, which avoids the allocation and
+// lock churn of a strict LRU list. Crucially, a miss NEVER holds a shard
+// lock while the inner evaluator runs: the lock is released before the DNN
+// call and retaken to insert, so one slow evaluation cannot block every
+// other worker hashing into the same shard.
 type Cached struct {
-	inner    Evaluator
+	inner  Evaluator
+	shards []cacheShard
+}
+
+// cacheShard is one lock stripe. The padding keeps neighbouring shards'
+// mutexes and hit counters on separate cache lines; without it the striping
+// would remove logical contention but keep the physical (false-sharing)
+// kind.
+type cacheShard struct {
 	capacity int
 
 	mu      sync.Mutex
@@ -25,6 +50,8 @@ type Cached struct {
 	hand    int
 
 	hits, misses uint64
+
+	_ [56]byte // pad the 72 data bytes to 128, two full cache lines
 }
 
 type cacheEntry struct {
@@ -33,16 +60,51 @@ type cacheEntry struct {
 	touched bool
 }
 
-// NewCached wraps inner with a cache of at most capacity positions.
+// NewCached wraps inner with a cache of at most capacity positions spread
+// over up to defaultShards lock stripes, keeping at least
+// minEntriesPerShard entries per stripe so small caches are not shredded
+// into single-entry shards.
 func NewCached(inner Evaluator, capacity int) *Cached {
 	if capacity < 1 {
 		panic("evaluate: cache capacity must be >= 1")
 	}
-	return &Cached{
-		inner:    inner,
-		capacity: capacity,
-		entries:  make(map[uint64]*cacheEntry, capacity),
+	shards := capacity / minEntriesPerShard
+	if shards > defaultShards {
+		shards = defaultShards
 	}
+	if shards < 1 {
+		shards = 1
+	}
+	return NewCachedSharded(inner, capacity, shards)
+}
+
+// NewCachedSharded wraps inner with a cache of at most capacity positions
+// split into the given number of lock stripes. shards is clamped to
+// [1, capacity] so the total bound is always exactly capacity; shards = 1
+// reproduces a single globally-locked cache (useful as a contention
+// baseline).
+func NewCachedSharded(inner Evaluator, capacity, shards int) *Cached {
+	if capacity < 1 {
+		panic("evaluate: cache capacity must be >= 1")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &Cached{inner: inner, shards: make([]cacheShard, shards)}
+	base := capacity / shards
+	extra := capacity % shards
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = base
+		if i < extra {
+			sh.capacity++
+		}
+		sh.entries = make(map[uint64]*cacheEntry, sh.capacity)
+	}
+	return c
 }
 
 // hashInput fingerprints the input planes (FNV-1a over the raw bits).
@@ -64,73 +126,95 @@ func hashInput(input []float32) uint64 {
 	return h
 }
 
+// shardFor maps a key to its lock stripe.
+func (c *Cached) shardFor(key uint64) *cacheShard {
+	return &c.shards[key%uint64(len(c.shards))]
+}
+
 // Evaluate implements Evaluator.
 func (c *Cached) Evaluate(input []float32, policy []float32) float64 {
 	key := hashInput(input)
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
 		e.touched = true
 		copy(policy, e.policy)
 		v := e.value
-		c.hits++
-		c.mu.Unlock()
+		sh.hits++
+		sh.mu.Unlock()
 		return v
 	}
-	c.misses++
-	c.mu.Unlock()
+	sh.misses++
+	sh.mu.Unlock()
 
+	// Miss path: the inner (potentially multi-millisecond DNN) evaluation
+	// runs with no lock held.
 	value := c.inner.Evaluate(input, policy)
 
 	stored := make([]float32, len(policy))
 	copy(stored, policy)
-	c.mu.Lock()
-	if _, exists := c.entries[key]; !exists {
-		if len(c.entries) >= c.capacity {
-			c.evictLocked()
+	sh.mu.Lock()
+	if _, exists := sh.entries[key]; !exists {
+		if len(sh.entries) >= sh.capacity {
+			sh.evictLocked()
 		}
-		c.entries[key] = &cacheEntry{policy: stored, value: value}
-		c.ring = append(c.ring, key)
+		sh.entries[key] = &cacheEntry{policy: stored, value: value}
+		sh.ring = append(sh.ring, key)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return value
 }
 
-// evictLocked removes one entry using the clock algorithm.
-func (c *Cached) evictLocked() {
-	for len(c.ring) > 0 {
-		if c.hand >= len(c.ring) {
-			c.hand = 0
+// evictLocked removes one entry using the clock algorithm. Caller holds
+// sh.mu.
+func (sh *cacheShard) evictLocked() {
+	for len(sh.ring) > 0 {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
 		}
-		key := c.ring[c.hand]
-		e, ok := c.entries[key]
+		key := sh.ring[sh.hand]
+		e, ok := sh.entries[key]
 		if !ok {
 			// stale ring slot: compact it away
-			c.ring[c.hand] = c.ring[len(c.ring)-1]
-			c.ring = c.ring[:len(c.ring)-1]
+			sh.ring[sh.hand] = sh.ring[len(sh.ring)-1]
+			sh.ring = sh.ring[:len(sh.ring)-1]
 			continue
 		}
 		if e.touched {
 			e.touched = false
-			c.hand++
+			sh.hand++
 			continue
 		}
-		delete(c.entries, key)
-		c.ring[c.hand] = c.ring[len(c.ring)-1]
-		c.ring = c.ring[:len(c.ring)-1]
+		delete(sh.entries, key)
+		sh.ring[sh.hand] = sh.ring[len(sh.ring)-1]
+		sh.ring = sh.ring[:len(sh.ring)-1]
 		return
 	}
 }
 
-// Stats returns cumulative hits and misses.
+// Stats returns cumulative hits and misses aggregated across shards.
 func (c *Cached) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return hits, misses
 }
 
-// Len returns the number of cached positions.
+// Len returns the number of cached positions across all shards.
 func (c *Cached) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
+
+// Shards returns the number of lock stripes (for tests and reports).
+func (c *Cached) Shards() int { return len(c.shards) }

@@ -164,3 +164,69 @@ func TestCachedSpeedsUpRealSearch(t *testing.T) {
 		t.Fatalf("inner calls %d != misses %d", base.calls.Load(), misses)
 	}
 }
+
+func TestCachedShardedExplicitShardCount(t *testing.T) {
+	c := evaluate.NewCachedSharded(&evaluate.Random{}, 1024, 64)
+	if c.Shards() != 64 {
+		t.Fatalf("Shards = %d, want 64", c.Shards())
+	}
+	// shards clamp to capacity so the size bound stays exact
+	c = evaluate.NewCachedSharded(&evaluate.Random{}, 8, 64)
+	if c.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 8", c.Shards())
+	}
+	for i := 0; i < 200; i++ {
+		c.Evaluate(testInput(uint64(i), 36), make([]float32, 9))
+	}
+	if c.Len() > 8 {
+		t.Fatalf("sharded cache grew to %d entries, cap 8", c.Len())
+	}
+}
+
+// TestCachedShardedConcurrentEviction hammers a small sharded cache from
+// many goroutines (forcing constant eviction) while other goroutines read
+// the aggregate Stats and Len. Run under -race this is the concurrency
+// safety net for the lock-striped design.
+func TestCachedShardedConcurrentEviction(t *testing.T) {
+	base := &countingEvaluator{inner: &evaluate.Random{}}
+	c := evaluate.NewCachedSharded(base, 64, 16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Stats()
+					c.Len()
+				}
+			}
+		}()
+	}
+	const perWorker = 300
+	var work sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		work.Add(1)
+		go func(seed uint64) {
+			defer work.Done()
+			pol := make([]float32, 9)
+			for i := 0; i < perWorker; i++ {
+				c.Evaluate(testInput(seed*1000+uint64(i%150), 36), pol)
+			}
+		}(uint64(w))
+	}
+	work.Wait()
+	close(stop)
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 8*perWorker {
+		t.Fatalf("stats %d+%d != %d", hits, misses, 8*perWorker)
+	}
+	if c.Len() > 64 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/parmcts/parmcts/internal/tensor"
+)
+
+// BatchWorkspace holds every buffer one batched forward pass needs, sized
+// for a maximum batch. Activations live in the batch-major layout of
+// tensor.Conv2DForwardBatch (channel plane c of sample b at offset
+// (c*batch+b)*H*W), so each conv layer is ONE im2col gather plus ONE GEMM
+// for the whole batch — the weight panel is pulled through the cache once
+// per layer instead of once per sample, which is where the accelerator's
+// batch-throughput curve comes from.
+//
+// A workspace is not safe for concurrent use; accel.Hosted pools them by
+// capacity so concurrent sub-batches each own one.
+type BatchWorkspace struct {
+	cfg    Config
+	shapes [5]tensor.Conv2DShape
+	capB   int
+
+	xIn     []float32    // InC x (B*H*W): layer-0 input, packed batch-major
+	convAct [5][]float32 // per layer: OutC x (B*pix), post-ReLU
+	col     []float32    // shared im2col scratch, sized for the widest layer
+	polIn   []float32    // B rows of PolicyC*H*W (per-sample, for the FC head)
+	valIn   []float32    // B rows of ValueC*H*W
+	logits  []float32    // B x NumActions
+	vHide   []float32    // B x ValueHide
+	vOut    []float32    // B (pre-tanh)
+}
+
+// NewBatchWorkspace allocates a workspace able to process up to maxBatch
+// samples per call.
+func NewBatchWorkspace(net *Network, maxBatch int) *BatchWorkspace {
+	if maxBatch < 1 {
+		panic("nn: batch workspace capacity must be >= 1")
+	}
+	cfg := net.Cfg
+	ws := &BatchWorkspace{cfg: cfg, shapes: cfg.convShapes(), capB: maxBatch}
+	hw := cfg.H * cfg.W
+	ws.xIn = make([]float32, cfg.InC*maxBatch*hw)
+	maxCol := 0
+	for i, s := range ws.shapes {
+		ws.convAct[i] = make([]float32, s.OutC*maxBatch*s.ColRows())
+		if c := s.ColRows() * s.ColCols(); c > maxCol {
+			maxCol = c
+		}
+	}
+	ws.col = make([]float32, maxBatch*maxCol)
+	ws.polIn = make([]float32, maxBatch*cfg.PolicyC*hw)
+	ws.valIn = make([]float32, maxBatch*cfg.ValueC*hw)
+	ws.logits = make([]float32, maxBatch*cfg.NumActions)
+	ws.vHide = make([]float32, maxBatch*cfg.ValueHide)
+	ws.vOut = make([]float32, maxBatch)
+	return ws
+}
+
+// Cap returns the maximum batch size the workspace can process.
+func (ws *BatchWorkspace) Cap() int { return ws.capB }
+
+// ForwardBatch evaluates len(inputs) samples in one pass. Each inputs[i]
+// must have length net.InputLen(); policies[i] must be preallocated with
+// NumActions elements and is filled with the softmaxed policy; values[i]
+// receives the tanh value. len(inputs) must not exceed ws.Cap().
+//
+// The arithmetic is the same kernel sequence as the single-sample Forward
+// (which is the B=1 special case); outputs agree with per-sample evaluation
+// to float32 rounding tolerance (tested at 1e-5 — the GEMM's per-column
+// accumulation order varies with the batched matrix width).
+func (net *Network) ForwardBatch(ws *BatchWorkspace, inputs [][]float32, policies [][]float32, values []float64) {
+	b := len(inputs)
+	if b == 0 {
+		return
+	}
+	if b > ws.capB {
+		panic("nn: ForwardBatch batch exceeds workspace capacity")
+	}
+	if len(policies) < b || len(values) < b {
+		panic("nn: ForwardBatch output slices shorter than batch")
+	}
+	inLen := net.InputLen()
+	for i, in := range inputs {
+		if len(in) != inLen {
+			panic("nn: ForwardBatch input length mismatch")
+		}
+		if len(policies[i]) < net.Cfg.NumActions {
+			panic("nn: ForwardBatch policy slice shorter than NumActions")
+		}
+	}
+	cfg := ws.cfg
+	hw := cfg.H * cfg.W
+
+	// Trunk: three 3x3 convolutions, each one GEMM over the whole batch.
+	tensor.PackBatch(ws.xIn[:cfg.InC*b*hw], inputs, cfg.InC, hw)
+	cur := ws.xIn
+	for i := 0; i < 3; i++ {
+		s := ws.shapes[i]
+		out := ws.convAct[i][:s.OutC*b*s.ColRows()]
+		tensor.Conv2DForwardBatch(out, cur, net.ConvW[i].Data, net.ConvB[i].Data, ws.col, s, b)
+		reluInPlace(out)
+		cur = out
+	}
+
+	// Policy head: 1x1 conv + ReLU + batched FC + row-wise softmax.
+	sp := ws.shapes[3]
+	pAct := ws.convAct[3][:sp.OutC*b*hw]
+	tensor.Conv2DForwardBatch(pAct, cur, net.ConvW[3].Data, net.ConvB[3].Data, ws.col, sp, b)
+	reluInPlace(pAct)
+	pD := cfg.PolicyC * hw
+	polIn := ws.polIn[:b*pD]
+	tensor.UnpackBatch(polIn, pAct, cfg.PolicyC, hw, b)
+	logits := ws.logits[:b*cfg.NumActions]
+	tensor.MatMulTransB(logits, polIn, net.PolW.Data, b, pD, cfg.NumActions)
+	tensor.AddBiasRows(logits, net.PolB.Data, b, cfg.NumActions)
+	for i := 0; i < b; i++ {
+		softmax(policies[i], logits[i*cfg.NumActions:(i+1)*cfg.NumActions])
+	}
+
+	// Value head: 1x1 conv + ReLU + batched FC + ReLU + batched FC + tanh.
+	sv := ws.shapes[4]
+	vAct := ws.convAct[4][:sv.OutC*b*hw]
+	tensor.Conv2DForwardBatch(vAct, cur, net.ConvW[4].Data, net.ConvB[4].Data, ws.col, sv, b)
+	reluInPlace(vAct)
+	vD := cfg.ValueC * hw
+	valIn := ws.valIn[:b*vD]
+	tensor.UnpackBatch(valIn, vAct, cfg.ValueC, hw, b)
+	vHide := ws.vHide[:b*cfg.ValueHide]
+	tensor.MatMulTransB(vHide, valIn, net.Val1W.Data, b, vD, cfg.ValueHide)
+	tensor.AddBiasRows(vHide, net.Val1B.Data, b, cfg.ValueHide)
+	reluInPlace(vHide)
+	vOut := ws.vOut[:b]
+	tensor.MatMulTransB(vOut, vHide, net.Val2W.Data, b, cfg.ValueHide, 1)
+	vb := net.Val2B.Data[0]
+	for i := 0; i < b; i++ {
+		values[i] = math.Tanh(float64(vOut[i] + vb))
+	}
+}
+
+func reluInPlace(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}

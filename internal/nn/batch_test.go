@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// TestForwardBatchMatchesForward is the property test for the batched fast
+// path: for every tested batch size and both reference configurations, the
+// one-GEMM-per-layer ForwardBatch must agree with per-sample Forward within
+// 1e-5. (Not bitwise: the GEMM's per-column accumulation order depends on
+// the matrix width, so batched and single-sample results differ in the
+// last float32 bits.)
+func TestForwardBatchMatchesForward(t *testing.T) {
+	configs := map[string]Config{
+		"tiny":   TinyConfig(3, 7, 7, 49),
+		"gomoku": GomokuConfig(4, 15, 15, 225),
+	}
+	batches := []int{1, 2, 7, 16, 32}
+	const tol = 1e-5
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			net := MustNew(cfg, rng.New(99))
+			ws := NewWorkspace(net)
+			// One workspace at the largest capacity, reused across all batch
+			// sizes, as accel.Hosted's pools do.
+			bws := NewBatchWorkspace(net, 32)
+			r := rng.New(100)
+			for _, b := range batches {
+				inputs := make([][]float32, b)
+				policies := make([][]float32, b)
+				values := make([]float64, b)
+				for i := range inputs {
+					inputs[i] = randInput(r, net.InputLen())
+					policies[i] = make([]float32, cfg.NumActions)
+				}
+				net.ForwardBatch(bws, inputs, policies, values)
+				for i := range inputs {
+					wantPol, wantV := net.Forward(ws, inputs[i])
+					if d := math.Abs(values[i] - wantV); d > tol {
+						t.Fatalf("batch %d sample %d: value diff %g", b, i, d)
+					}
+					for a := range wantPol {
+						if d := math.Abs(float64(policies[i][a] - wantPol[a])); d > tol {
+							t.Fatalf("batch %d sample %d action %d: policy diff %g", b, i, a, d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestForwardBatchPanicsOverCapacity(t *testing.T) {
+	net := tinyNet(t)
+	bws := NewBatchWorkspace(net, 2)
+	r := rng.New(5)
+	inputs := make([][]float32, 3)
+	policies := make([][]float32, 3)
+	for i := range inputs {
+		inputs[i] = randInput(r, net.InputLen())
+		policies[i] = make([]float32, net.Cfg.NumActions)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("batch over workspace capacity did not panic")
+		}
+	}()
+	net.ForwardBatch(bws, inputs, policies, make([]float64, 3))
+}
+
+func TestForwardBatchEmptyIsNoop(t *testing.T) {
+	net := tinyNet(t)
+	bws := NewBatchWorkspace(net, 4)
+	net.ForwardBatch(bws, nil, nil, nil) // must not panic
+	if bws.Cap() != 4 {
+		t.Fatalf("Cap = %d", bws.Cap())
+	}
+}

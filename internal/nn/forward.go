@@ -54,6 +54,13 @@ func NewWorkspace(net *Network) *Workspace {
 // net.InputLen(). The returned policy slice is owned by the workspace and is
 // overwritten by the next call; callers that retain it must copy.
 // value is in [-1, 1] from the perspective encoded in the input planes.
+//
+// Forward is the batch-size-1 special case of ForwardBatch: it runs the
+// identical tensor kernels (im2col + MatMulTransB convolutions, GEMM dense
+// heads), merely retaining the pre-activation buffers BackwardSample needs.
+// Outputs agree with ForwardBatch to float32 rounding tolerance (the GEMM's
+// per-column accumulation order varies with the batched width; the property
+// test pins agreement at 1e-5).
 func (net *Network) Forward(ws *Workspace, input []float32) (policy []float32, value float64) {
 	if len(input) != net.InputLen() {
 		panic("nn: Forward input length mismatch")
@@ -87,16 +94,12 @@ func (net *Network) Forward(ws *Workspace, input []float32) (policy []float32, v
 	return ws.policy, value
 }
 
-// denseForward computes out = W*in + b for W stored (len(out) x len(in)).
+// denseForward computes out = W*in + b for W stored (len(out) x len(in)) —
+// the single-row slice of the batched GEMM head (out = in * W^T + b).
 func denseForward(out, w, b, in []float32) {
-	n := len(in)
+	tensor.MatMulTransB(out, in, w, 1, len(in), len(out))
 	for o := range out {
-		row := w[o*n : (o+1)*n]
-		var sum float32
-		for i, v := range in {
-			sum += row[i] * v
-		}
-		out[o] = sum + b[o]
+		out[o] += b[o]
 	}
 }
 

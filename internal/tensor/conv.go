@@ -29,6 +29,15 @@ func (s Conv2DShape) ColCols() int { return s.InC * s.KH * s.KW }
 // (OutH*OutW) x (InC*KH*KW) patch matrix, so convolution becomes one matrix
 // multiply. col must have ColRows()*ColCols() capacity.
 func Im2Col(col, img []float32, s Conv2DShape) {
+	Im2ColStrided(col, img, s, 0, s.InH*s.InW)
+}
+
+// Im2ColStrided is Im2Col for an image embedded inside a larger activation
+// matrix: channel plane c of the image starts at img[base+c*planeStride].
+// With base = sample*InH*InW and planeStride = batch*InH*InW this extracts
+// one sample from the batch-major activation layout used by
+// Conv2DForwardBatch; Im2Col is the base = 0, planeStride = InH*InW case.
+func Im2ColStrided(col, img []float32, s Conv2DShape, base, planeStride int) {
 	outH, outW := s.OutH(), s.OutW()
 	cols := s.ColCols()
 	for oy := 0; oy < outH; oy++ {
@@ -36,7 +45,7 @@ func Im2Col(col, img []float32, s Conv2DShape) {
 			dst := col[(oy*outW+ox)*cols:]
 			idx := 0
 			for c := 0; c < s.InC; c++ {
-				plane := img[c*s.InH*s.InW:]
+				plane := img[base+c*planeStride:]
 				for ky := 0; ky < s.KH; ky++ {
 					iy := oy + ky - s.PadH
 					if iy < 0 || iy >= s.InH {
@@ -103,17 +112,64 @@ func Col2Im(dImg, col []float32, s Conv2DShape) {
 //	col:    scratch of size ColRows()*ColCols()
 //
 // The convolution is evaluated as weight * col^T via MatMulTransB, giving
-// an (OutC x OutH*OutW) output in one shot.
+// an (OutC x OutH*OutW) output in one shot. It is exactly
+// Conv2DForwardBatch with batch size 1.
 func Conv2DForward(out, img, weight, bias, col []float32, s Conv2DShape) {
-	Im2Col(col, img, s)
+	Conv2DForwardBatch(out, img, weight, bias, col, s, 1)
+}
+
+// Conv2DForwardBatch convolves a whole batch with ONE GEMM.
+//
+// Activations use a batch-major layout: channel plane c of sample b lives
+// at imgs[(c*batch+b)*InH*InW]. The same layout is produced on output
+// (out[(oc*batch+b)*OutH*OutW]), so consecutive conv layers chain without
+// repacking — only the im2col gather needs the per-sample stride. All
+// batch*OutH*OutW patch rows land in one (batch*pix) x (InC*KH*KW) column
+// matrix and a single weight * col^T product evaluates the layer for every
+// sample, which is where batched inference earns its throughput: the weight
+// panel is loaded into cache once per layer instead of once per sample.
+//
+//	imgs: InC x (batch*InH*InW)  batch-major
+//	out:  OutC x (batch*OutH*OutW) batch-major
+//	col:  scratch of size batch*ColRows()*ColCols()
+func Conv2DForwardBatch(out, imgs, weight, bias, col []float32, s Conv2DShape, batch int) {
 	pix := s.ColRows()
-	// out[oc][p] = sum_k weight[oc][k] * col[p][k]
-	MatMulTransB(out, weight, col, s.OutC, s.ColCols(), pix)
+	kk := s.ColCols()
+	imgLen := s.InH * s.InW
+	for b := 0; b < batch; b++ {
+		Im2ColStrided(col[b*pix*kk:], imgs, s, b*imgLen, batch*imgLen)
+	}
+	n := batch * pix
+	// out[oc][bp] = sum_k weight[oc][k] * col[bp][k]
+	MatMulTransB(out, weight, col, s.OutC, kk, n)
 	for oc := 0; oc < s.OutC; oc++ {
 		b := bias[oc]
-		row := out[oc*pix : (oc+1)*pix]
+		row := out[oc*n : (oc+1)*n]
 		for i := range row {
 			row[i] += b
+		}
+	}
+}
+
+// PackBatch gathers per-sample images (each c*hw channel-major) into the
+// batch-major activation layout consumed by Conv2DForwardBatch:
+// dst[(ch*batch+b)*hw + p] = imgs[b][ch*hw + p].
+func PackBatch(dst []float32, imgs [][]float32, c, hw int) {
+	batch := len(imgs)
+	for ch := 0; ch < c; ch++ {
+		for b, img := range imgs {
+			copy(dst[(ch*batch+b)*hw:(ch*batch+b+1)*hw], img[ch*hw:(ch+1)*hw])
+		}
+	}
+}
+
+// UnpackBatch scatters a batch-major activation matrix back into per-sample
+// row vectors (one c*hw channel-major row per sample), the layout dense
+// heads expect: dst[b*c*hw + ch*hw + p] = src[(ch*batch+b)*hw + p].
+func UnpackBatch(dst, src []float32, c, hw, batch int) {
+	for ch := 0; ch < c; ch++ {
+		for b := 0; b < batch; b++ {
+			copy(dst[(b*c+ch)*hw:(b*c+ch+1)*hw], src[(ch*batch+b)*hw:(ch*batch+b+1)*hw])
 		}
 	}
 }

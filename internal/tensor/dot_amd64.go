@@ -1,0 +1,28 @@
+package tensor
+
+// dot4Kernel is the SSE micro-kernel in dot_amd64.s. n must be a multiple
+// of 4.
+//
+//go:noescape
+func dot4Kernel(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
+
+// dot4 computes the four dot products of a against b0..b3, which must all
+// share a's length. It is the register tile of MatMulTransB: four C columns
+// per pass over one A row.
+func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	n := len(a)
+	n4 := n &^ 3
+	if n4 > 0 {
+		var out [4]float32
+		dot4Kernel(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n4, &out)
+		s0, s1, s2, s3 = out[0], out[1], out[2], out[3]
+	}
+	for p := n4; p < n; p++ {
+		av := a[p]
+		s0 += av * b0[p]
+		s1 += av * b1[p]
+		s2 += av * b2[p]
+		s3 += av * b3[p]
+	}
+	return
+}

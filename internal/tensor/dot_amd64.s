@@ -1,0 +1,70 @@
+#include "textflag.h"
+
+// func dot4Kernel(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
+//
+// out[j] = sum_{p < n} a[p]*bj[p] for j in 0..3, 4 lanes at a time with
+// baseline SSE (MULPS/ADDPS are unconditionally present on amd64, so no
+// CPUID feature gate is needed). n must be a multiple of 4; the Go wrapper
+// handles the scalar tail. Each of the four accumulators keeps 4 partial
+// sums, reduced horizontally at the end, so one a-vector load is amortised
+// over four b rows and the adds form independent dependency chains.
+TEXT ·dot4Kernel(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), SI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ n+40(FP), CX
+	MOVQ out+48(FP), DI
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+loop:
+	CMPQ CX, $4
+	JL   done
+	MOVUPS (SI), X0
+	MOVUPS (R8), X1
+	MULPS  X0, X1
+	ADDPS  X1, X4
+	MOVUPS (R9), X2
+	MULPS  X0, X2
+	ADDPS  X2, X5
+	MOVUPS (R10), X3
+	MULPS  X0, X3
+	ADDPS  X3, X6
+	MOVUPS (R11), X1
+	MULPS  X0, X1
+	ADDPS  X1, X7
+	ADDQ   $16, SI
+	ADDQ   $16, R8
+	ADDQ   $16, R9
+	ADDQ   $16, R10
+	ADDQ   $16, R11
+	SUBQ   $4, CX
+	JMP    loop
+
+done:
+	// Horizontal reduction: [a b c d] -> a+c, b+d -> sum.
+	PSHUFD $0xEE, X4, X0
+	ADDPS  X0, X4
+	PSHUFD $0x55, X4, X0
+	ADDSS  X0, X4
+	MOVSS  X4, 0(DI)
+	PSHUFD $0xEE, X5, X0
+	ADDPS  X0, X5
+	PSHUFD $0x55, X5, X0
+	ADDSS  X0, X5
+	MOVSS  X5, 4(DI)
+	PSHUFD $0xEE, X6, X0
+	ADDPS  X0, X6
+	PSHUFD $0x55, X6, X0
+	ADDSS  X0, X6
+	MOVSS  X6, 8(DI)
+	PSHUFD $0xEE, X7, X0
+	ADDPS  X0, X7
+	PSHUFD $0x55, X7, X0
+	ADDSS  X0, X7
+	MOVSS  X7, 12(DI)
+	RET

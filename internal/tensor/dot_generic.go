@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package tensor
+
+// dot4 computes the four dot products of a against b0..b3, which must all
+// share a's length. Portable fallback for the SSE micro-kernel in
+// dot_amd64.s: the four accumulators still form independent dependency
+// chains, so even scalar hardware overlaps the adds.
+func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	for p, av := range a {
+		s0 += av * b0[p]
+		s1 += av * b1[p]
+		s2 += av * b2[p]
+		s3 += av * b3[p]
+	}
+	return
+}

@@ -1,0 +1,98 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernels in this package parallelise across row blocks. Spawning fresh
+// goroutines per call (the original design) charges every conv layer of
+// every batched inference a scheduler round-trip; with five GEMMs per
+// forward pass that setup cost rivals the arithmetic for small boards. A
+// persistent pool amortises it: GOMAXPROCS-1 workers started on first use,
+// fed closures over an unbuffered-ish channel, with the launching goroutine
+// always participating in its own kernel so a pool of zero workers
+// (single-core hosts) degrades to plain inline execution.
+var (
+	poolOnce    sync.Once
+	poolWorkers int
+	poolTasks   chan func()
+)
+
+func startPool() {
+	// Size the resident pool by physical cores so a temporarily lowered
+	// GOMAXPROCS at first use (e.g. `go test -cpu=1,8`) doesn't permanently
+	// strand the process single-threaded; parallelBlocks caps the helpers
+	// it actually engages by the *current* GOMAXPROCS on every call.
+	poolWorkers = runtime.NumCPU() - 1
+	if poolWorkers < 0 {
+		poolWorkers = 0
+	}
+	// Unbuffered: a send succeeds only while a worker is actually idle on
+	// the receive, so a kernel never queues jobs behind another kernel's
+	// work — the select-default below has the caller absorb them instead.
+	poolTasks = make(chan func())
+	for i := 0; i < poolWorkers; i++ {
+		go func() {
+			for f := range poolTasks {
+				f()
+			}
+		}()
+	}
+}
+
+// parallelBlocks runs fn(i) for every i in [0, blocks), sharing the work
+// between the caller and the persistent pool. Work is claimed from an atomic
+// counter so an early-finishing worker steals remaining blocks. If the pool
+// is saturated by concurrent kernel launches the enqueue is skipped and the
+// caller covers the blocks itself — correctness never depends on a worker
+// picking the job up.
+func parallelBlocks(blocks int, fn func(int)) {
+	if blocks <= 0 {
+		return
+	}
+	poolOnce.Do(startPool)
+	if blocks == 1 || poolWorkers == 0 {
+		for i := 0; i < blocks; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= blocks {
+				return
+			}
+			fn(i)
+		}
+	}
+	helpers := poolWorkers
+	if p := runtime.GOMAXPROCS(0) - 1; helpers > p {
+		helpers = p
+	}
+	if helpers > blocks-1 {
+		helpers = blocks - 1
+	}
+	if helpers <= 0 {
+		run()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < helpers; w++ {
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			run()
+		}
+		select {
+		case poolTasks <- job:
+		default:
+			wg.Done() // pool busy with another kernel; caller absorbs the work
+		}
+	}
+	run()
+	wg.Wait()
+}

@@ -428,3 +428,85 @@ func BenchmarkConvGomokuLayer(b *testing.B) {
 		Conv2DForward(out, img, w, bias, col, s)
 	}
 }
+
+func TestMatMulBlockedEdgeSizes(t *testing.T) {
+	// Dimensions straddling the 64x64x256 tile boundaries exercise every
+	// partial-block path of the tiled kernels, including the SSE tail.
+	r := rng.New(31)
+	for _, dims := range [][3]int{{65, 257, 67}, {63, 260, 130}, {128, 513, 66}, {1, 259, 70}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randSlice(r, m*k), randSlice(r, k*n)
+		c := make([]float32, m*n)
+		MatMul(c, a, b, m, k, n)
+		if d := maxAbsDiff(c, naiveMatMul(a, b, m, k, n)); d > 1e-3 {
+			t.Errorf("MatMul(%v) max diff %v", dims, d)
+		}
+		bT := make([]float32, n*k)
+		for j := 0; j < n; j++ {
+			for p := 0; p < k; p++ {
+				bT[j*k+p] = b[p*n+j]
+			}
+		}
+		ct := make([]float32, m*n)
+		MatMulTransB(ct, a, bT, m, k, n)
+		if d := maxAbsDiff(ct, naiveMatMul(a, b, m, k, n)); d > 1e-3 {
+			t.Errorf("MatMulTransB(%v) max diff %v", dims, d)
+		}
+	}
+}
+
+func TestPackUnpackBatchRoundTrip(t *testing.T) {
+	r := rng.New(33)
+	const c, hw, batch = 3, 10, 5
+	imgs := make([][]float32, batch)
+	for i := range imgs {
+		imgs[i] = randSlice(r, c*hw)
+	}
+	packed := make([]float32, c*batch*hw)
+	PackBatch(packed, imgs, c, hw)
+	rows := make([]float32, batch*c*hw)
+	UnpackBatch(rows, packed, c, hw, batch)
+	for b := 0; b < batch; b++ {
+		if d := maxAbsDiff(rows[b*c*hw:(b+1)*c*hw], imgs[b]); d != 0 {
+			t.Fatalf("sample %d: roundtrip diff %v", b, d)
+		}
+	}
+}
+
+func TestConv2DForwardBatchMatchesSingle(t *testing.T) {
+	r := rng.New(34)
+	shapes := []Conv2DShape{
+		{InC: 3, InH: 9, InW: 9, OutC: 8, KH: 3, KW: 3, PadH: 1, PadW: 1},
+		{InC: 8, InH: 7, InW: 7, OutC: 5, KH: 1, KW: 1},
+	}
+	for _, s := range shapes {
+		for _, batch := range []int{1, 2, 5} {
+			w := randSlice(r, s.OutC*s.ColCols())
+			bias := randSlice(r, s.OutC)
+			imgs := make([][]float32, batch)
+			for i := range imgs {
+				imgs[i] = randSlice(r, s.InC*s.InH*s.InW)
+			}
+			imgLen := s.InH * s.InW
+			packed := make([]float32, s.InC*batch*imgLen)
+			PackBatch(packed, imgs, s.InC, imgLen)
+			pix := s.ColRows()
+			out := make([]float32, s.OutC*batch*pix)
+			col := make([]float32, batch*pix*s.ColCols())
+			Conv2DForwardBatch(out, packed, w, bias, col, s, batch)
+
+			single := make([]float32, s.OutC*pix)
+			scol := make([]float32, pix*s.ColCols())
+			for b := 0; b < batch; b++ {
+				Conv2DForward(single, imgs[b], w, bias, scol, s)
+				for oc := 0; oc < s.OutC; oc++ {
+					got := out[(oc*batch+b)*pix : (oc*batch+b+1)*pix]
+					want := single[oc*pix : (oc+1)*pix]
+					if d := maxAbsDiff(got, want); d > 1e-5 {
+						t.Fatalf("shape %+v batch %d sample %d ch %d: diff %v", s, batch, b, oc, d)
+					}
+				}
+			}
+		}
+	}
+}
