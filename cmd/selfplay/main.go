@@ -4,9 +4,14 @@
 // self-play episodes alternate with SGD updates, printing per-episode loss
 // and throughput. The trained network is optionally saved for later use.
 //
+// With -games G > 1 the pipeline switches to the multi-tenant driver: each
+// round plays G games concurrently, every game's search sharing ONE
+// inference service (and, on the CPU path, one transposition cache), so the
+// device sees an aggregated batch stream instead of G under-filled queues.
+//
 // Usage:
 //
-//	selfplay [-n 4] [-board 9] [-playouts 100] [-episodes 8]
+//	selfplay [-n 4] [-games 1] [-board 9] [-playouts 100] [-episodes 8]
 //	         [-platform cpu|gpu] [-full-net] [-save model.bin]
 package main
 
@@ -24,15 +29,17 @@ import (
 	"github.com/parmcts/parmcts/internal/nn"
 	"github.com/parmcts/parmcts/internal/perfmodel"
 	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/selfplay"
 	"github.com/parmcts/parmcts/internal/train"
 )
 
 func main() {
 	var (
 		n        = flag.Int("n", 4, "parallel workers")
+		games    = flag.Int("games", 1, "concurrent self-play games sharing one inference service")
 		board    = flag.Int("board", 9, "gomoku board size")
 		playouts = flag.Int("playouts", 100, "per-move playout budget")
-		episodes = flag.Int("episodes", 8, "self-play episodes")
+		episodes = flag.Int("episodes", 8, "self-play episodes (rounds of -games each when -games > 1)")
 		platform = flag.String("platform", "cpu", "cpu or gpu")
 		scheme   = flag.String("scheme", "auto", "auto, shared, or local: force a parallel scheme instead of the model decision")
 		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
@@ -40,6 +47,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "run seed")
 	)
 	flag.Parse()
+	if *games < 1 {
+		fmt.Fprintln(os.Stderr, "selfplay: -games must be >= 1")
+		os.Exit(2)
+	}
 
 	g := gomoku.NewSized(*board)
 	c, h, w := g.EncodedShape()
@@ -81,32 +92,76 @@ func main() {
 		opts.DeviceCost = cost
 	} else {
 		opts.Platform = adaptive.PlatformCPU
-		opts.Evaluator = evaluate.NewNN(net)
+		if *games > 1 {
+			// Concurrent tenants share one lock-striped transposition cache;
+			// it is cleared after every SGD update (see the round callback).
+			opts.Evaluator = evaluate.NewCached(evaluate.NewNN(net), 1<<16)
+		} else {
+			opts.Evaluator = evaluate.NewNN(net)
+		}
 	}
-	eng, err := adaptive.Configure(g, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "selfplay:", err)
-		os.Exit(1)
-	}
-	defer eng.Close()
-	fmt.Println("configuration:", eng.Decision)
+	augmenter := train.GomokuAugmenter{Size: *board, Planes: c}
+	if *games > 1 {
+		fleet, err := adaptive.ConfigureFleet(g, *games, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfplay:", err)
+			os.Exit(1)
+		}
+		defer fleet.Close()
+		fmt.Println("configuration:", fleet.Decision)
 
-	tr := train.NewTrainer(g, eng, net, train.TrainerConfig{
-		Episodes:      *episodes,
-		SGDIterations: 8,
-		BatchSize:     64,
-		LR:            0.01,
-		Momentum:      0.9,
-		WeightDecay:   1e-4,
-		TempMoves:     6,
-		Augmenter:     train.GomokuAugmenter{Size: *board, Planes: c},
-		Seed:          *seed,
-	})
-	tr.Run(func(s train.EpisodeStats) {
-		fmt.Printf("episode %2d: moves=%2d winner=%+d loss=%.4f (v=%.4f p=%.4f) throughput=%.2f samples/s elapsed=%v\n",
-			s.Episode, s.Moves, s.Winner, s.Loss.TotalLoss(), s.Loss.ValueLoss,
-			s.Loss.PolicyLoss, s.Throughput(), s.Elapsed.Round(1e6))
-	})
+		replay := train.NewReplay(50000)
+		driver := selfplay.NewDriver(g, fleet.Engines, replay, augmenter, selfplay.Config{
+			TempMoves: 6,
+			Seed:      *seed,
+		})
+		tr := selfplay.NewTrainer(driver, net, selfplay.TrainerConfig{
+			Rounds:        *episodes,
+			SGDIterations: 8,
+			BatchSize:     64,
+			LR:            0.01,
+			Momentum:      0.9,
+			WeightDecay:   1e-4,
+			Seed:          *seed,
+		})
+		tr.Run(func(s selfplay.RoundStats) {
+			line := fmt.Sprintf("round %2d: games=%d moves=%3d loss=%.4f (v=%.4f p=%.4f) throughput=%.2f samples/s elapsed=%v",
+				s.Round, s.Games, s.Moves, s.Loss.TotalLoss(), s.Loss.ValueLoss,
+				s.Loss.PolicyLoss, s.Throughput(), s.Elapsed.Round(1e6))
+			if fleet.Server != nil {
+				line += fmt.Sprintf(" avg-batch-fill=%.1f", fleet.Server.Stats().AvgFill())
+			}
+			fmt.Println(line)
+			if cached, ok := opts.Evaluator.(*evaluate.Cached); ok {
+				cached.Reset() // the SGD update invalidated cached evaluations
+			}
+		})
+	} else {
+		eng, err := adaptive.Configure(g, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfplay:", err)
+			os.Exit(1)
+		}
+		defer eng.Close()
+		fmt.Println("configuration:", eng.Decision)
+
+		tr := train.NewTrainer(g, eng, net, train.TrainerConfig{
+			Episodes:      *episodes,
+			SGDIterations: 8,
+			BatchSize:     64,
+			LR:            0.01,
+			Momentum:      0.9,
+			WeightDecay:   1e-4,
+			TempMoves:     6,
+			Augmenter:     augmenter,
+			Seed:          *seed,
+		})
+		tr.Run(func(s train.EpisodeStats) {
+			fmt.Printf("episode %2d: moves=%2d winner=%+d loss=%.4f (v=%.4f p=%.4f) throughput=%.2f samples/s elapsed=%v\n",
+				s.Episode, s.Moves, s.Winner, s.Loss.TotalLoss(), s.Loss.ValueLoss,
+				s.Loss.PolicyLoss, s.Throughput(), s.Elapsed.Round(1e6))
+		})
+	}
 
 	if *savePath != "" {
 		f, err := os.Create(*savePath)

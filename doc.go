@@ -15,8 +15,37 @@
 // latency model, and a discrete-event timeline simulator that regenerates
 // the paper's latency figures deterministically.
 //
+// # Multi-tenant inference service
+//
+// Node evaluation is organised as a service: evaluate.Server multiplexes
+// requests from any number of tenant searches onto one batched backend
+// (an accelerator device or a bounded CPU worker pool), forming batches by
+// threshold OR flush deadline — whichever is hit first — and routing each
+// completion back to the client that submitted it, with backpressure
+// (ServerConfig.MaxOutstanding) and graceful drain on Close. The deadline
+// carries the service's central guarantee: the flush timer is armed by the
+// first request of each buffer generation, so no submitted request ever
+// waits longer than the deadline before its batch launches. That guarantee
+// is what lets an mcts.Local master simply block on completions instead of
+// running the Idle()/Flush() handshake, and what keeps a straggler game
+// from deadlocking on co-tenants that already finished. The classic
+// single-search backends (evaluate.Pool, BatchedSync, BatchedAsync) are
+// thin one-tenant clients of the same Server.
+//
+// On top of the service, internal/selfplay runs G self-play games
+// concurrently — each game a tenant with its own local-tree master, all
+// sharing one Server (and one lock-striped evaluation cache), feeding a
+// shared replay buffer — so a training job presents the device with one
+// aggregated batch stream instead of G under-filled queues. The adaptive
+// framework's ConfigureFleet models that aggregation (the G-tenant
+// extensions of Equations 4 and 6 in internal/perfmodel) when choosing the
+// scheme and the service batch threshold, and internal/simsched's
+// LocalAccelShared/LocalAccelIndependent replay the multi-game contention
+// shape in deterministic virtual time.
+//
 // Packages live under internal/; the runnable entry points are the
 // binaries under cmd/ and the programs under examples/. The benchmarks in
 // bench_test.go regenerate each table and figure of the paper's evaluation
-// (see EXPERIMENTS.md for the index and recorded results).
+// (see EXPERIMENTS.md for the index and recorded results;
+// BENCH_shared_inference.json records the multi-tenant acceptance run).
 package parmcts

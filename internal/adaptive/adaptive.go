@@ -66,10 +66,18 @@ type Options struct {
 	// runs during the batch-size search, exactly as Algorithm 4 line 5
 	// prescribes. It receives a candidate B and must return the amortized
 	// round latency of a single-move search using that sub-batch size.
+	// It is a SINGLE-search probe: ConfigureFleet ignores it for G > 1
+	// (the widened [1, G*N] threshold search uses the analytic G-tenant
+	// model; supply a fleet-aware probe to perfmodel.ConfigureGPUTenants
+	// directly if you have one).
 	TestRun func(b int) time.Duration
 	// ForceScheme, when non-nil, skips the model decision (used by the
 	// baseline configurations in the evaluation harness).
 	ForceScheme *perfmodel.Scheme
+	// FlushDeadline bounds how long a multi-tenant service may hold a
+	// partial batch (0 = evaluate.DefaultFlushDeadline). Only used by
+	// ConfigureFleet, where co-tenant stragglers make a deadline mandatory.
+	FlushDeadline time.Duration
 }
 
 // Decision records what the configuration workflow chose and why.
@@ -80,11 +88,18 @@ type Decision struct {
 	InTree perfmodel.InTreeProfile
 	// Platform echoes the configured platform.
 	Platform Platform
+	// Tenants is the number of co-located searches the decision models
+	// (1 for a single-engine Configure; G for ConfigureFleet, where
+	// Choice.BatchSize is the aggregate service threshold).
+	Tenants int
 }
 
 // String renders the decision for logs and reports.
 func (d Decision) String() string {
 	s := fmt.Sprintf("N=%d platform=%s scheme=%s", d.Choice.N, d.Platform, d.Choice.Scheme)
+	if d.Tenants > 1 {
+		s += fmt.Sprintf(" G=%d", d.Tenants)
+	}
 	if d.Platform == PlatformAccel && d.Choice.Scheme == perfmodel.SchemeLocal {
 		s += fmt.Sprintf(" B=%d (%d probes)", d.Choice.BatchSize, d.Choice.Probes)
 	}
@@ -132,6 +147,178 @@ func Configure(g game.Game, opts Options) (*Engine, error) {
 	return eng, nil
 }
 
+// Fleet is G engines sharing one inference service: the output of the
+// multi-tenant design configuration workflow. Engines[i] is tenant i's
+// private search engine (each owns its own tree and RNG stream); Server is
+// the shared evaluate.Server when the decision built one (local schemes and
+// shared+accel), nil when tenants share only a synchronous evaluator.
+type Fleet struct {
+	Engines  []mcts.Engine
+	Decision Decision
+	Server   *evaluate.Server
+	closers  []func()
+}
+
+// Close releases every tenant engine and then drains the shared service.
+func (f *Fleet) Close() {
+	for _, e := range f.Engines {
+		e.Close()
+	}
+	for _, fn := range f.closers {
+		fn()
+	}
+}
+
+// ConfigureFleet runs the design configuration workflow for G co-located
+// searches (tenants) sharing one inference backend. Scheme selection models
+// the AGGREGATE batch fill across tenants (perfmodel.SharedGPUTenants /
+// LocalGPUTenants, the G-tenant extensions of Equations 4 and 6), so the
+// chosen service batch threshold may exceed one tenant's in-flight bound —
+// the whole point of multiplexing. Each returned engine carries a distinct
+// noise seed derived from Options.Search.Seed.
+func ConfigureFleet(g game.Game, tenants int, opts Options) (*Fleet, error) {
+	if tenants < 1 {
+		return nil, fmt.Errorf("adaptive: tenants must be >= 1, got %d", tenants)
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("adaptive: Workers must be >= 1, got %d", opts.Workers)
+	}
+	if opts.Platform == PlatformCPU && opts.Evaluator == nil {
+		return nil, fmt.Errorf("adaptive: PlatformCPU requires an Evaluator")
+	}
+	if opts.Platform == PlatformAccel && opts.Device == nil {
+		return nil, fmt.Errorf("adaptive: PlatformAccel requires a Device")
+	}
+	dec, err := decideTenants(g, tenants, opts)
+	if err != nil {
+		return nil, err
+	}
+	return buildFleet(g, tenants, opts, dec)
+}
+
+// decideTenants is decide with the G-tenant aggregate-fill models swapped
+// in on the accelerator platform.
+func decideTenants(g game.Game, tenants int, opts Options) (Decision, error) {
+	dec, err := decide(g, opts)
+	if err != nil {
+		return dec, err
+	}
+	dec.Tenants = tenants
+	if tenants == 1 {
+		return dec, nil
+	}
+	// Options.TestRun measures a SINGLE search and cannot exercise service
+	// thresholds beyond one tenant's in-flight bound N, so the widened
+	// [1, G*N] searches below always use the analytic G-tenant model
+	// (callers with a fleet-aware probe use perfmodel.ConfigureGPUTenants
+	// directly).
+	if opts.ForceScheme != nil {
+		if opts.Platform == PlatformAccel {
+			n := opts.Workers
+			switch dec.Choice.Scheme {
+			case perfmodel.SchemeLocal:
+				// Re-tune the service threshold over the widened range.
+				b, probes := perfmodel.FindMinV(1, tenants*n, func(b int) time.Duration {
+					return perfmodel.LocalGPUTenants(dec.Params, n, b, tenants)
+				})
+				dec.Choice.BatchSize = b
+				dec.Choice.Probes = probes
+			case perfmodel.SchemeShared:
+				// The service aggregates all tenants' synchronous workers:
+				// full fill is G*N, not one tenant's N.
+				dec.Choice.BatchSize = tenants * n
+				dec.Choice.PredictedShared = perfmodel.PerIteration(
+					perfmodel.SharedGPUTenants(dec.Params, n, tenants), n)
+			}
+		}
+		return dec, nil
+	}
+	switch opts.Platform {
+	case PlatformCPU:
+		// Equations 3/5 are per-search: co-located CPU tenants scale the
+		// worker pool, not the batch shape, so the single-search choice
+		// stands.
+	case PlatformAccel:
+		dec.Choice = perfmodel.ConfigureGPUTenants(dec.Params, opts.Workers, tenants, nil)
+	}
+	return dec, nil
+}
+
+// buildFleet instantiates G engines over one shared inference backend.
+func buildFleet(g game.Game, tenants int, opts Options, dec Decision) (*Fleet, error) {
+	fleet := &Fleet{Decision: dec, Engines: make([]mcts.Engine, tenants)}
+	n := opts.Workers
+	deadline := opts.FlushDeadline
+	if deadline <= 0 {
+		deadline = evaluate.DefaultFlushDeadline
+	}
+	// Each tenant gets its own root-noise stream; identical seeds would make
+	// co-tenant games collapse onto one trajectory.
+	tenantCfg := func(i int) mcts.Config {
+		cfg := opts.Search
+		cfg.Seed = cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
+		return cfg
+	}
+
+	switch {
+	case dec.Choice.Scheme == perfmodel.SchemeShared && opts.Platform == PlatformCPU:
+		// Tenants share the (thread-safe) evaluator directly; there is no
+		// batch to aggregate on a CPU.
+		for i := range fleet.Engines {
+			fleet.Engines[i] = mcts.NewShared(tenantCfg(i), n, opts.Evaluator)
+		}
+
+	case dec.Choice.Scheme == perfmodel.SchemeShared && opts.Platform == PlatformAccel:
+		// One service aggregates all G*N workers' synchronous requests into
+		// full-fill batches; the deadline releases stragglers when a tenant
+		// finishes its move early and the threshold can no longer be met.
+		sync := evaluate.NewBatchedSyncDeadline(opts.Device, dec.Choice.BatchSize, deadline)
+		fleet.Server = sync.Server()
+		for i := range fleet.Engines {
+			fleet.Engines[i] = mcts.NewShared(tenantCfg(i), n, sync)
+		}
+		fleet.closers = append(fleet.closers, sync.Close)
+
+	case dec.Choice.Scheme == perfmodel.SchemeLocal && opts.Platform == PlatformCPU:
+		// One worker pool serves all tenants: batch size 1, concurrency
+		// bounded to the physical worker budget.
+		srv := evaluate.NewServer(&evaluate.EvaluatorBackend{Eval: opts.Evaluator, Workers: n}, evaluate.ServerConfig{
+			Batch:          1,
+			MaxOutstanding: tenants * n,
+			LaunchWorkers:  n, // persistent inference threads, no per-playout spawn
+		})
+		fleet.Server = srv
+		for i := range fleet.Engines {
+			cl := srv.NewClient(n)
+			fleet.Engines[i] = mcts.NewLocal(tenantCfg(i), cl, n)
+			fleet.closers = append(fleet.closers, cl.Close)
+		}
+		fleet.closers = append(fleet.closers, srv.Close)
+
+	case dec.Choice.Scheme == perfmodel.SchemeLocal && opts.Platform == PlatformAccel:
+		// The tentpole topology: G local-tree masters stream requests into
+		// one deadline-flushing service whose threshold is the aggregate
+		// fill the G-tenant Equation 6 chose.
+		srv := evaluate.NewServer(evaluate.DeviceBackend{Dev: opts.Device}, evaluate.ServerConfig{
+			Batch:          dec.Choice.BatchSize,
+			FlushDeadline:  deadline,
+			MaxOutstanding: 2 * tenants * n,
+		})
+		fleet.Server = srv
+		for i := range fleet.Engines {
+			cl := srv.NewClient(n)
+			fleet.Engines[i] = mcts.NewLocal(tenantCfg(i), cl, n)
+			fleet.closers = append(fleet.closers, cl.Close)
+		}
+		fleet.closers = append(fleet.closers, srv.Close)
+
+	default:
+		return nil, fmt.Errorf("adaptive: unsupported scheme/platform combination")
+	}
+	_ = g
+	return fleet, nil
+}
+
 // decide profiles and applies the performance models.
 func decide(g game.Game, opts Options) (Decision, error) {
 	profPlayouts := opts.ProfilePlayouts
@@ -175,7 +362,7 @@ func decide(g game.Game, opts Options) (Decision, error) {
 	} else {
 		choice = perfmodel.ConfigureGPU(params, opts.Workers, opts.TestRun)
 	}
-	return Decision{Choice: choice, Params: params, InTree: inTree, Platform: opts.Platform}, nil
+	return Decision{Choice: choice, Params: params, InTree: inTree, Platform: opts.Platform, Tenants: 1}, nil
 }
 
 func forcedChoice(params perfmodel.Params, opts Options) perfmodel.Choice {

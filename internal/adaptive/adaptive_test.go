@@ -205,3 +205,163 @@ func TestPlatformString(t *testing.T) {
 		t.Fatal("platform names wrong")
 	}
 }
+
+func TestConfigureFleetAccelSharesOneServer(t *testing.T) {
+	g := tictactoe.New()
+	cost := accel.DefaultCostModel()
+	cost.ComputePerSample = 0
+	dev := accel.NewModel(cost)
+	s := perfmodel.SchemeLocal
+	fleet, err := ConfigureFleet(g, 4, Options{
+		Search:          searchCfg(40),
+		Workers:         4,
+		Platform:        PlatformAccel,
+		Device:          dev,
+		DeviceCost:      cost,
+		ProfilePlayouts: 50,
+		ForceScheme:     &s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if len(fleet.Engines) != 4 {
+		t.Fatalf("fleet has %d engines, want 4", len(fleet.Engines))
+	}
+	if fleet.Server == nil {
+		t.Fatal("accel fleet must expose its shared server")
+	}
+	if fleet.Decision.Tenants != 4 {
+		t.Fatalf("decision tenants = %d", fleet.Decision.Tenants)
+	}
+	// Run all four searches concurrently through the one service.
+	st := g.NewInitial()
+	done := make(chan mcts.Stats, 4)
+	for _, e := range fleet.Engines {
+		go func(e mcts.Engine) {
+			dist := make([]float32, st.NumActions())
+			done <- e.Search(st, dist)
+		}(e)
+	}
+	var agg mcts.Stats
+	for i := 0; i < 4; i++ {
+		agg.Add(<-done)
+	}
+	if agg.Playouts != 4*40 {
+		t.Fatalf("aggregate playouts %d, want 160", agg.Playouts)
+	}
+	if srvStats := fleet.Server.Stats(); srvStats.Requests == 0 {
+		t.Fatal("no request reached the shared server")
+	}
+}
+
+func TestConfigureFleetForcedSharedWidensThreshold(t *testing.T) {
+	// A forced shared scheme on the accelerator must still aggregate: the
+	// service threshold is G*N (all tenants' workers), not one tenant's N —
+	// otherwise the fleet reverts to exactly the under-filled batches the
+	// service exists to eliminate.
+	g := tictactoe.New()
+	cost := accel.DefaultCostModel()
+	dev := accel.NewModel(cost)
+	s := perfmodel.SchemeShared
+	fleet, err := ConfigureFleet(g, 4, Options{
+		Search:          searchCfg(20),
+		Workers:         3,
+		Platform:        PlatformAccel,
+		Device:          dev,
+		DeviceCost:      cost,
+		ProfilePlayouts: 50,
+		ForceScheme:     &s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if got := fleet.Decision.Choice.BatchSize; got != 4*3 {
+		t.Fatalf("forced-shared fleet threshold = %d, want G*N = 12", got)
+	}
+	if fleet.Server == nil || fleet.Server.Batch() != 12 {
+		t.Fatal("shared server not built at aggregate fill")
+	}
+}
+
+func TestConfigureFleetCPUSharedEvaluator(t *testing.T) {
+	g := tictactoe.New()
+	fleet, err := ConfigureFleet(g, 3, Options{
+		Search:          searchCfg(30),
+		Workers:         2,
+		Platform:        PlatformCPU,
+		Evaluator:       &evaluate.Random{},
+		ProfilePlayouts: 50,
+		DNNProfileIters: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if len(fleet.Engines) != 3 {
+		t.Fatalf("fleet has %d engines", len(fleet.Engines))
+	}
+	st := g.NewInitial()
+	for _, e := range fleet.Engines {
+		dist := make([]float32, st.NumActions())
+		if stats := e.Search(st, dist); stats.Playouts != 30 {
+			t.Fatalf("playouts = %d", stats.Playouts)
+		}
+	}
+}
+
+func TestConfigureFleetValidation(t *testing.T) {
+	g := tictactoe.New()
+	if _, err := ConfigureFleet(g, 0, Options{Workers: 2, Evaluator: &evaluate.Random{}}); err == nil {
+		t.Error("zero tenants accepted")
+	}
+	if _, err := ConfigureFleet(g, 2, Options{Workers: 0, Evaluator: &evaluate.Random{}}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := ConfigureFleet(g, 2, Options{Workers: 2, Platform: PlatformAccel}); err == nil {
+		t.Error("missing device accepted")
+	}
+}
+
+func TestFleetTenantsGetDistinctSeeds(t *testing.T) {
+	g := tictactoe.New()
+	s := perfmodel.SchemeShared
+	cfg := searchCfg(60)
+	// With Dirichlet noise on, identical seeds would give tenants identical
+	// root distributions; the fleet must decorrelate them.
+	cfg.DirichletAlpha = 0.5
+	cfg.NoiseFrac = 0.4
+	cfg.Seed = 9
+	fleet, err := ConfigureFleet(g, 2, Options{
+		Search:          cfg,
+		Workers:         1,
+		Platform:        PlatformCPU,
+		Evaluator:       &evaluate.Random{},
+		ProfilePlayouts: 50,
+		DNNProfileIters: 3,
+		ForceScheme:     &s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if fleet.Decision.Tenants != 2 {
+		t.Fatalf("tenants = %d", fleet.Decision.Tenants)
+	}
+	st := g.NewInitial()
+	d0 := make([]float32, st.NumActions())
+	d1 := make([]float32, st.NumActions())
+	fleet.Engines[0].Search(st, d0)
+	fleet.Engines[1].Search(st, d1)
+	same := true
+	for i := range d0 {
+		if d0[i] != d1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("tenants share a noise seed: identical root distributions")
+	}
+}

@@ -192,6 +192,20 @@ func (sh *cacheShard) evictLocked() {
 	}
 }
 
+// Reset drops every cached position (hit/miss counters are kept). Training
+// loops call it after each parameter update: entries computed with the old
+// weights would otherwise serve stale evaluations to the next round.
+func (c *Cached) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[uint64]*cacheEntry, sh.capacity)
+		sh.ring = sh.ring[:0]
+		sh.hand = 0
+		sh.mu.Unlock()
+	}
+}
+
 // Stats returns cumulative hits and misses aggregated across shards.
 func (c *Cached) Stats() (hits, misses uint64) {
 	for i := range c.shards {

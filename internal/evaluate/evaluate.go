@@ -13,19 +13,20 @@
 //     stream-style overlapped submissions for the local-tree + GPU
 //     configuration (the subject of the Algorithm 4 batch-size search).
 //
-// A Random evaluator with a configurable synthetic latency supports the
-// design-time profiling runs, which the paper performs with a DNN "filled
-// with random parameters".
+// All three are thin clients of the multi-tenant inference Server (see
+// server.go): each private backend is a one-tenant deployment of the same
+// shared batcher that multi-game drivers share across G searches. A Random
+// evaluator with a configurable synthetic latency supports the design-time
+// profiling runs, which the paper performs with a DNN "filled with random
+// parameters".
 package evaluate
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/parmcts/parmcts/internal/accel"
 	"github.com/parmcts/parmcts/internal/nn"
-	"github.com/parmcts/parmcts/internal/queue"
 	"github.com/parmcts/parmcts/internal/rng"
 )
 
@@ -41,6 +42,10 @@ type Request struct {
 	// (e.g. the cloned game state needed to expand the leaf on completion).
 	Ctx interface{}
 
+	// client is the tenant the Server routes the completion back to.
+	client *Client
+	// done is the private completion signal of sync-mode (blocking) callers;
+	// it is a 1-buffered reusable channel owned by the request pool.
 	done chan struct{}
 }
 
@@ -128,49 +133,38 @@ func (e *Random) Evaluate(input []float32, policy []float32) float64 {
 }
 
 // Pool runs a synchronous evaluator on a fixed set of worker goroutines —
-// the local-tree scheme's inference thread pool (Figure 2a). Requests and
-// completions travel over FIFO pipes.
+// the local-tree scheme's inference thread pool (Figure 2a). It is a
+// one-tenant deployment of the shared Server: batch size 1, an
+// EvaluatorBackend bounding concurrency to the worker count, and
+// backpressure standing in for the bounded FIFO pipe.
 type Pool struct {
-	eval        Evaluator
-	requests    *queue.FIFO[*Request]
-	completions chan *Request
-	wg          sync.WaitGroup
+	srv *Server
+	cl  *Client
 }
 
-// NewPool starts workers goroutines evaluating with eval.
+// NewPool starts a pool evaluating with eval on up to workers concurrent
+// evaluations.
 func NewPool(eval Evaluator, workers int) *Pool {
 	if workers < 1 {
 		panic("evaluate: pool needs at least one worker")
 	}
-	p := &Pool{
-		eval:        eval,
-		requests:    queue.NewFIFO[*Request](workers * 4),
-		completions: make(chan *Request, workers*4),
-	}
-	for w := 0; w < workers; w++ {
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			for {
-				req, ok := p.requests.Pop()
-				if !ok {
-					return
-				}
-				req.Value = p.eval.Evaluate(req.Input, req.Policy)
-				p.completions <- req
-			}
-		}()
-	}
-	return p
+	srv := NewServer(&EvaluatorBackend{Eval: eval, Workers: workers}, ServerConfig{
+		Batch:          1,
+		MaxOutstanding: workers * 4,
+		// Persistent launchers: one long-lived goroutine per inference
+		// thread, exactly the seed pool's topology — no per-playout spawn.
+		LaunchWorkers: workers,
+	})
+	return &Pool{srv: srv, cl: srv.NewClient(workers * 4)}
 }
 
 // Submit implements Async.
-func (p *Pool) Submit(req *Request) { p.requests.Push(req) }
+func (p *Pool) Submit(req *Request) { p.cl.Submit(req) }
 
 // Completions implements Async.
-func (p *Pool) Completions() <-chan *Request { return p.completions }
+func (p *Pool) Completions() <-chan *Request { return p.cl.Completions() }
 
-// Flush implements Async (the pool buffers nothing).
+// Flush implements Async (the pool buffers nothing: batch size is 1).
 func (p *Pool) Flush() {}
 
 // Idle implements Async: the pool never buffers, so every submitted request
@@ -179,9 +173,8 @@ func (p *Pool) Idle() bool { return false }
 
 // Close implements Async.
 func (p *Pool) Close() {
-	p.requests.Close()
-	p.wg.Wait()
-	close(p.completions)
+	p.cl.Close()
+	p.srv.Close()
 }
 
 // BatchedSync adapts a batched accelerator device to the synchronous
@@ -189,109 +182,96 @@ func (p *Pool) Close() {
 // the threshold and the whole batch is submitted. In the shared-tree + GPU
 // configuration the threshold equals the number of workers, so "the
 // selection processes are parallel, resulting in the nearly simultaneous
-// arrival of all inference tasks" (Section 3.3).
+// arrival of all inference tasks" (Section 3.3). It is a sync-mode client
+// of a one-tenant Server; requests come from the shared request pool.
 type BatchedSync struct {
-	dev     accel.Device
-	batcher *queue.Batcher[*Request]
+	srv *Server
+	cl  *Client
 }
 
-// NewBatchedSync creates the adapter with the given flush threshold.
+// NewBatchedSync creates the adapter with the given flush threshold and no
+// flush deadline (classic threshold-only accelerator queue).
 func NewBatchedSync(dev accel.Device, threshold int) *BatchedSync {
-	b := &BatchedSync{dev: dev}
-	b.batcher = queue.NewBatcher[*Request](threshold, b.runBatch)
-	return b
+	return NewBatchedSyncDeadline(dev, threshold, 0)
 }
 
-func (b *BatchedSync) runBatch(batch []*Request) {
-	inputs := make([][]float32, len(batch))
-	policies := make([][]float32, len(batch))
-	values := make([]float64, len(batch))
-	for i, req := range batch {
-		inputs[i] = req.Input
-		policies[i] = req.Policy
-	}
-	b.dev.Infer(inputs, policies, values)
-	for i, req := range batch {
-		req.Value = values[i]
-		close(req.done)
-	}
+// NewBatchedSyncDeadline creates the adapter with a flush deadline: partial
+// batches launch at most deadline after their oldest request arrived. Used
+// when workers from several co-tenant games share one queue and a straggler
+// game can no longer fill the threshold on its own.
+func NewBatchedSyncDeadline(dev accel.Device, threshold int, deadline time.Duration) *BatchedSync {
+	srv := NewServer(DeviceBackend{Dev: dev}, ServerConfig{
+		Batch:         threshold,
+		FlushDeadline: deadline,
+	})
+	return &BatchedSync{srv: srv, cl: srv.NewSyncClient()}
 }
 
 // Evaluate implements Evaluator.
 func (b *BatchedSync) Evaluate(input []float32, policy []float32) float64 {
-	req := &Request{Input: input, Policy: policy, done: make(chan struct{})}
-	b.batcher.Add(req)
-	<-req.done
-	return req.Value
+	req := AcquireRequest()
+	req.Input, req.Policy = input, policy
+	b.cl.Submit(req)
+	req.wait()
+	v := req.Value
+	ReleaseRequest(req)
+	return v
 }
+
+// Server exposes the underlying service (shared across co-tenant engines).
+func (b *BatchedSync) Server() *Server { return b.srv }
 
 // Drain flushes a partial batch, releasing any blocked callers. Needed at
 // the end of a move when fewer than threshold workers remain.
-func (b *BatchedSync) Drain() { b.batcher.FlushNow() }
+func (b *BatchedSync) Drain() { b.srv.Flush() }
+
+// Close drains the underlying service. No Evaluate may follow.
+func (b *BatchedSync) Close() {
+	b.cl.Close()
+	b.srv.Close()
+}
 
 // BatchedAsync adapts a batched accelerator device to the Async interface
 // with sub-batch size B: every B submissions launch one device call on its
 // own goroutine ("CUDA stream"), so transfers and compute overlap with the
-// master thread's in-tree operations exactly as in Section 3.3.
+// master thread's in-tree operations exactly as in Section 3.3. It is an
+// async client of a one-tenant Server.
 type BatchedAsync struct {
-	dev            accel.Device
-	batcher        *queue.Batcher[*Request]
-	completions    chan *Request
-	inflight       sync.WaitGroup
-	deviceInflight atomic.Int64
+	srv *Server
+	cl  *Client
 }
 
 // NewBatchedAsync creates the adapter with sub-batch size batch.
+// maxOutstanding bounds the requests in flight (backpressure): Submit
+// blocks once 2*maxOutstanding requests are buffered or executing.
 func NewBatchedAsync(dev accel.Device, batch, maxOutstanding int) *BatchedAsync {
 	if maxOutstanding < batch {
 		maxOutstanding = batch
 	}
-	b := &BatchedAsync{
-		dev:         dev,
-		completions: make(chan *Request, maxOutstanding*2),
-	}
-	b.batcher = queue.NewBatcher[*Request](batch, b.launch)
-	return b
-}
-
-func (b *BatchedAsync) launch(batch []*Request) {
-	b.inflight.Add(1)
-	b.deviceInflight.Add(1)
-	go func() {
-		defer b.inflight.Done()
-		inputs := make([][]float32, len(batch))
-		policies := make([][]float32, len(batch))
-		values := make([]float64, len(batch))
-		for i, req := range batch {
-			inputs[i] = req.Input
-			policies[i] = req.Policy
-		}
-		b.dev.Infer(inputs, policies, values)
-		for i, req := range batch {
-			req.Value = values[i]
-			b.completions <- req
-		}
-		// Decrement only after the completions are visible on the channel,
-		// so Idle()==true implies there is truly nothing to wait for.
-		b.deviceInflight.Add(-1)
-	}()
+	srv := NewServer(DeviceBackend{Dev: dev}, ServerConfig{
+		Batch:          batch,
+		MaxOutstanding: maxOutstanding * 2,
+	})
+	return &BatchedAsync{srv: srv, cl: srv.NewClient(maxOutstanding * 2)}
 }
 
 // Idle implements Async.
-func (b *BatchedAsync) Idle() bool { return b.deviceInflight.Load() == 0 }
+func (b *BatchedAsync) Idle() bool { return b.cl.Idle() }
 
 // Submit implements Async.
-func (b *BatchedAsync) Submit(req *Request) { b.batcher.Add(req) }
+func (b *BatchedAsync) Submit(req *Request) { b.cl.Submit(req) }
 
 // Completions implements Async.
-func (b *BatchedAsync) Completions() <-chan *Request { return b.completions }
+func (b *BatchedAsync) Completions() <-chan *Request { return b.cl.Completions() }
 
 // Flush implements Async: submits any partial batch immediately.
-func (b *BatchedAsync) Flush() { b.batcher.FlushNow() }
+func (b *BatchedAsync) Flush() { b.cl.Flush() }
+
+// Server exposes the underlying service.
+func (b *BatchedAsync) Server() *Server { return b.srv }
 
 // Close implements Async.
 func (b *BatchedAsync) Close() {
-	b.batcher.FlushNow()
-	b.inflight.Wait()
-	close(b.completions)
+	b.cl.Close()
+	b.srv.Close()
 }

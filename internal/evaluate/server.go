@@ -1,0 +1,427 @@
+package evaluate
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+	"github.com/parmcts/parmcts/internal/queue"
+)
+
+// DefaultFlushDeadline is the flush deadline a multi-tenant deployment uses
+// when none is configured: long enough for co-tenant requests to aggregate
+// into a near-full batch, short enough that a lone tenant's tail latency
+// stays far below one device round-trip at full fill.
+const DefaultFlushDeadline = time.Millisecond
+
+// Backend executes one formed batch synchronously: it must fill Value (and
+// Policy, for evaluators that write it) of every request before returning.
+// The Server owns batch formation and completion routing; the backend only
+// supplies the compute.
+type Backend interface {
+	RunBatch(batch []*Request)
+}
+
+// DeviceBackend runs batches on a batched accelerator device — the GPU leg
+// of the service.
+type DeviceBackend struct {
+	Dev accel.Device
+}
+
+// RunBatch implements Backend.
+func (d DeviceBackend) RunBatch(batch []*Request) {
+	inputs := make([][]float32, len(batch))
+	policies := make([][]float32, len(batch))
+	values := make([]float64, len(batch))
+	for i, req := range batch {
+		inputs[i] = req.Input
+		policies[i] = req.Policy
+	}
+	d.Dev.Infer(inputs, policies, values)
+	for i, req := range batch {
+		req.Value = values[i]
+	}
+}
+
+// EvaluatorBackend runs each request of a batch through a synchronous
+// evaluator, bounded to at most Workers concurrent evaluations across ALL
+// in-flight batches — the service equivalent of the local-tree scheme's N
+// inference threads (Figure 2a).
+type EvaluatorBackend struct {
+	Eval Evaluator
+	// Workers bounds concurrent Evaluate calls (0 = GOMAXPROCS).
+	Workers int
+
+	once sync.Once
+	sem  chan struct{}
+}
+
+// RunBatch implements Backend.
+func (b *EvaluatorBackend) RunBatch(batch []*Request) {
+	b.once.Do(func() {
+		w := b.Workers
+		if w < 1 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		b.sem = make(chan struct{}, w)
+	})
+	if len(batch) == 1 {
+		req := batch[0]
+		b.sem <- struct{}{}
+		req.Value = b.Eval.Evaluate(req.Input, req.Policy)
+		<-b.sem
+		return
+	}
+	var wg sync.WaitGroup
+	for _, req := range batch {
+		wg.Add(1)
+		go func(req *Request) {
+			defer wg.Done()
+			b.sem <- struct{}{}
+			req.Value = b.Eval.Evaluate(req.Input, req.Policy)
+			<-b.sem
+		}(req)
+	}
+	wg.Wait()
+}
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// Batch is the flush threshold (requests per device launch). With G
+	// tenants it is typically set to the aggregate fill G*B rather than one
+	// tenant's sub-batch size. Values < 1 are treated as 1.
+	Batch int
+	// FlushDeadline bounds how long any submitted request may sit in the
+	// buffer before its batch launches (0 = threshold-only flushing).
+	// Multi-tenant deployments must set it: a lone straggler tenant would
+	// otherwise deadlock waiting for co-tenants that already finished.
+	FlushDeadline time.Duration
+	// MaxOutstanding, when positive, bounds buffered+executing requests
+	// across all tenants; Submit blocks once the bound is reached
+	// (backpressure instead of unbounded queueing).
+	MaxOutstanding int
+	// LaunchWorkers, when positive, executes batches on that many
+	// PERSISTENT launcher goroutines instead of spawning one goroutine per
+	// batch. Spawn-per-batch suits accelerator streams (few, large
+	// batches); persistent launchers suit Batch=1 worker-pool deployments,
+	// where a per-request spawn would sit on the per-playout hot path.
+	LaunchWorkers int
+}
+
+// ServerStats is a snapshot of the service's aggregate batch economics.
+type ServerStats struct {
+	// Batches is the number of device launches so far.
+	Batches int64
+	// Requests is the number of requests served (handed to a launch).
+	Requests int64
+}
+
+// AvgFill is the mean requests per launch — the quantity the multi-tenant
+// aggregation exists to maximise (Section 3.3's under-filled batch problem).
+func (s ServerStats) AvgFill() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(s.Batches)
+}
+
+// Server is a multi-tenant inference service: it multiplexes Requests from
+// any number of Clients onto one batched backend, forming batches by
+// threshold or flush deadline (whichever is hit first), launching each batch
+// on its own goroutine (stream-style overlap), and routing completions back
+// to the submitting client. It replaces the one-engine-owns-one-queue
+// topology of the seed: G concurrent searches sharing a Server present the
+// device with one large batch stream instead of G under-filled ones.
+//
+// Lifecycle: all Submits must happen-before Close. Close flushes the
+// remaining partial batch, waits for in-flight launches to drain, and then
+// refuses further work. Clients are closed individually (Client.Close) and
+// may outlive each other; closing the Server while clients still have
+// requests in flight is a bug in the caller.
+type Server struct {
+	backend Backend
+	cfg     ServerConfig
+	batcher *queue.Batcher[*Request]
+	sem     chan struct{} // backpressure tokens (nil = unbounded)
+
+	inflight        sync.WaitGroup
+	inflightBatches atomic.Int64
+	closed          atomic.Bool
+
+	// work feeds the persistent launcher goroutines (nil in
+	// spawn-per-batch mode); launchers tracks them for Close.
+	work      chan []*Request
+	launchers sync.WaitGroup
+
+	batches  atomic.Int64
+	requests atomic.Int64
+}
+
+// NewServer creates a service over backend. See ServerConfig for knobs.
+func NewServer(backend Backend, cfg ServerConfig) *Server {
+	if backend == nil {
+		panic("evaluate: nil server backend")
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	if cfg.FlushDeadline < 0 {
+		panic("evaluate: negative flush deadline")
+	}
+	s := &Server{backend: backend, cfg: cfg}
+	if cfg.MaxOutstanding > 0 {
+		s.sem = make(chan struct{}, cfg.MaxOutstanding)
+	}
+	s.batcher = queue.NewDeadlineBatcher(cfg.Batch, cfg.FlushDeadline, s.launch)
+	if cfg.LaunchWorkers > 0 {
+		// Queue capacity covers the backpressure bound so enqueueing a
+		// launch never blocks a submitter that already holds a sem token.
+		capW := cfg.LaunchWorkers * 4
+		if cfg.MaxOutstanding > capW {
+			capW = cfg.MaxOutstanding
+		}
+		s.work = make(chan []*Request, capW)
+		for w := 0; w < cfg.LaunchWorkers; w++ {
+			s.launchers.Add(1)
+			go func() {
+				defer s.launchers.Done()
+				for batch := range s.work {
+					s.runAndDeliver(batch)
+				}
+			}()
+		}
+	}
+	return s
+}
+
+// Batch returns the configured flush threshold.
+func (s *Server) Batch() int { return s.cfg.Batch }
+
+// FlushDeadline returns the configured deadline (0 = threshold-only).
+func (s *Server) FlushDeadline() time.Duration { return s.cfg.FlushDeadline }
+
+// Stats snapshots the aggregate batch-fill counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Batches: s.batches.Load(), Requests: s.requests.Load()}
+}
+
+// Pending returns the number of buffered (not yet launched) requests.
+func (s *Server) Pending() int { return s.batcher.Pending() }
+
+// InFlightBatches returns the number of launches currently executing. The
+// count is decremented only after a launch's completions are visible to its
+// clients, so 0 means no completion can arrive without a new flush.
+func (s *Server) InFlightBatches() int64 { return s.inflightBatches.Load() }
+
+// Flush launches any buffered partial batch immediately.
+func (s *Server) Flush() { s.batcher.FlushNow() }
+
+// Close gracefully drains the service: the remaining partial batch is
+// flushed and all in-flight launches complete. Submit after Close panics.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.batcher.FlushNow()
+	s.inflight.Wait()
+	if s.work != nil {
+		close(s.work)
+		s.launchers.Wait()
+	}
+}
+
+// submit is the Client-facing entry point.
+func (s *Server) submit(req *Request) {
+	if s.closed.Load() {
+		panic("evaluate: Submit on closed Server")
+	}
+	if s.sem != nil {
+		s.sem <- struct{}{}
+	}
+	s.batcher.Add(req)
+}
+
+// launch executes one formed batch — on its own goroutine (the "CUDA
+// stream" of Section 3.3), or via a persistent launcher when
+// LaunchWorkers is set — and routes completions to the submitting clients.
+func (s *Server) launch(batch []*Request) {
+	s.inflight.Add(1)
+	s.inflightBatches.Add(1)
+	s.batches.Add(1)
+	s.requests.Add(int64(len(batch)))
+	if s.work != nil {
+		s.work <- batch
+		return
+	}
+	go s.runAndDeliver(batch)
+}
+
+// runAndDeliver is the launch body: backend compute, per-client routing,
+// backpressure release.
+func (s *Server) runAndDeliver(batch []*Request) {
+	defer s.inflight.Done()
+	s.backend.RunBatch(batch)
+	for _, req := range batch {
+		cl := req.client
+		req.client = nil
+		cl.deliver(req)
+		if s.sem != nil {
+			<-s.sem
+		}
+	}
+	// Decrement only after the completions are visible, so
+	// InFlightBatches()==0 implies there is truly nothing to wait for.
+	s.inflightBatches.Add(-1)
+}
+
+// NewClient registers an asynchronous tenant. buffer sizes the completions
+// channel and must be at least the tenant's maximum outstanding requests
+// (e.g. the local-tree master's MaxInFlight), so completion routing never
+// blocks the shared launch goroutine on a slow tenant.
+func (s *Server) NewClient(buffer int) *Client {
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &Client{srv: s, completions: make(chan *Request, buffer)}
+}
+
+// NewSyncClient registers a synchronous tenant: completions are signalled on
+// each request's private done channel instead of a completions stream. Only
+// pooled requests (AcquireRequest) may be submitted through it.
+func (s *Server) NewSyncClient() *Client {
+	return &Client{srv: s, syncMode: true}
+}
+
+// Client is one tenant's handle on a shared Server. It implements Async, so
+// an mcts.Local master can use a shared service exactly like a private
+// evaluator queue. With a flush deadline configured on the server, Idle is
+// constant-false: the master never needs the Idle()/Flush() handshake,
+// because the deadline guarantees every buffered request launches.
+type Client struct {
+	srv         *Server
+	completions chan *Request
+	syncMode    bool
+
+	mu          sync.Mutex
+	outstanding int
+	drained     *sync.Cond
+	closed      bool
+}
+
+// Submit implements Async.
+func (c *Client) Submit(req *Request) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		panic("evaluate: Submit on closed Client")
+	}
+	c.outstanding++
+	c.mu.Unlock()
+	req.client = c
+	c.srv.submit(req)
+}
+
+// deliver routes one completed request back to this tenant.
+func (c *Client) deliver(req *Request) {
+	if c.syncMode {
+		req.done <- struct{}{}
+	} else {
+		c.completions <- req
+	}
+	c.mu.Lock()
+	c.outstanding--
+	if c.outstanding == 0 && c.drained != nil {
+		c.drained.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Completions implements Async. It is nil for sync-mode clients.
+func (c *Client) Completions() <-chan *Request { return c.completions }
+
+// Flush implements Async: it flushes the shared buffer (which may also
+// launch co-tenants' buffered requests — flushing is a service-wide action).
+func (c *Client) Flush() { c.srv.Flush() }
+
+// Idle implements Async. With a deadline-flushing server the client is
+// never stuck on a partial batch — the timer launches it — so Idle reports
+// false and the master simply blocks on Completions. Without a deadline it
+// mirrors the classic accelerator-queue semantics: true when no launch is
+// executing, i.e. a Flush is required for any completion to arrive.
+func (c *Client) Idle() bool {
+	if c.srv.cfg.FlushDeadline > 0 {
+		return false
+	}
+	return c.srv.InFlightBatches() == 0
+}
+
+// Outstanding returns the tenant's submitted-but-undelivered request count.
+func (c *Client) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.outstanding
+}
+
+// Close implements Async: it flushes the service so none of this tenant's
+// requests are stranded in the shared buffer, waits until all of them have
+// been delivered, and closes the completions stream. The Server stays open
+// for other tenants.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	if c.drained == nil {
+		c.drained = sync.NewCond(&c.mu)
+	}
+	c.mu.Unlock()
+
+	c.srv.Flush()
+
+	c.mu.Lock()
+	for c.outstanding > 0 {
+		c.drained.Wait()
+	}
+	c.mu.Unlock()
+	if !c.syncMode {
+		close(c.completions)
+	}
+}
+
+// requestPool recycles Requests together with their done channels, so the
+// per-playout Request allocation (visible in heap profiles of long searches)
+// and the per-wait channel allocation both disappear. The done channel is a
+// 1-buffered signal channel — signalled by send, not close — so it survives
+// reuse across pool cycles.
+var requestPool = sync.Pool{
+	New: func() interface{} { return &Request{done: make(chan struct{}, 1)} },
+}
+
+// AcquireRequest returns a pooled Request with a reusable completion signal.
+// Callers set Input/Policy (and optionally Tag/Ctx) before Submit and must
+// ReleaseRequest once the evaluation result has been consumed.
+func AcquireRequest() *Request {
+	return requestPool.Get().(*Request)
+}
+
+// ReleaseRequest recycles req. The caller must not touch req afterwards.
+func ReleaseRequest(req *Request) {
+	req.Input = nil
+	req.Policy = nil
+	req.Value = 0
+	req.Tag = 0
+	req.Ctx = nil
+	req.client = nil
+	select { // drop a stray completion signal so reuse starts clean
+	case <-req.done:
+	default:
+	}
+	requestPool.Put(req)
+}
+
+// wait blocks until the request's evaluation is delivered (sync clients).
+func (r *Request) wait() { <-r.done }

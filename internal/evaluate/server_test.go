@@ -1,0 +1,380 @@
+package evaluate
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+)
+
+// recordingBackend captures launch times and batch shapes.
+type recordingBackend struct {
+	mu       sync.Mutex
+	launches []time.Time
+	sizes    []int
+	delay    time.Duration
+}
+
+func (b *recordingBackend) RunBatch(batch []*Request) {
+	b.mu.Lock()
+	b.launches = append(b.launches, time.Now())
+	b.sizes = append(b.sizes, len(batch))
+	b.mu.Unlock()
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	for i, req := range batch {
+		req.Value = float64(i)
+	}
+}
+
+func (b *recordingBackend) snapshot() ([]time.Time, []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]time.Time(nil), b.launches...), append([]int(nil), b.sizes...)
+}
+
+// TestServerDeadlineGuarantee pins the service-level guarantee the
+// multi-tenant engine depends on: no submitted request waits longer than
+// the flush deadline before its batch launches, even when the threshold is
+// never reached.
+func TestServerDeadlineGuarantee(t *testing.T) {
+	const deadline = 20 * time.Millisecond
+	backend := &recordingBackend{}
+	srv := NewServer(backend, ServerConfig{Batch: 64, FlushDeadline: deadline})
+	cl := srv.NewClient(8)
+
+	// Far fewer requests than the threshold: only the deadline can launch.
+	submitted := time.Now()
+	for i := 0; i < 3; i++ {
+		cl.Submit(&Request{Input: testInput(uint64(i), 8), Policy: make([]float32, 4), Tag: int64(i)})
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-cl.Completions():
+		case <-time.After(10 * deadline):
+			t.Fatal("deadline flush never launched the partial batch")
+		}
+	}
+	launches, sizes := backend.snapshot()
+	if len(launches) != 1 || sizes[0] != 3 {
+		t.Fatalf("expected one 3-request launch, got %d launches %v", len(launches), sizes)
+	}
+	wait := launches[0].Sub(submitted)
+	if wait < deadline/2 {
+		t.Fatalf("batch launched after %v — before the deadline, with threshold unmet", wait)
+	}
+	// Allow 1x the deadline as scheduler slack (AfterFunc slop on a loaded
+	// 1-core CI host), but keep the bound proportional so a mis-scaled
+	// timer (e.g. a units bug) cannot slip through.
+	if wait > 2*deadline {
+		t.Fatalf("request waited %v, deadline is %v", wait, deadline)
+	}
+
+	// A request joining a part-aged buffer waits strictly less than the
+	// deadline: the timer belongs to the buffer's first request.
+	cl.Submit(&Request{Input: testInput(9, 8), Policy: make([]float32, 4)})
+	time.Sleep(deadline / 2)
+	mid := time.Now()
+	cl.Submit(&Request{Input: testInput(10, 8), Policy: make([]float32, 4)})
+	<-cl.Completions()
+	<-cl.Completions()
+	launches, _ = backend.snapshot()
+	if got := launches[len(launches)-1].Sub(mid); got > deadline {
+		t.Fatalf("late joiner waited %v > deadline %v", got, deadline)
+	}
+
+	cl.Close()
+	srv.Close()
+}
+
+// TestServerThresholdPreemptsDeadline: a full batch launches immediately,
+// not at the deadline.
+func TestServerThresholdPreemptsDeadline(t *testing.T) {
+	backend := &recordingBackend{}
+	srv := NewServer(backend, ServerConfig{Batch: 4, FlushDeadline: time.Second})
+	cl := srv.NewClient(8)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		cl.Submit(&Request{Input: testInput(uint64(i), 8), Policy: make([]float32, 4)})
+	}
+	for i := 0; i < 4; i++ {
+		<-cl.Completions()
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("full batch waited for the deadline: %v", elapsed)
+	}
+	cl.Close()
+	srv.Close()
+}
+
+// TestServerRoutesPerClient: completions reach the tenant that submitted
+// them, even when one batch mixes many tenants.
+func TestServerRoutesPerClient(t *testing.T) {
+	dev := accel.NewModel(accel.CostModel{LinkBytesPerSec: 1e12})
+	srv := NewServer(DeviceBackend{Dev: dev}, ServerConfig{Batch: 8, FlushDeadline: 5 * time.Millisecond})
+	const tenants, perTenant = 4, 25
+	clients := make([]*Client, tenants)
+	for i := range clients {
+		clients[i] = srv.NewClient(perTenant)
+	}
+	var wg sync.WaitGroup
+	for ci, cl := range clients {
+		wg.Add(1)
+		go func(ci int, cl *Client) {
+			defer wg.Done()
+			go func() {
+				for k := 0; k < perTenant; k++ {
+					cl.Submit(&Request{
+						Input:  testInput(uint64(ci*1000+k), 36),
+						Policy: make([]float32, 9),
+						Tag:    int64(ci*1000 + k),
+					})
+				}
+			}()
+			seen := make(map[int64]bool)
+			for k := 0; k < perTenant; k++ {
+				select {
+				case req := <-cl.Completions():
+					if req.Tag/1000 != int64(ci) {
+						t.Errorf("tenant %d received tag %d", ci, req.Tag)
+						return
+					}
+					if seen[req.Tag] {
+						t.Errorf("tenant %d: duplicate tag %d", ci, req.Tag)
+						return
+					}
+					seen[req.Tag] = true
+				case <-time.After(10 * time.Second):
+					t.Errorf("tenant %d timed out after %d completions", ci, k)
+					return
+				}
+			}
+		}(ci, cl)
+	}
+	wg.Wait()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	srv.Close()
+	if st := srv.Stats(); st.Requests != tenants*perTenant {
+		t.Fatalf("served %d requests, want %d", st.Requests, tenants*perTenant)
+	}
+}
+
+// TestServerConcurrentSubmitFlushClose is the race test for the service's
+// lifecycle: many tenants submitting, a flusher hammering Flush, and a
+// graceful drain at the end. Run with -race in CI.
+func TestServerConcurrentSubmitFlushClose(t *testing.T) {
+	backend := &recordingBackend{}
+	srv := NewServer(backend, ServerConfig{Batch: 16, FlushDeadline: time.Millisecond, MaxOutstanding: 256})
+	const tenants, perTenant = 8, 200
+	clients := make([]*Client, tenants)
+	for i := range clients {
+		clients[i] = srv.NewClient(perTenant)
+	}
+
+	stopFlusher := make(chan struct{})
+	var flusherDone sync.WaitGroup
+	flusherDone.Add(1)
+	go func() {
+		defer flusherDone.Done()
+		for {
+			select {
+			case <-stopFlusher:
+				return
+			default:
+				srv.Flush()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl *Client) {
+			defer wg.Done()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for k := 0; k < perTenant; k++ {
+					<-cl.Completions()
+					delivered.Add(1)
+				}
+			}()
+			for k := 0; k < perTenant; k++ {
+				cl.Submit(&Request{Input: testInput(uint64(k), 4), Policy: make([]float32, 2)})
+			}
+			<-done
+			cl.Close()
+		}(cl)
+	}
+	wg.Wait()
+	close(stopFlusher)
+	flusherDone.Wait()
+	srv.Close()
+
+	if delivered.Load() != tenants*perTenant {
+		t.Fatalf("delivered %d, want %d", delivered.Load(), tenants*perTenant)
+	}
+	if st := srv.Stats(); st.Requests != tenants*perTenant {
+		t.Fatalf("server served %d, want %d", st.Requests, tenants*perTenant)
+	}
+}
+
+// TestServerBackpressure: Submit blocks once MaxOutstanding requests are in
+// the service, and unblocks as completions drain.
+func TestServerBackpressure(t *testing.T) {
+	backend := &recordingBackend{delay: 20 * time.Millisecond}
+	srv := NewServer(backend, ServerConfig{Batch: 2, MaxOutstanding: 4})
+	cl := srv.NewClient(16)
+	for i := 0; i < 4; i++ {
+		cl.Submit(&Request{Input: testInput(uint64(i), 4), Policy: make([]float32, 2)})
+	}
+	// The 5th submit must block until the first batch completes.
+	blocked := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		cl.Submit(&Request{Input: testInput(99, 4), Policy: make([]float32, 2)})
+		blocked <- time.Since(start)
+	}()
+	select {
+	case waited := <-blocked:
+		if waited < 10*time.Millisecond {
+			t.Fatalf("5th submit went through after %v; backpressure absent", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("5th submit never unblocked")
+	}
+	srv.Flush() // release the odd request
+	for i := 0; i < 5; i++ {
+		<-cl.Completions()
+	}
+	cl.Close()
+	srv.Close()
+}
+
+// TestServerCloseDrainsPartialBatch: Close flushes buffered work and waits
+// for in-flight launches, so no request is ever lost on shutdown.
+func TestServerCloseDrainsPartialBatch(t *testing.T) {
+	backend := &recordingBackend{}
+	srv := NewServer(backend, ServerConfig{Batch: 64})
+	cl := srv.NewClient(8)
+	for i := 0; i < 5; i++ {
+		cl.Submit(&Request{Input: testInput(uint64(i), 4), Policy: make([]float32, 2)})
+	}
+	go srv.Close() // flushes the 5 buffered requests
+	for i := 0; i < 5; i++ {
+		select {
+		case <-cl.Completions():
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close did not drain the partial batch")
+		}
+	}
+	cl.Close()
+}
+
+// TestRequestPoolReuse: pooled requests keep a working done channel across
+// acquire/release cycles (the satellite alloc fix) and BatchedSync uses it.
+func TestRequestPoolReuse(t *testing.T) {
+	req := AcquireRequest()
+	if req.done == nil || cap(req.done) != 1 {
+		t.Fatalf("pooled request needs a 1-buffered done channel, got %v", req.done)
+	}
+	req.Tag = 7
+	req.done <- struct{}{} // stray signal must be drained on release
+	ReleaseRequest(req)
+
+	again := AcquireRequest()
+	if again.Tag != 0 || again.Input != nil || again.Ctx != nil {
+		t.Fatal("released request not cleared")
+	}
+	select {
+	case <-again.done:
+		t.Fatal("stray completion signal survived the pool")
+	default:
+	}
+	ReleaseRequest(again)
+
+	// End-to-end through BatchedSync: many evaluations, one goroutine —
+	// every cycle reuses the pooled request and its channel.
+	dev := accel.NewModel(accel.CostModel{LinkBytesPerSec: 1e12})
+	b := NewBatchedSync(dev, 1)
+	policy := make([]float32, 9)
+	for i := 0; i < 50; i++ {
+		b.Evaluate(testInput(uint64(i), 36), policy)
+	}
+	b.Close()
+}
+
+// TestEvaluatorBackendBoundsConcurrency: no more than Workers evaluations
+// run at once, however many batches are in flight.
+func TestEvaluatorBackendBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	eval := funcEvaluator(func(input []float32, policy []float32) float64 {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0
+	})
+	srv := NewServer(&EvaluatorBackend{Eval: eval, Workers: 3}, ServerConfig{Batch: 1, MaxOutstanding: 32})
+	cl := srv.NewClient(64)
+	const n = 40
+	for i := 0; i < n; i++ {
+		cl.Submit(&Request{Input: make([]float32, 4), Policy: make([]float32, 2)})
+	}
+	for i := 0; i < n; i++ {
+		<-cl.Completions()
+	}
+	cl.Close()
+	srv.Close()
+	if peak.Load() > 3 {
+		t.Fatalf("peak concurrency %d exceeds the 3-worker bound", peak.Load())
+	}
+}
+
+// TestServerPersistentLaunchers: LaunchWorkers mode delivers everything
+// and drains cleanly on Close — the no-spawn hot path Pool runs on.
+func TestServerPersistentLaunchers(t *testing.T) {
+	srv := NewServer(&EvaluatorBackend{Eval: &Random{}, Workers: 2}, ServerConfig{
+		Batch:          1,
+		MaxOutstanding: 8,
+		LaunchWorkers:  2,
+	})
+	cl := srv.NewClient(8)
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			cl.Submit(&Request{Input: testInput(uint64(i), 20), Policy: make([]float32, 10), Tag: int64(i)})
+		}
+	}()
+	seen := make(map[int64]bool)
+	for i := 0; i < n; i++ {
+		req := <-cl.Completions()
+		if seen[req.Tag] {
+			t.Fatalf("tag %d delivered twice", req.Tag)
+		}
+		seen[req.Tag] = true
+	}
+	cl.Close()
+	srv.Close()
+	if st := srv.Stats(); st.Requests != n || st.Batches != n {
+		t.Fatalf("stats %+v, want %d singleton batches", st, n)
+	}
+}
+
+// funcEvaluator adapts a function to the Evaluator interface.
+type funcEvaluator func(input []float32, policy []float32) float64
+
+func (f funcEvaluator) Evaluate(input []float32, policy []float32) float64 {
+	return f(input, policy)
+}

@@ -94,6 +94,11 @@ func (e *Local) Search(st game.State, dist []float32) Stats {
 			break
 		}
 		// Master must wait (thread pool full, or budget fully submitted).
+		// With a deadline-flushing evaluate.Server client, Idle is
+		// constant-false and this handshake disappears: the master simply
+		// blocks and the service's flush timer guarantees the partial batch
+		// launches. The check remains for deadline-less queues
+		// (BatchedAsync), whose partial batches only move when pushed.
 		if e.async.Idle() {
 			// Everything outstanding sits in a partial accelerator batch;
 			// push it to the device or we wait forever.

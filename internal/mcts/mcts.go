@@ -66,6 +66,23 @@ type Stats struct {
 	EvalTime   time.Duration
 }
 
+// Add accumulates o into s, field by field — including the phase timings,
+// which per-worker and per-game merges used to hand-sum and silently drop
+// when a field was missed. Concurrent-game drivers aggregate per-move stats
+// with it; note that Duration then accumulates engine time, which exceeds
+// wall-clock when searches overlap.
+func (s *Stats) Add(o Stats) {
+	s.Playouts += o.Playouts
+	s.Duration += o.Duration
+	s.Expansions += o.Expansions
+	s.TerminalHits += o.TerminalHits
+	s.SumDepth += o.SumDepth
+	s.SelectTime += o.SelectTime
+	s.ExpandTime += o.ExpandTime
+	s.BackupTime += o.BackupTime
+	s.EvalTime += o.EvalTime
+}
+
 // AvgDepth returns the mean leaf depth of the search.
 func (s Stats) AvgDepth() float64 {
 	if s.Playouts == 0 {

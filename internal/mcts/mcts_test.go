@@ -281,6 +281,45 @@ func TestStatsDerivedMetrics(t *testing.T) {
 	}
 }
 
+func TestStatsAddSumsEveryField(t *testing.T) {
+	a := Stats{
+		Playouts: 10, Duration: 100, Expansions: 8, TerminalHits: 2,
+		SumDepth: 30, SelectTime: 5, ExpandTime: 6, BackupTime: 7, EvalTime: 8,
+	}
+	b := Stats{
+		Playouts: 1, Duration: 10, Expansions: 1, TerminalHits: 1,
+		SumDepth: 3, SelectTime: 1, ExpandTime: 2, BackupTime: 3, EvalTime: 4,
+	}
+	a.Add(b)
+	want := Stats{
+		Playouts: 11, Duration: 110, Expansions: 9, TerminalHits: 3,
+		SumDepth: 33, SelectTime: 6, ExpandTime: 8, BackupTime: 10, EvalTime: 12,
+	}
+	if a != want {
+		t.Fatalf("Add merged to %+v, want %+v — a field was silently dropped", a, want)
+	}
+}
+
+// TestStatsAddPreservesPhaseTimings pins the fix for the silent drop: the
+// shared engine's shard merge must carry phase timings through Add even
+// when the aggregate is assembled outside a profiling branch.
+func TestStatsAddPreservesPhaseTimings(t *testing.T) {
+	shards := []Stats{
+		{SelectTime: 10, BackupTime: 5, Expansions: 3},
+		{SelectTime: 20, BackupTime: 15, EvalTime: 9, Expansions: 4},
+	}
+	var merged Stats
+	for _, s := range shards {
+		merged.Add(s)
+	}
+	if merged.SelectTime != 30 || merged.BackupTime != 20 || merged.EvalTime != 9 {
+		t.Fatalf("phase timings dropped in merge: %+v", merged)
+	}
+	if merged.Expansions != 7 {
+		t.Fatalf("expansions = %d, want 7", merged.Expansions)
+	}
+}
+
 func TestDirichletNoiseChangesRootPriors(t *testing.T) {
 	cfg := testCfg(50)
 	cfg.DirichletAlpha = 0.3

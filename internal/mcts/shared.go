@@ -55,7 +55,6 @@ func (e *Shared) Search(st game.State, dist []float32) Stats {
 	} else {
 		e.tr.Reset()
 	}
-	prof := e.cfg.Profile
 
 	var counter atomic.Int64 // playout tickets
 	var wg sync.WaitGroup
@@ -88,15 +87,7 @@ func (e *Shared) Search(st game.State, dist []float32) Stats {
 	wg.Wait()
 	var stats Stats
 	for _, s := range shards {
-		stats.Expansions += s.Expansions
-		stats.TerminalHits += s.TerminalHits
-		stats.SumDepth += s.SumDepth
-		if prof {
-			stats.SelectTime += s.SelectTime
-			stats.ExpandTime += s.ExpandTime
-			stats.BackupTime += s.BackupTime
-			stats.EvalTime += s.EvalTime
-		}
+		stats.Add(s) // field-complete merge: phase timings are never dropped
 	}
 	stats.Playouts = e.cfg.Playouts
 	stats.Duration = time.Since(start)

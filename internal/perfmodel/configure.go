@@ -63,6 +63,44 @@ func ConfigureGPUMeasured(sharedPerIter time.Duration, p Params, n int, testRun 
 	return configureGPU(sharedPerIter, p, n, testRun)
 }
 
+// ConfigureGPUTenants runs the CPU-GPU workflow for G co-located searches
+// sharing one inference service: the shared scheme's latency comes from the
+// aggregate-fill Equation 4 (SharedGPUTenants), and the local scheme's
+// service batch threshold B is searched with Algorithm 4 over the widened
+// V-sequence [1, G*N] of LocalGPUTenants — the aggregate batch-fill model.
+// The returned Choice's BatchSize is the SERVICE threshold (aggregate
+// across tenants), not one tenant's sub-batch. A non-nil testRun must
+// therefore measure the whole G-tenant fleet at a candidate service
+// threshold; a single-search probe cannot reach thresholds beyond one
+// tenant's in-flight bound and would mislead the search — pass nil to use
+// the model instead. G=1 reduces to ConfigureGPU.
+func ConfigureGPUTenants(p Params, n, g int, testRun func(b int) time.Duration) Choice {
+	if g < 1 {
+		g = 1
+	}
+	shared := PerIteration(SharedGPUTenants(p, n, g), n)
+	probe := testRun
+	if probe == nil {
+		probe = func(b int) time.Duration { return PerIteration(LocalGPUTenants(p, n, b, g), n) }
+	}
+	bestB, probes := FindMinV(1, g*n, probe)
+	local := probe(bestB)
+	c := Choice{
+		N:               n,
+		BatchSize:       bestB,
+		PredictedShared: shared,
+		PredictedLocal:  local,
+		Probes:          probes,
+	}
+	if local <= shared {
+		c.Scheme = SchemeLocal
+	} else {
+		c.Scheme = SchemeShared
+		c.BatchSize = g * n
+	}
+	return c
+}
+
 func configureGPU(shared time.Duration, p Params, n int, testRun func(b int) time.Duration) Choice {
 	probe := testRun
 	if probe == nil {

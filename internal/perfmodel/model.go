@@ -125,6 +125,64 @@ func LocalGPU(p Params, n, b int) time.Duration {
 	return m
 }
 
+// SharedGPUTenants extends Equation 4 to G co-located shared-tree searches
+// whose synchronous full batches are aggregated by one inference service:
+// the device sees one batch of G*N per round instead of G batches of N.
+// Each tenant's workers still pay their own serialized tree access and
+// selection; the (bigger) batch round-trip is shared, so the per-round
+// latency is Equation 4 with the batch term evaluated at aggregate fill.
+// G=1 reduces exactly to SharedGPU.
+func SharedGPUTenants(p Params, n, g int) time.Duration {
+	if p.GPU == nil {
+		panic("perfmodel: SharedGPUTenants requires Params.GPU")
+	}
+	if g < 1 {
+		g = 1
+	}
+	gpu := p.GPU.TransferTime(g*n) + p.GPU.ComputeTime(g*n)
+	return time.Duration(n)*p.TSharedAccess + p.TSelect + p.TBackup + gpu
+}
+
+// LocalGPUTenants extends Equation 6 to G concurrent local-tree masters
+// sharing one inference service with aggregate batch threshold B:
+//
+//	T ≈ max((T_select+T_backup)*N, T_PCIe(G*N, B)/G, T_GPU_compute(batch=B))
+//
+// Per tenant round (N iterations) the service moves G*N samples in batches
+// of B, so the per-launch cost L amortizes over the aggregate fill — B may
+// now exceed one tenant's in-flight bound N, the regime a single
+// BatchedAsync can never reach. The in-tree term is unchanged (each master
+// runs on its own core); the PCIe term is the aggregate cost shared G ways;
+// the compute term is the per-batch kernel time as in Equation 6. The
+// sequence over B remains a V-sequence (first two terms non-increasing,
+// third non-decreasing), so Algorithm 4 applies on the widened range
+// [1, G*N]. G=1 reduces exactly to LocalGPU.
+func LocalGPUTenants(p Params, n, b, g int) time.Duration {
+	if p.GPU == nil {
+		panic("perfmodel: LocalGPUTenants requires Params.GPU")
+	}
+	if g < 1 {
+		g = 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b > g*n {
+		b = g * n
+	}
+	inTree := time.Duration(n) * (p.TSelect + p.TBackup)
+	pcie := PCIeTime(*p.GPU, g*n, b) / time.Duration(g)
+	compute := p.GPU.ComputeTime(b)
+	m := inTree
+	if pcie > m {
+		m = pcie
+	}
+	if compute > m {
+		m = compute
+	}
+	return m
+}
+
 // PerIteration converts a round latency into the paper's amortized
 // per-worker-iteration metric.
 func PerIteration(round time.Duration, n int) time.Duration {

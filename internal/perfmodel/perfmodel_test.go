@@ -329,6 +329,79 @@ func TestChoicePerIteration(t *testing.T) {
 	}
 }
 
+func TestTenantModelsReduceToSingleTenant(t *testing.T) {
+	p := testParams()
+	for _, n := range []int{4, 16, 64} {
+		if SharedGPUTenants(p, n, 1) != SharedGPU(p, n) {
+			t.Fatalf("SharedGPUTenants(n=%d, g=1) != SharedGPU", n)
+		}
+		for b := 1; b <= n; b++ {
+			if LocalGPUTenants(p, n, b, 1) != LocalGPU(p, n, b) {
+				t.Fatalf("LocalGPUTenants(n=%d, b=%d, g=1) != LocalGPU", n, b)
+			}
+		}
+	}
+	c1 := ConfigureGPUTenants(p, 16, 1, nil)
+	c0 := ConfigureGPU(p, 16, nil)
+	if c1.Scheme != c0.Scheme || c1.BatchSize != c0.BatchSize {
+		t.Fatalf("ConfigureGPUTenants(g=1) = %+v, ConfigureGPU = %+v", c1, c0)
+	}
+}
+
+func TestLocalGPUTenantsAggregateFill(t *testing.T) {
+	p := testParams()
+	const n = 8
+	// The single-tenant optimum is confined to B <= N; with G tenants the
+	// service can batch past one tenant's in-flight bound and the modeled
+	// per-round latency at the G-tenant optimum must be no worse — and, for
+	// a launch-dominated device, strictly better.
+	gpu := *p.GPU
+	gpu.LaunchLatency = 200 * time.Microsecond // launch-dominated regime
+	p.GPU = &gpu
+	bestSingle, _ := FindMinV(1, n, func(b int) time.Duration { return LocalGPU(p, n, b) })
+	singleOpt := LocalGPU(p, n, bestSingle)
+	const g = 8
+	bestAgg, _ := FindMinV(1, g*n, func(b int) time.Duration { return LocalGPUTenants(p, n, b, g) })
+	aggOpt := LocalGPUTenants(p, n, bestAgg, g)
+	if aggOpt >= singleOpt {
+		t.Fatalf("aggregate fill did not help: g=8 optimum %v (B=%d) vs single %v (B=%d)",
+			aggOpt, bestAgg, singleOpt, bestSingle)
+	}
+	if bestAgg <= n {
+		t.Fatalf("launch-dominated optimum should exceed one tenant's bound: B=%d <= N=%d", bestAgg, n)
+	}
+}
+
+func TestLocalGPUTenantsIsVSequence(t *testing.T) {
+	p := testParams()
+	const n, g = 16, 4
+	prev := LocalGPUTenants(p, n, 1, g)
+	falling := true
+	for b := 2; b <= g*n; b++ {
+		cur := LocalGPUTenants(p, n, b, g)
+		if falling && cur > prev {
+			falling = false
+		} else if !falling && cur < prev {
+			t.Fatalf("tenant sequence rose then fell at B=%d", b)
+		}
+		prev = cur
+	}
+}
+
+func TestConfigureGPUTenantsSearchesWidenedRange(t *testing.T) {
+	p := testParams()
+	gpu := *p.GPU
+	gpu.LaunchLatency = 200 * time.Microsecond
+	p.GPU = &gpu
+	c := ConfigureGPUTenants(p, 8, 8, nil)
+	if c.BatchSize < 1 || c.BatchSize > 64 {
+		t.Fatalf("service threshold %d out of [1, G*N]", c.BatchSize)
+	}
+	if c.Scheme == SchemeLocal && c.BatchSize <= 8 {
+		t.Fatalf("launch-dominated G=8 search stayed inside one tenant's range: B=%d", c.BatchSize)
+	}
+}
+
 func BenchmarkFindMinV(b *testing.B) {
 	seq := make([]time.Duration, 64)
 	for i := range seq {

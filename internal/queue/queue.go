@@ -5,7 +5,10 @@
 // reached (Section 3.3).
 package queue
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // FIFO is a first-in-first-out pipe with a fixed capacity. Push blocks when
 // the pipe is full, Pop blocks when it is empty; both unblock on Close.
@@ -73,24 +76,48 @@ func (q *FIFO[T]) Chan() <-chan T { return q.ch }
 // handed to the flush function. Flush runs synchronously on the Add (or
 // FlushNow) caller's goroutine while holding no Batcher lock, so producers
 // on other goroutines keep accumulating the next batch concurrently.
+//
+// A Batcher may additionally carry a flush deadline (NewDeadlineBatcher):
+// whenever a request enters an empty buffer a timer is armed, and if the
+// threshold is not reached within the deadline the partial batch is flushed
+// from the timer goroutine. Because the timer is armed by the *first*
+// request of each buffer generation, no request ever waits longer than the
+// deadline between Add and the hand-off to flush — the service-level
+// guarantee the multi-tenant inference server is built on.
 type Batcher[T any] struct {
 	mu        sync.Mutex
 	buf       []T
 	threshold int
+	deadline  time.Duration
+	gen       uint64 // buffer generation; invalidates stale deadline timers
 	flush     func([]T)
 }
 
 // NewBatcher creates a batcher that calls flush with each full batch of
 // size threshold. The slice passed to flush is owned by the callee.
 func NewBatcher[T any](threshold int, flush func([]T)) *Batcher[T] {
+	return NewDeadlineBatcher(threshold, 0, flush)
+}
+
+// NewDeadlineBatcher creates a batcher that flushes when the buffer reaches
+// threshold OR when the oldest buffered request has waited for deadline,
+// whichever comes first. A deadline of 0 disables timer-driven flushing
+// (threshold-only, the classic accelerator queue).
+func NewDeadlineBatcher[T any](threshold int, deadline time.Duration, flush func([]T)) *Batcher[T] {
 	if threshold < 1 {
 		panic("queue: batch threshold must be >= 1")
 	}
 	if flush == nil {
 		panic("queue: nil flush")
 	}
-	return &Batcher[T]{threshold: threshold, flush: flush, buf: make([]T, 0, threshold)}
+	if deadline < 0 {
+		panic("queue: negative flush deadline")
+	}
+	return &Batcher[T]{threshold: threshold, deadline: deadline, flush: flush, buf: make([]T, 0, threshold)}
 }
+
+// Deadline returns the flush deadline (0 = threshold-only).
+func (b *Batcher[T]) Deadline() time.Duration { return b.deadline }
 
 // Threshold returns the current flush threshold.
 func (b *Batcher[T]) Threshold() int {
@@ -114,10 +141,16 @@ func (b *Batcher[T]) SetThreshold(n int) {
 	}
 }
 
-// Add enqueues one request, flushing if the threshold is reached.
+// Add enqueues one request, flushing if the threshold is reached. When a
+// deadline is configured and v enters an empty buffer, a timer is armed so
+// the partial batch launches no later than deadline from now.
 func (b *Batcher[T]) Add(v T) {
 	b.mu.Lock()
 	b.buf = append(b.buf, v)
+	if len(b.buf) == 1 && b.deadline > 0 && len(b.buf) < b.threshold {
+		gen := b.gen
+		time.AfterFunc(b.deadline, func() { b.flushDeadline(gen) })
+	}
 	batch := b.takeIfFullLocked()
 	b.mu.Unlock()
 	if batch != nil {
@@ -125,21 +158,40 @@ func (b *Batcher[T]) Add(v T) {
 	}
 }
 
+// takeLocked hands the caller the current buffer and starts a new
+// generation, invalidating any armed deadline timer. Caller holds b.mu.
+func (b *Batcher[T]) takeLocked() []T {
+	batch := b.buf
+	b.buf = make([]T, 0, b.threshold)
+	b.gen++
+	return batch
+}
+
 func (b *Batcher[T]) takeIfFullLocked() []T {
 	if len(b.buf) < b.threshold {
 		return nil
 	}
-	batch := b.buf
-	b.buf = make([]T, 0, b.threshold)
-	return batch
+	return b.takeLocked()
+}
+
+// flushDeadline is the timer callback: it flushes the partial batch only if
+// the buffer generation it was armed for is still accumulating.
+func (b *Batcher[T]) flushDeadline(gen uint64) {
+	b.mu.Lock()
+	if b.gen != gen || len(b.buf) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.flush(batch)
 }
 
 // FlushNow hands any buffered requests to flush regardless of threshold.
 // Used at the end of a search to drain a partial batch.
 func (b *Batcher[T]) FlushNow() {
 	b.mu.Lock()
-	batch := b.buf
-	b.buf = make([]T, 0, b.threshold)
+	batch := b.takeLocked()
 	b.mu.Unlock()
 	if len(batch) > 0 {
 		b.flush(batch)

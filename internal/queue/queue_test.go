@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestFIFOOrdering(t *testing.T) {
@@ -54,6 +55,57 @@ func TestFIFOCloseDrains(t *testing.T) {
 	if _, ok := q.Pop(); ok {
 		t.Fatal("Pop after drain should report closed")
 	}
+}
+
+func TestFIFOPushAfterClosePanics(t *testing.T) {
+	q := NewFIFO[int](2)
+	q.Push(1)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push after Close did not panic")
+		}
+	}()
+	q.Push(2)
+}
+
+func TestFIFOTryPushAfterClosePanics(t *testing.T) {
+	q := NewFIFO[int](2)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TryPush after Close did not panic")
+		}
+	}()
+	q.TryPush(1)
+}
+
+func TestFIFOTryPopClosedAndDrained(t *testing.T) {
+	q := NewFIFO[int](4)
+	q.Push(7)
+	q.Close()
+	// Pending elements remain poppable after Close...
+	if v, ok := q.TryPop(); !ok || v != 7 {
+		t.Fatalf("TryPop after Close = (%d, %v), want (7, true)", v, ok)
+	}
+	// ...and once drained, TryPop reports closed (ok=false), not "empty but
+	// maybe later": the zero value must come back too.
+	for i := 0; i < 3; i++ {
+		if v, ok := q.TryPop(); ok || v != 0 {
+			t.Fatalf("TryPop on closed-and-drained = (%d, %v), want (0, false)", v, ok)
+		}
+	}
+}
+
+func TestFIFODoubleClosePanics(t *testing.T) {
+	q := NewFIFO[int](1)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Close did not panic")
+		}
+	}()
+	q.Close()
 }
 
 func TestFIFONegativeCapacityPanics(t *testing.T) {
@@ -196,6 +248,72 @@ func TestBatcherConcurrentAddsLoseNothing(t *testing.T) {
 	if calls.Load() < int64(workers*per/16) {
 		t.Fatalf("too few flush calls: %d", calls.Load())
 	}
+}
+
+func TestDeadlineBatcherFlushesPartialBatch(t *testing.T) {
+	const deadline = 15 * time.Millisecond
+	flushed := make(chan []int, 4)
+	b := NewDeadlineBatcher(100, deadline, func(batch []int) { flushed <- batch })
+	start := time.Now()
+	b.Add(1)
+	b.Add(2)
+	select {
+	case batch := <-flushed:
+		if len(batch) != 2 {
+			t.Fatalf("deadline flush delivered %v", batch)
+		}
+		if waited := time.Since(start); waited < deadline/2 {
+			t.Fatalf("flushed after %v, before the deadline", waited)
+		}
+	case <-time.After(10 * deadline):
+		t.Fatal("deadline flush never fired")
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending = %d after deadline flush", b.Pending())
+	}
+}
+
+func TestDeadlineBatcherThresholdCancelsTimer(t *testing.T) {
+	flushed := make(chan []int, 4)
+	b := NewDeadlineBatcher(2, 10*time.Millisecond, func(batch []int) { flushed <- batch })
+	b.Add(1)
+	b.Add(2) // threshold flush; the armed timer must become a no-op
+	<-flushed
+	select {
+	case batch := <-flushed:
+		t.Fatalf("stale timer produced a second flush: %v", batch)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The next generation arms its own timer.
+	b.Add(3)
+	select {
+	case batch := <-flushed:
+		if len(batch) != 1 || batch[0] != 3 {
+			t.Fatalf("second-generation flush = %v", batch)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second-generation deadline never fired")
+	}
+}
+
+func TestDeadlineBatcherFlushNowInvalidatesTimer(t *testing.T) {
+	var calls atomic.Int64
+	b := NewDeadlineBatcher(100, 10*time.Millisecond, func(batch []int) { calls.Add(1) })
+	b.Add(1)
+	b.FlushNow()
+	time.Sleep(40 * time.Millisecond)
+	if calls.Load() != 1 {
+		t.Fatalf("flush called %d times, want 1 (stale timer must not re-fire)", calls.Load())
+	}
+}
+
+func TestDeadlineBatcherNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative deadline did not panic")
+		}
+	}()
+	NewDeadlineBatcher(1, -time.Millisecond, func([]int) {})
 }
 
 func TestBatcherPropertyNoneLostAnyThreshold(t *testing.T) {

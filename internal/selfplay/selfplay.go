@@ -1,0 +1,261 @@
+// Package selfplay runs G self-play games concurrently against one shared
+// inference service — the multi-tenant counterpart of train.Trainer's
+// single-engine loop. Each game owns its own search engine (typically an
+// mcts.Local master holding a private tree), but all engines submit node
+// evaluations to the same evaluate.Server, so the device sees one
+// aggregated batch stream instead of G under-filled ones (the regime
+// Algorithm 4 of the paper exists to avoid). Finished games feed a shared
+// replay buffer, which the round-based Trainer then consumes for SGD
+// updates exactly as Algorithm 1 prescribes.
+package selfplay
+
+import (
+	"sync"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/train"
+)
+
+// Config tunes the concurrent driver.
+type Config struct {
+	// TempMoves is the exploration temperature horizon per game.
+	TempMoves int
+	// MaxMoves truncates pathological games (0 = game.MaxGameLength).
+	MaxMoves int
+	// Seed drives per-game move sampling (split per game per round).
+	Seed uint64
+}
+
+// Round reports one batch of G concurrent games.
+type Round struct {
+	// Episodes holds each game's result, indexed by tenant.
+	Episodes []train.EpisodeResult
+	// Search aggregates every game's per-move engine stats (Stats.Add);
+	// Duration therein is summed engine time and exceeds wall-clock when
+	// games overlap — the wall-clock of the round is Elapsed.
+	Search mcts.Stats
+	// Moves and Samples count across all games (Samples pre-augmentation).
+	Moves   int
+	Samples int
+	// Elapsed is the wall-clock time of the concurrent round.
+	Elapsed time.Duration
+}
+
+// Driver plays G games concurrently, one goroutine per game, all sharing a
+// replay buffer (and, through their engines, typically one inference
+// service). Engines must be distinct — each owns its own tree — and are
+// mapped one-to-one onto games.
+type Driver struct {
+	g       game.Game
+	engines []mcts.Engine
+	cfg     Config
+	r       *rng.Rand
+
+	mu      sync.Mutex // guards replay ingestion from game goroutines
+	replay  *train.Replay
+	augment train.Augmenter
+}
+
+// NewDriver creates a concurrent driver over the given engines (one per
+// game). replay receives every finished game's (augmented) samples; it must
+// only be read between rounds. augment may be nil.
+func NewDriver(g game.Game, engines []mcts.Engine, replay *train.Replay, augment train.Augmenter, cfg Config) *Driver {
+	if len(engines) < 1 {
+		panic("selfplay: driver needs at least one engine")
+	}
+	if replay == nil {
+		panic("selfplay: driver needs a replay buffer")
+	}
+	return &Driver{
+		g:       g,
+		engines: engines,
+		cfg:     cfg,
+		r:       rng.New(cfg.Seed),
+		replay:  replay,
+		augment: augment,
+	}
+}
+
+// Games returns G, the number of concurrent games per round.
+func (d *Driver) Games() int { return len(d.engines) }
+
+// Replay returns the shared replay buffer. Safe to use between rounds.
+func (d *Driver) Replay() *train.Replay { return d.replay }
+
+// ingest adds one game's samples to the shared replay buffer. The mutex
+// serializes ingestion for any future caller that streams mid-round; the
+// driver itself ingests at the round barrier in game order, so the replay
+// insertion sequence — and therefore SGD batch composition — is a pure
+// function of the seed, not of goroutine scheduling.
+func (d *Driver) ingest(samples []nn.Sample) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, s := range samples {
+		if d.augment != nil {
+			for _, aug := range d.augment.Augment(s) {
+				d.replay.Add(aug)
+			}
+		} else {
+			d.replay.Add(s)
+		}
+	}
+}
+
+// PlayRound plays one round of G concurrent games and returns the merged
+// results. Per-game RNGs are split on the caller's goroutine before the
+// fan-out, so rounds are reproducible for a fixed seed and G.
+func (d *Driver) PlayRound() Round {
+	g := len(d.engines)
+	rands := make([]*rng.Rand, g)
+	for i := range rands {
+		rands[i] = d.r.Split()
+	}
+	episodes := make([]train.EpisodeResult, g)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			episodes[i] = train.SelfPlayEpisode(d.g, d.engines[i], train.EpisodeOptions{
+				TempMoves: d.cfg.TempMoves,
+				MaxMoves:  d.cfg.MaxMoves,
+				Rand:      rands[i],
+			})
+		}(i)
+	}
+	wg.Wait()
+	// Ingest at the barrier in game order: games race in wall-clock but the
+	// replay sequence stays deterministic for a fixed seed.
+	for i := 0; i < g; i++ {
+		d.ingest(episodes[i].Samples)
+	}
+
+	round := Round{Episodes: episodes, Elapsed: time.Since(start)}
+	for i := range episodes {
+		round.Search.Add(episodes[i].Search)
+		round.Moves += episodes[i].Moves
+		round.Samples += len(episodes[i].Samples)
+	}
+	return round
+}
+
+// TrainerConfig configures the round-based training loop.
+type TrainerConfig struct {
+	// Rounds is the number of concurrent-game rounds (each round plays G
+	// games, so Rounds*G episodes total).
+	Rounds int
+	// SGDIterations is the number of mini-batch updates per round.
+	SGDIterations int
+	// BatchSize is the SGD mini-batch size.
+	BatchSize int
+	// LR, Momentum, WeightDecay are the optimizer hyper-parameters.
+	LR, Momentum, WeightDecay float64
+	// TrainWorkers is the gradient-computation thread count (0 = GOMAXPROCS).
+	TrainWorkers int
+	// Seed drives mini-batch draws.
+	Seed uint64
+}
+
+// RoundStats reports one round of the training loop.
+type RoundStats struct {
+	Round   int
+	Games   int
+	Moves   int
+	Samples int
+	// Loss is the Equation 2 decomposition of the round's last update.
+	Loss nn.BatchResult
+	// Search is the aggregated engine stats of the round's games.
+	Search mcts.Stats
+	// SearchTime is the round's wall-clock self-play time (concurrent);
+	// TrainTime is the SGD stage; Elapsed is since training started.
+	SearchTime time.Duration
+	TrainTime  time.Duration
+	Elapsed    time.Duration
+}
+
+// Throughput returns processed samples per second, the Figure 6 metric
+// evaluated on the concurrent pipeline: samples / (search + train) wall
+// time. Concurrency raises it by shrinking the search term, not the count.
+func (s RoundStats) Throughput() float64 {
+	denom := (s.SearchTime + s.TrainTime).Seconds()
+	if denom <= 0 {
+		return 0
+	}
+	return float64(s.Samples) / denom
+}
+
+// Trainer alternates concurrent self-play rounds with SGD updates — the
+// Algorithm 1 outer loop with line 3's episode replaced by a G-wide round.
+type Trainer struct {
+	d   *Driver
+	net *nn.Network
+	opt *nn.SGD
+	cfg TrainerConfig
+	r   *rng.Rand
+}
+
+// NewTrainer assembles the round-based pipeline around an existing driver.
+func NewTrainer(d *Driver, net *nn.Network, cfg TrainerConfig) *Trainer {
+	if cfg.Rounds < 1 {
+		panic("selfplay: Rounds must be >= 1")
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 32
+	}
+	if cfg.SGDIterations < 1 {
+		cfg.SGDIterations = 1
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.01
+	}
+	return &Trainer{
+		d:   d,
+		net: net,
+		opt: nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+		cfg: cfg,
+		r:   rng.New(cfg.Seed),
+	}
+}
+
+// Net returns the network being trained.
+func (t *Trainer) Net() *nn.Network { return t.net }
+
+// Run executes the configured number of rounds, invoking onRound (if
+// non-nil) after each one, and returns the per-round statistics.
+func (t *Trainer) Run(onRound func(RoundStats)) []RoundStats {
+	all := make([]RoundStats, 0, t.cfg.Rounds)
+	start := time.Now()
+	for round := 0; round < t.cfg.Rounds; round++ {
+		res := t.d.PlayRound()
+
+		t0 := time.Now()
+		var last nn.BatchResult
+		for it := 0; it < t.cfg.SGDIterations; it++ {
+			batch := t.d.Replay().Sample(t.r, t.cfg.BatchSize)
+			last = nn.TrainBatch(t.net, t.opt, batch, t.cfg.TrainWorkers)
+		}
+		trainTime := time.Since(t0)
+
+		stats := RoundStats{
+			Round:      round,
+			Games:      t.d.Games(),
+			Moves:      res.Moves,
+			Samples:    res.Samples,
+			Loss:       last,
+			Search:     res.Search,
+			SearchTime: res.Elapsed,
+			TrainTime:  trainTime,
+			Elapsed:    time.Since(start),
+		}
+		all = append(all, stats)
+		if onRound != nil {
+			onRound(stats)
+		}
+	}
+	return all
+}

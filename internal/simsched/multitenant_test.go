@@ -1,0 +1,115 @@
+package simsched
+
+import (
+	"testing"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/accel"
+)
+
+func multiWorkload() Workload {
+	return Workload{
+		TSelect:  2 * time.Microsecond,
+		TBackup:  1 * time.Microsecond,
+		Playouts: 400,
+	}
+}
+
+func multiCost() accel.CostModel {
+	return accel.CostModel{
+		LaunchLatency:    30 * time.Microsecond,
+		BytesPerSample:   3600,
+		LinkBytesPerSec:  16e9,
+		ComputeBase:      40 * time.Microsecond,
+		ComputePerSample: 2 * time.Microsecond,
+	}
+}
+
+// TestLocalAccelIndependentReducesToSingleGame: at G=1 the independent
+// multi-game simulator must reproduce the single-game LocalAccel timeline
+// exactly — same virtual makespan, same launch count.
+func TestLocalAccelIndependentReducesToSingleGame(t *testing.T) {
+	w, m := multiWorkload(), multiCost()
+	for _, b := range []int{1, 4, 8, 16} {
+		single := LocalAccel(w, m, 16, b)
+		multi := LocalAccelIndependent(w, m, 16, b, 1)
+		if multi.Total != single.Total {
+			t.Fatalf("b=%d: multi %v != single %v", b, multi.Total, single.Total)
+		}
+		if multi.Batches != single.Batches {
+			t.Fatalf("b=%d: %d batches != %d", b, multi.Batches, single.Batches)
+		}
+	}
+}
+
+// TestLocalAccelSharedDeterministic: the multi-game timeline is a pure
+// function of its inputs — the reproducibility promise that replaces
+// needing a 64-core host to observe the G·N contention shape.
+func TestLocalAccelSharedDeterministic(t *testing.T) {
+	w, m := multiWorkload(), multiCost()
+	a := LocalAccelShared(w, m, 8, 32, 8, time.Millisecond)
+	b := LocalAccelShared(w, m, 8, 32, 8, time.Millisecond)
+	if a != b {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Batches == 0 || a.Total <= 0 {
+		t.Fatalf("degenerate result: %+v", a)
+	}
+}
+
+// TestLocalAccelSharedBeatsIndependent: with a launch-dominated cost model,
+// G games aggregating into one service (large fill) must finish their
+// aggregate playouts faster than G private queues (G under-filled streams)
+// — the motivating claim of the multi-tenant refactor, in virtual time.
+func TestLocalAccelSharedBeatsIndependent(t *testing.T) {
+	w, m := multiWorkload(), multiCost()
+	const n, g = 8, 8
+	indep := LocalAccelIndependent(w, m, n, n, g) // each game batches at its own N
+	shared := LocalAccelShared(w, m, n, g*n, g, time.Millisecond)
+	if shared.PerIteration >= indep.PerIteration {
+		t.Fatalf("shared service (%v/iter, fill %.1f) not faster than independent queues (%v/iter, fill %.1f)",
+			shared.PerIteration, shared.AvgFill, indep.PerIteration, indep.AvgFill)
+	}
+	if shared.AvgFill <= indep.AvgFill {
+		t.Fatalf("aggregation did not raise batch fill: shared %.1f vs independent %.1f",
+			shared.AvgFill, indep.AvgFill)
+	}
+	if shared.Batches >= indep.Batches {
+		t.Fatalf("aggregation did not reduce launches: %d vs %d", shared.Batches, indep.Batches)
+	}
+}
+
+// TestLocalAccelSharedDeadlineBoundsDrain: every playout completes even
+// when the aggregate threshold can never be met (tiny budgets), because the
+// deadline launches partial batches — the virtual-time twin of the server's
+// flush guarantee.
+func TestLocalAccelSharedDeadlineBoundsDrain(t *testing.T) {
+	w := multiWorkload()
+	w.Playouts = 5 // 2 games * 5 playouts = 10 total << threshold 64
+	m := multiCost()
+	res := LocalAccelShared(w, m, 4, 64, 2, 500*time.Microsecond)
+	if res.Total <= 0 {
+		t.Fatalf("simulation stalled: %+v", res)
+	}
+	// All 10 evaluations must have reached the device.
+	if res.Batches < 1 || res.AvgFill*float64(res.Batches) != 10 {
+		t.Fatalf("lost requests: %d batches, fill %.2f", res.Batches, res.AvgFill)
+	}
+	// With a 500us deadline, the makespan is bounded by a few deadline
+	// windows, not by an unbounded wait for co-tenants.
+	if res.Total > 20*time.Millisecond {
+		t.Fatalf("drain took %v — deadline flushing not effective", res.Total)
+	}
+}
+
+// TestLocalAccelSharedPanicsWithoutDeadline: a shared buffer with no flush
+// deadline can strand a straggler tenant forever; the simulator refuses it
+// just like the real topology should.
+func TestLocalAccelSharedPanicsWithoutDeadline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for deadline-less shared simulation")
+		}
+	}()
+	LocalAccelShared(multiWorkload(), multiCost(), 4, 16, 2, 0)
+}

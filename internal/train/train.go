@@ -153,6 +153,10 @@ type EpisodeResult struct {
 	Winner game.Player
 	// SearchTime is the total tree-based search time.
 	SearchTime time.Duration
+	// Search aggregates the per-move engine stats over the whole episode
+	// (mcts.Stats.Add), so concurrent-game drivers can merge episodes
+	// without hand-summing fields.
+	Search mcts.Stats
 }
 
 // SelfPlayEpisode plays one complete game with the engine choosing both
@@ -174,7 +178,7 @@ func SelfPlayEpisode(g game.Game, engine mcts.Engine, opts EpisodeOptions) Episo
 	dist := make([]float32, g.NumActions())
 	for !st.Terminal() && res.Moves < maxMoves {
 		t0 := time.Now()
-		engine.Search(st, dist)
+		res.Search.Add(engine.Search(st, dist))
 		res.SearchTime += time.Since(t0)
 
 		input := make([]float32, inputLen)
