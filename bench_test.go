@@ -216,6 +216,55 @@ func BenchmarkVirtualLossModes(b *testing.B) {
 	}
 }
 
+// benchTreeReuse plays the opening of a Gomoku self-play game and measures
+// the evaluation demand per move with persistent search sessions on or off:
+// warm trees credit the played child's retained visits against the playout
+// budget, so every retained visit is a DNN evaluation the move does not
+// re-buy. The exploitation-leaning CPuct concentrates visits on the played
+// child the way a trained prior does, and the modelled evaluation latency
+// makes the saved evaluations visible in wall-clock. playouts/s counts
+// budget-equivalents delivered per second — retained visits are playouts
+// the move did not have to run. The fresh/warm pair backs
+// BENCH_tree_reuse.json.
+func benchTreeReuse(b *testing.B, reuse bool) {
+	g := gomoku.NewSized(7)
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = 800
+	cfg.Tree.CPuct = 0.8
+	cfg.ReuseTree = reuse
+	cfg.Seed = 5
+	const moves = 12
+	var evals, playoutsRun, reused, movesPlayed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := mcts.NewSerial(cfg, &evaluate.Random{Latency: 20 * time.Microsecond})
+		st := g.NewInitial()
+		dist := make([]float32, g.NumActions())
+		for mv := 0; mv < moves && !st.Terminal(); mv++ {
+			s := e.Search(st, dist)
+			evals += s.Evaluations
+			playoutsRun += s.Playouts
+			reused += s.ReusedVisits
+			movesPlayed++
+			best, bestV := 0, float32(-1)
+			for a, p := range dist {
+				if p > bestV {
+					best, bestV = a, p
+				}
+			}
+			st.Play(best)
+			e.Advance(best)
+		}
+		e.Close()
+	}
+	b.ReportMetric(float64(evals)/float64(movesPlayed), "evals/move")
+	b.ReportMetric(float64(reused)/float64(reused+playoutsRun), "reuse-frac")
+	b.ReportMetric(float64(playoutsRun+reused)/b.Elapsed().Seconds(), "playouts/s")
+}
+
+func BenchmarkTreeReuseGomokuFresh(b *testing.B) { benchTreeReuse(b, false) }
+func BenchmarkTreeReuseGomokuWarm(b *testing.B)  { benchTreeReuse(b, true) }
+
 // benchForwardBatch times nn.ForwardBatch on the paper's Gomoku network at
 // one batch size; BenchmarkForwardBatch{1,8,32} back the throughput claims
 // in BENCH_batched_inference.json.

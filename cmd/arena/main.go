@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	arena [-game tictactoe|connect4] [-games 10] [-playouts 200] [-workers 4]
+//	arena [-game tictactoe|connect4] [-games 10] [-playouts 200] [-workers 4] [-reuse]
 //	arena -model trained.bin [-board 9] [-games 10] [-playouts 100]
 package main
 
@@ -34,6 +34,7 @@ func main() {
 		games    = flag.Int("games", 10, "games per pairing")
 		playouts = flag.Int("playouts", 200, "playouts per move")
 		workers  = flag.Int("workers", 4, "workers for the parallel schemes")
+		reuse    = flag.Bool("reuse", false, "persistent search sessions: engines keep the played subtree warm across moves")
 		model    = flag.String("model", "", "gate this saved model against a fresh network")
 		board    = flag.Int("board", 9, "gomoku board size for -model gating")
 	)
@@ -57,6 +58,7 @@ func main() {
 
 	cfg := mcts.DefaultConfig()
 	cfg.Playouts = *playouts
+	cfg.ReuseTree = *reuse
 	eval := &evaluate.Random{}
 	pool := evaluate.NewPool(eval, *workers)
 	defer pool.Close()

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	selfplay [-n 4] [-games 1] [-board 9] [-playouts 100] [-episodes 8]
-//	         [-platform cpu|gpu] [-full-net] [-save model.bin]
+//	         [-platform cpu|gpu] [-reuse] [-full-net] [-save model.bin]
 package main
 
 import (
@@ -42,6 +42,7 @@ func main() {
 		episodes = flag.Int("episodes", 8, "self-play episodes (rounds of -games each when -games > 1)")
 		platform = flag.String("platform", "cpu", "cpu or gpu")
 		scheme   = flag.String("scheme", "auto", "auto, shared, or local: force a parallel scheme instead of the model decision")
+		reuse    = flag.Bool("reuse", false, "persistent search sessions: retain the played subtree across moves instead of rebuilding the tree")
 		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
 		savePath = flag.String("save", "", "write the trained network here")
 		seed     = flag.Uint64("seed", 1, "run seed")
@@ -66,6 +67,7 @@ func main() {
 	search.DirichletAlpha = 0.3
 	search.NoiseFrac = 0.25
 	search.Seed = *seed
+	search.ReuseTree = *reuse
 	opts := adaptive.Options{
 		Search:          search,
 		Workers:         *n,
@@ -131,6 +133,9 @@ func main() {
 			if fleet.Server != nil {
 				line += fmt.Sprintf(" avg-batch-fill=%.1f", fleet.Server.Stats().AvgFill())
 			}
+			if *reuse {
+				line += fmt.Sprintf(" reuse=%.2f", s.Search.ReuseFraction())
+			}
 			fmt.Println(line)
 			if cached, ok := opts.Evaluator.(*evaluate.Cached); ok {
 				cached.Reset() // the SGD update invalidated cached evaluations
@@ -157,9 +162,13 @@ func main() {
 			Seed:          *seed,
 		})
 		tr.Run(func(s train.EpisodeStats) {
-			fmt.Printf("episode %2d: moves=%2d winner=%+d loss=%.4f (v=%.4f p=%.4f) throughput=%.2f samples/s elapsed=%v\n",
+			line := fmt.Sprintf("episode %2d: moves=%2d winner=%+d loss=%.4f (v=%.4f p=%.4f) throughput=%.2f samples/s elapsed=%v",
 				s.Episode, s.Moves, s.Winner, s.Loss.TotalLoss(), s.Loss.ValueLoss,
 				s.Loss.PolicyLoss, s.Throughput(), s.Elapsed.Round(1e6))
+			if *reuse {
+				line += fmt.Sprintf(" reuse=%.2f", s.Search.ReuseFraction())
+			}
+			fmt.Println(line)
 		})
 	}
 

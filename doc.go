@@ -43,6 +43,33 @@
 // LocalAccelShared/LocalAccelIndependent replay the multi-game contention
 // shape in deterministic virtual time.
 //
+// # Persistent search sessions
+//
+// Every engine is a persistent per-game search session. Drivers call
+// mcts.Engine.Advance after each played move — the engine's own move and
+// the opponent's reply — and, with mcts.Config.ReuseTree set, the tree
+// promotes the played child's whole subtree to be the new root
+// (tree.RebaseRoot): a generation-tagged in-place compaction that keeps
+// the index-based arena layout of Section 4.2, reclaims every abandoned
+// sibling's slot, and preserves the atomic N/W/VL statistics exactly. The
+// next Search then only runs the playout budget the retained visits do
+// not already cover, re-mixing Dirichlet exploration noise into the
+// promoted root's priors once, so every retained visit is a DNN
+// evaluation the move does not re-buy (see BENCH_tree_reuse.json for the
+// recorded fresh-vs-warm demand). Rebases drain in-flight traversals (and
+// their virtual loss) first, and wasted-evaluation counters are
+// generation-tagged so rollouts straddling a move boundary are attributed
+// rather than dropped. With ReuseTree off (the default, matching the
+// paper's rebuild-every-move workload) Advance simply invalidates the
+// session. One property to know: warm trees surface the local-tree
+// engine's inherent sensitivity to evaluation-completion interleaving
+// (with more than one evaluation in flight, trajectories depend on
+// arrival order — the Section 5.5 argument that parallel execution
+// changes trajectories but not decision quality applies). For the G-game
+// fleet the effect compounds: each tenant's
+// per-move evaluation demand drops by its reuse fraction, which
+// multiplies directly into the shared service's aggregate throughput.
+//
 // Packages live under internal/; the runnable entry points are the
 // binaries under cmd/ and the programs under examples/. The benchmarks in
 // bench_test.go regenerate each table and figure of the paper's evaluation

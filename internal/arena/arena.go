@@ -79,8 +79,12 @@ func (r MatchResult) String() string {
 		r.WinsA, r.WinsB, r.Draws, r.Score(), r.EloDiff(1000))
 }
 
-// Play runs the match. Engines are reused across games (their trees reset
-// per Search); they must not be shared with concurrent callers.
+// Play runs the match. Engines are reused across games; they must not be
+// shared with concurrent callers. Both engines are advanced past every
+// played move — the mover's own action and, from the other side's view,
+// the opponent's reply — so engines configured with mcts.Config.ReuseTree
+// keep warm trees through a game; sessions are discarded at each game
+// boundary.
 func Play(g game.Game, engineA, engineB mcts.Engine, cfg MatchConfig) MatchResult {
 	if cfg.Games < 1 {
 		panic("arena: Games must be >= 1")
@@ -124,8 +128,19 @@ func playOne(g game.Game, a, b mcts.Engine, aFirst bool, maxMoves int, cfg Match
 		if cfg.Temperature > 0 && (cfg.TempMoves == 0 || ply < cfg.TempMoves) {
 			temp = cfg.Temperature
 		}
-		st.Play(train.SampleAction(r, dist, temp))
+		action := train.SampleAction(r, dist, temp)
+		st.Play(action)
+		if !st.Terminal() {
+			// Warm both trees: the mover follows its own move, the other
+			// engine follows the opponent's reply.
+			a.Advance(action)
+			b.Advance(action)
+		}
 	}
+	// Game over: the next game starts from a fresh position, so any warm
+	// subtree is invalid.
+	a.Advance(mcts.DiscardTree)
+	b.Advance(mcts.DiscardTree)
 	return st.Winner()
 }
 

@@ -129,3 +129,57 @@ func TestParallelSchemesMatchSerialStrength(t *testing.T) {
 		t.Fatalf("shared-tree engine collapsed against serial: %+v", res)
 	}
 }
+
+// advanceRecorder wraps an engine and records the Advance calls the arena
+// drives into it.
+type advanceRecorder struct {
+	mcts.Engine
+	advances []int
+}
+
+func (r *advanceRecorder) Advance(action int) {
+	r.advances = append(r.advances, action)
+	r.Engine.Advance(action)
+}
+
+// TestPlayAdvancesBothEngines pins the arena half of persistent search
+// sessions: every non-terminal move is advanced into BOTH engines (the
+// mover's own action and the opponent's reply), and each game ends with a
+// DiscardTree so warm state never leaks into the next game.
+func TestPlayAdvancesBothEngines(t *testing.T) {
+	reuse := func(seed uint64) mcts.Engine {
+		cfg := mcts.DefaultConfig()
+		cfg.Playouts = 60
+		cfg.Seed = seed
+		cfg.ReuseTree = true
+		return mcts.NewSerial(cfg, &evaluate.Random{})
+	}
+	a := &advanceRecorder{Engine: reuse(1)}
+	b := &advanceRecorder{Engine: reuse(2)}
+	res := Play(tictactoe.New(), a, b, MatchConfig{Games: 2, Seed: 5})
+	if res.Games != 2 {
+		t.Fatalf("games = %d", res.Games)
+	}
+	if len(a.advances) != len(b.advances) {
+		t.Fatalf("engines advanced unevenly: %d vs %d", len(a.advances), len(b.advances))
+	}
+	discards := 0
+	for i, act := range a.advances {
+		if act != b.advances[i] {
+			t.Fatalf("advance %d diverged: %d vs %d", i, act, b.advances[i])
+		}
+		if act == mcts.DiscardTree {
+			discards++
+		}
+	}
+	if discards != 2 {
+		t.Fatalf("discards = %d, want one per game", discards)
+	}
+	if len(a.advances) <= discards {
+		t.Fatal("no move advances recorded")
+	}
+	// Discards must close each game: the final advance is a DiscardTree.
+	if a.advances[len(a.advances)-1] != mcts.DiscardTree {
+		t.Fatal("game did not end with a session discard")
+	}
+}

@@ -123,28 +123,29 @@ func AblationBaselines(workers, playouts int) *stats.Table {
 		e.Close()
 	}
 
+	// Every engine now reports its exact DNN-request count in
+	// Stats.Evaluations (leaf-parallel counts all K evaluations per leaf).
+	evals := func(s mcts.Stats) int { return s.Evaluations }
+
 	shared := mcts.NewShared(mctsCfg(playouts), workers, eval)
 	run("shared tree (Alg.2)", shared,
-		func() int { return shared.Tree().Allocated() },
-		func(s mcts.Stats) int { return s.Expansions })
+		func() int { return shared.Tree().Allocated() }, evals)
 
 	pool := evaluate.NewPool(eval, workers)
 	local := mcts.NewLocal(mctsCfg(playouts), pool, workers)
 	run("local tree (Alg.3)", local,
-		func() int { return local.Tree().Allocated() },
-		func(s mcts.Stats) int { return s.Expansions })
+		func() int { return local.Tree().Allocated() }, evals)
 	pool.Close()
 
 	rootPar := mcts.NewRootParallel(mctsCfg(playouts), workers, eval)
 	run("root-parallel", rootPar,
 		func() int { return -1 }, // W private trees; distinctness not defined
-		func(s mcts.Stats) int { return s.Expansions })
+		evals)
 
 	pool2 := evaluate.NewPool(eval, workers)
 	leafPar := mcts.NewLeafParallel(mctsCfg(playouts), workers, pool2)
 	run(fmt.Sprintf("leaf-parallel (K=%d)", workers), leafPar,
-		func() int { return -1 },
-		func(s mcts.Stats) int { return s.Expansions * workers }) // K evals per expansion
+		func() int { return -1 }, evals)
 	pool2.Close()
 
 	return tb

@@ -7,7 +7,6 @@ import (
 	"github.com/parmcts/parmcts/internal/evaluate"
 	"github.com/parmcts/parmcts/internal/game"
 	"github.com/parmcts/parmcts/internal/rng"
-	"github.com/parmcts/parmcts/internal/tree"
 )
 
 // RootParallel implements the root-parallelisation baseline of Section 2.2
@@ -35,6 +34,12 @@ func (e *RootParallel) Name() string { return "root-parallel" }
 
 // Close implements Engine.
 func (e *RootParallel) Close() {}
+
+// Advance implements Engine. Root parallelisation has no persistent tree
+// to warm: every Search builds W fresh private trees and discards them
+// after aggregation, so subtree reuse is structurally impossible and
+// Advance is a no-op.
+func (e *RootParallel) Advance(action int) {}
 
 // Search implements Engine.
 func (e *RootParallel) Search(st game.State, dist []float32) Stats {
@@ -71,10 +76,10 @@ func (e *RootParallel) Search(st game.State, dist []float32) Stats {
 		for i := range dist {
 			dist[i] += dists[w][i] / float32(e.workers)
 		}
-		stats.Expansions += shards[w].Expansions
-		stats.TerminalHits += shards[w].TerminalHits
-		stats.SumDepth += shards[w].SumDepth
+		stats.Add(shards[w]) // field-complete merge: phase timings included
 	}
+	// The shard sums of Playouts and Duration describe the sub-searches,
+	// not this move; overwrite with the aggregate view.
 	stats.Playouts = perWorker * e.workers
 	stats.Duration = time.Since(start)
 	return stats
@@ -87,10 +92,9 @@ func (e *RootParallel) Search(st game.State, dist []float32) Stats {
 // "wasted parallelism due to the lack of diverse evaluation coverage" the
 // paper cites — which the experiments quantify.
 type LeafParallel struct {
-	cfg   Config
+	s     session
 	k     int
 	async evaluate.Async
-	tr    *tree.Tree
 	r     *rng.Rand
 
 	input   []float32
@@ -103,7 +107,7 @@ func NewLeafParallel(cfg Config, k int, async evaluate.Async) *LeafParallel {
 	if k < 1 {
 		panic("mcts: leaf-parallel needs K >= 1")
 	}
-	return &LeafParallel{cfg: cfg, k: k, async: async, r: rng.New(cfg.Seed)}
+	return &LeafParallel{s: session{cfg: cfg}, k: k, async: async, r: rng.New(cfg.Seed)}
 }
 
 // Name implements Engine.
@@ -112,31 +116,34 @@ func (e *LeafParallel) Name() string { return "leaf-parallel" }
 // Close implements Engine.
 func (e *LeafParallel) Close() {}
 
+// Advance implements Engine. The sequential tree persists between moves,
+// so the baseline participates in subtree reuse like the serial engine.
+func (e *LeafParallel) Advance(action int) { e.s.advance(action) }
+
 // Search implements Engine.
 func (e *LeafParallel) Search(st game.State, dist []float32) Stats {
-	if e.tr == nil {
-		e.tr = newTreeFor(e.cfg, st)
-	} else {
-		e.tr.Reset()
-	}
+	e.s.mu.Lock()
+	defer e.s.mu.Unlock()
+	var stats Stats
+	_, budget := e.s.prepare(st, &stats, rootNoiseRemix(e.s.cfg, e.r))
 	c, h, w := st.EncodedShape()
 	if e.input == nil {
 		e.input = make([]float32, c*h*w)
 		e.priors = make([]float32, st.NumActions())
 	}
-	var stats Stats
 	start := time.Now()
-	for p := 0; p < e.cfg.Playouts; p++ {
+	for p := 0; p < budget; p++ {
 		e.rollout(st, &stats)
 	}
-	stats.Playouts = e.cfg.Playouts
+	stats.Playouts = budget
 	stats.Duration = time.Since(start)
-	e.tr.VisitDistribution(dist)
+	e.s.finish(&stats)
+	e.s.tr.VisitDistribution(dist)
 	return stats
 }
 
 func (e *LeafParallel) rollout(root game.State, stats *Stats) {
-	tr := e.tr
+	tr := e.s.tr
 	st := root.Clone()
 	idx := tr.Root()
 	depth := 0
@@ -177,11 +184,12 @@ func (e *LeafParallel) rollout(root game.State, stats *Stats) {
 			lastPolicy = req.Policy
 		}
 		value = sum / float64(e.k)
+		stats.Evaluations += e.k
 		e.actions = st.LegalMoves(e.actions[:0])
 		priors := e.priors[:len(e.actions)]
 		maskedPriors(lastPolicy, e.actions, priors)
 		if idx == tr.Root() {
-			applyRootNoise(e.cfg, e.r, priors)
+			applyRootNoise(e.s.cfg, e.r, priors)
 		}
 		tr.Expand(idx, e.actions, priors)
 		stats.Expansions++

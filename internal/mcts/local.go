@@ -20,10 +20,9 @@ import (
 // outstanding; otherwise it waits for a completion, expands the leaf with
 // the returned priors, and backs the value up.
 type Local struct {
-	cfg         Config
+	s           session
 	async       evaluate.Async
 	maxInFlight int
-	tr          *tree.Tree
 	r           *rng.Rand
 	free        []*localJob
 }
@@ -43,7 +42,7 @@ func NewLocal(cfg Config, async evaluate.Async, maxInFlight int) *Local {
 	if maxInFlight < 1 {
 		panic("mcts: local engine needs maxInFlight >= 1")
 	}
-	return &Local{cfg: cfg, async: async, maxInFlight: maxInFlight, r: rng.New(cfg.Seed)}
+	return &Local{s: session{cfg: cfg}, async: async, maxInFlight: maxInFlight, r: rng.New(cfg.Seed)}
 }
 
 // Name implements Engine.
@@ -53,21 +52,27 @@ func (e *Local) Name() string { return "local" }
 // the caller closes it (it may be shared across moves).
 func (e *Local) Close() {}
 
+// Advance implements Engine. Like every Local operation it belongs to the
+// single master thread; the session lock orders it against Search, and
+// Search never returns with an evaluation outstanding (its loop only
+// exits once every submitted request has completed, backing up and
+// releasing its virtual loss), so a rebase always runs on a quiescent
+// tree.
+func (e *Local) Advance(action int) { e.s.advance(action) }
+
 // MaxInFlight returns the outstanding-evaluation bound.
 func (e *Local) MaxInFlight() int { return e.maxInFlight }
 
 // Search implements Engine.
 func (e *Local) Search(st game.State, dist []float32) Stats {
-	if e.tr == nil {
-		e.tr = newTreeFor(e.cfg, st)
-	} else {
-		e.tr.Reset()
-	}
+	e.s.mu.Lock()
+	defer e.s.mu.Unlock()
 	var stats Stats
+	_, budget := e.s.prepare(st, &stats, rootNoiseRemix(e.s.cfg, e.r))
 	start := time.Now()
 
 	submitted, completed, inflight := 0, 0, 0
-	for completed < e.cfg.Playouts {
+	for completed < budget {
 		// Opportunistically drain finished evaluations.
 		for inflight > 0 {
 			select {
@@ -80,7 +85,7 @@ func (e *Local) Search(st game.State, dist []float32) Stats {
 			}
 		}
 	drained:
-		if submitted < e.cfg.Playouts && inflight < e.maxInFlight {
+		if submitted < budget && inflight < e.maxInFlight {
 			sync := e.selectAndSubmit(st, &stats)
 			submitted++
 			if sync {
@@ -90,7 +95,7 @@ func (e *Local) Search(st game.State, dist []float32) Stats {
 			}
 			continue
 		}
-		if completed >= e.cfg.Playouts {
+		if completed >= budget {
 			break
 		}
 		// Master must wait (thread pool full, or budget fully submitted).
@@ -109,9 +114,10 @@ func (e *Local) Search(st game.State, dist []float32) Stats {
 		inflight--
 		completed++
 	}
-	stats.Playouts = e.cfg.Playouts
+	stats.Playouts = budget
 	stats.Duration = time.Since(start)
-	e.tr.VisitDistribution(dist)
+	e.s.finish(&stats)
+	e.s.tr.VisitDistribution(dist)
 	return stats
 }
 
@@ -119,8 +125,8 @@ func (e *Local) Search(st game.State, dist []float32) Stats {
 // terminal outcome immediately (returning true) or submits an evaluation
 // request for the leaf (returning false).
 func (e *Local) selectAndSubmit(root game.State, stats *Stats) (syncDone bool) {
-	prof := e.cfg.Profile
-	tr := e.tr
+	prof := e.s.cfg.Profile
+	tr := e.s.tr
 	st := root.Clone()
 	idx := tr.Root()
 
@@ -159,20 +165,21 @@ func (e *Local) selectAndSubmit(root game.State, stats *Stats) (syncDone bool) {
 	job.actions = st.LegalMoves(job.actions[:0])
 	st.Encode(job.req.Input)
 	e.async.Submit(&job.req)
+	stats.Evaluations++
 	return false
 }
 
 // finish expands the evaluated leaf and backs up its value.
 func (e *Local) finish(req *evaluate.Request, stats *Stats) {
-	prof := e.cfg.Profile
+	prof := e.s.cfg.Profile
 	job := req.Ctx.(*localJob)
-	tr := e.tr
+	tr := e.s.tr
 
 	t2 := now(prof)
 	priors := job.priors[:len(job.actions)]
 	maskedPriors(req.Policy, job.actions, priors)
 	if job.leaf == tr.Root() {
-		applyRootNoise(e.cfg, e.r, priors)
+		applyRootNoise(e.s.cfg, e.r, priors)
 	}
 	tr.Expand(job.leaf, job.actions, priors)
 	stats.Expansions++
@@ -204,4 +211,4 @@ func (e *Local) takeJob(st game.State) *localJob {
 }
 
 // Tree exposes the engine's tree for tests.
-func (e *Local) Tree() *tree.Tree { return e.tr }
+func (e *Local) Tree() *tree.Tree { return e.s.tr }

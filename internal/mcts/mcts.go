@@ -39,6 +39,14 @@ type Config struct {
 	// Profile enables per-phase latency accounting (adds two clock reads
 	// per phase; leave off in throughput runs).
 	Profile bool
+	// ReuseTree retains the played child's subtree across moves: after a
+	// driver calls Engine.Advance for each move, the next Search continues
+	// from the warm tree and only spends the playout budget the retained
+	// visits do not already cover — cutting DNN evaluations per move.
+	// When false (the default, and the paper's rebuild-every-move
+	// workload), Advance invalidates the tree and every Search starts
+	// cold.
+	ReuseTree bool
 }
 
 // DefaultConfig returns the paper's search configuration.
@@ -49,7 +57,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats reports one Search invocation.
+// Stats reports one Search invocation. Playouts counts the rollouts the
+// search actually ran: on a warm tree (Config.ReuseTree + Advance) the
+// retained visits are credited against the budget, so Playouts plus
+// ReusedVisits equals the configured target.
 type Stats struct {
 	Playouts int
 	Duration time.Duration
@@ -59,6 +70,19 @@ type Stats struct {
 	TerminalHits int
 	// SumDepth accumulates leaf depths (AvgDepth = SumDepth/Playouts).
 	SumDepth int
+	// Evaluations counts DNN evaluation requests issued — the currency the
+	// paper's performance models price. Subtree reuse lowers it at equal
+	// playout targets; that drop is the point of persistent sessions.
+	Evaluations int
+	// WastedEvals counts duplicate expansions during this search:
+	// evaluations bought for a leaf another rollout had already expanded.
+	// The underlying tree counter survives rebases, so rollouts in flight
+	// across a move boundary are attributed, not dropped.
+	WastedEvals int
+	// ReusedNodes/ReusedVisits report what Advance retained into this
+	// search's warm tree (zero on cold searches).
+	ReusedNodes  int
+	ReusedVisits int
 	// Phase breakdown, populated when Config.Profile is set.
 	SelectTime time.Duration
 	ExpandTime time.Duration
@@ -77,10 +101,25 @@ func (s *Stats) Add(o Stats) {
 	s.Expansions += o.Expansions
 	s.TerminalHits += o.TerminalHits
 	s.SumDepth += o.SumDepth
+	s.Evaluations += o.Evaluations
+	s.WastedEvals += o.WastedEvals
+	s.ReusedNodes += o.ReusedNodes
+	s.ReusedVisits += o.ReusedVisits
 	s.SelectTime += o.SelectTime
 	s.ExpandTime += o.ExpandTime
 	s.BackupTime += o.BackupTime
 	s.EvalTime += o.EvalTime
+}
+
+// ReuseFraction returns the share of the playout target covered by
+// retained visits instead of fresh rollouts: ReusedVisits over
+// (ReusedVisits + Playouts). Zero on cold searches.
+func (s Stats) ReuseFraction() float64 {
+	total := s.ReusedVisits + s.Playouts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReusedVisits) / float64(total)
 }
 
 // AvgDepth returns the mean leaf depth of the search.
@@ -107,7 +146,19 @@ type Engine interface {
 	Name() string
 	// Search runs the configured playout budget from st and writes the
 	// normalised root visit distribution into dist (length NumActions).
+	// On a warm tree (see Advance) the budget is reduced by the retained
+	// root visits, so the total backing the distribution still matches the
+	// configured target.
 	Search(st game.State, dist []float32) Stats
+	// Advance tells the engine the game advanced by action. Drivers call
+	// it once per move — for the engine's own move and for the opponent's
+	// reply — so the tree can follow the game. With Config.ReuseTree set,
+	// the played child's subtree is promoted to the root (statistics
+	// intact) and the next Search continues from it; otherwise, or when
+	// action is negative (DiscardTree, for game boundaries), the session
+	// goes cold and the next Search rebuilds from scratch. Advance waits
+	// for any in-flight rollouts to drain before rebasing.
+	Advance(action int)
 	// Close releases engine-owned goroutines.
 	Close()
 }
@@ -136,6 +187,15 @@ func maskedPriors(policy []float32, actions []int, out []float32) {
 	for i := range actions {
 		out[i] *= inv
 	}
+}
+
+// rootNoiseRemix returns the warm-root prior remix callback for
+// session.prepare, or nil when root noise is disabled.
+func rootNoiseRemix(cfg Config, r *rng.Rand) func(priors []float32) {
+	if cfg.DirichletAlpha <= 0 || cfg.NoiseFrac <= 0 {
+		return nil
+	}
+	return func(priors []float32) { applyRootNoise(cfg, r, priors) }
 }
 
 // applyRootNoise mixes Dirichlet noise into freshly computed root priors.

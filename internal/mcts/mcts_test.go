@@ -284,16 +284,19 @@ func TestStatsDerivedMetrics(t *testing.T) {
 func TestStatsAddSumsEveryField(t *testing.T) {
 	a := Stats{
 		Playouts: 10, Duration: 100, Expansions: 8, TerminalHits: 2,
-		SumDepth: 30, SelectTime: 5, ExpandTime: 6, BackupTime: 7, EvalTime: 8,
+		SumDepth: 30, Evaluations: 9, WastedEvals: 1, ReusedNodes: 40, ReusedVisits: 20,
+		SelectTime: 5, ExpandTime: 6, BackupTime: 7, EvalTime: 8,
 	}
 	b := Stats{
 		Playouts: 1, Duration: 10, Expansions: 1, TerminalHits: 1,
-		SumDepth: 3, SelectTime: 1, ExpandTime: 2, BackupTime: 3, EvalTime: 4,
+		SumDepth: 3, Evaluations: 2, WastedEvals: 1, ReusedNodes: 4, ReusedVisits: 2,
+		SelectTime: 1, ExpandTime: 2, BackupTime: 3, EvalTime: 4,
 	}
 	a.Add(b)
 	want := Stats{
 		Playouts: 11, Duration: 110, Expansions: 9, TerminalHits: 3,
-		SumDepth: 33, SelectTime: 6, ExpandTime: 8, BackupTime: 10, EvalTime: 12,
+		SumDepth: 33, Evaluations: 11, WastedEvals: 2, ReusedNodes: 44, ReusedVisits: 22,
+		SelectTime: 6, ExpandTime: 8, BackupTime: 10, EvalTime: 12,
 	}
 	if a != want {
 		t.Fatalf("Add merged to %+v, want %+v — a field was silently dropped", a, want)

@@ -1,0 +1,268 @@
+package mcts
+
+import (
+	"testing"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/game/connect4"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+func reuseCfg(playouts int) Config {
+	cfg := DefaultConfig()
+	cfg.Playouts = playouts
+	cfg.ReuseTree = true
+	return cfg
+}
+
+// playAndAdvance runs one search, plays the argmax move on st, and
+// advances the engine past it, returning the action and the search stats.
+func playAndAdvance(t *testing.T, e Engine, st game.State) (int, Stats) {
+	t.Helper()
+	dist := make([]float32, st.NumActions())
+	stats := e.Search(st, dist)
+	checkDistribution(t, st, dist)
+	action := argmax32(dist)
+	st.Play(action)
+	e.Advance(action)
+	return action, stats
+}
+
+// rootPriors reads the current root children's priors, keyed by action.
+func rootPriors(tr *tree.Tree) map[int]float64 {
+	out := map[int]float64{}
+	tr.Children(tr.Root(), func(_ int32, nd *tree.Node) {
+		out[nd.Action()] = nd.Prior()
+	})
+	return out
+}
+
+func TestSerialWarmSearchReducesEvaluations(t *testing.T) {
+	const playouts = 400
+	warm := NewSerial(reuseCfg(playouts), &evaluate.Random{})
+	st := connect4.New().NewInitial()
+	_, first := playAndAdvance(t, warm, st)
+	if first.ReusedVisits != 0 || first.Evaluations == 0 {
+		t.Fatalf("cold search stats: %+v", first)
+	}
+
+	dist := make([]float32, st.NumActions())
+	second := warm.Search(st, dist)
+	checkDistribution(t, st, dist)
+	if second.ReusedVisits == 0 {
+		t.Fatal("warm search retained no visits")
+	}
+	if second.Playouts+second.ReusedVisits != playouts {
+		t.Fatalf("playouts %d + reused %d != target %d",
+			second.Playouts, second.ReusedVisits, playouts)
+	}
+	if got := warm.Tree().Node(warm.Tree().Root()).Visits(); got != playouts {
+		t.Fatalf("warm root visits = %d, want %d", got, playouts)
+	}
+	if second.ReuseFraction() <= 0 {
+		t.Fatalf("reuse fraction = %v", second.ReuseFraction())
+	}
+
+	// The same position searched cold must cost strictly more evaluations.
+	cold := NewSerial(reuseCfg(playouts), &evaluate.Random{})
+	coldStats := cold.Search(st, dist)
+	if second.Evaluations >= coldStats.Evaluations {
+		t.Fatalf("warm search evaluations %d >= cold %d",
+			second.Evaluations, coldStats.Evaluations)
+	}
+}
+
+func TestReuseDisabledAdvanceIsNoOp(t *testing.T) {
+	cfg := testCfg(200) // ReuseTree false
+	e := NewSerial(cfg, &evaluate.Random{})
+	st := connect4.New().NewInitial()
+	playAndAdvance(t, e, st)
+	dist := make([]float32, st.NumActions())
+	stats := e.Search(st, dist)
+	if stats.ReusedVisits != 0 || stats.ReusedNodes != 0 {
+		t.Fatalf("reuse-off search reported reuse: %+v", stats)
+	}
+	if stats.Playouts != 200 {
+		t.Fatalf("playouts = %d, want full budget 200", stats.Playouts)
+	}
+	// And the distribution must match a fresh engine's cold search.
+	fresh := NewSerial(cfg, &evaluate.Random{})
+	freshDist := make([]float32, st.NumActions())
+	fresh.Search(st, freshDist)
+	for i := range dist {
+		if dist[i] != freshDist[i] {
+			t.Fatal("reuse-off engine diverged from cold-search behaviour")
+		}
+	}
+}
+
+func TestAdvanceDiscardTreeGoesCold(t *testing.T) {
+	e := NewSerial(reuseCfg(200), &evaluate.Random{})
+	st := connect4.New().NewInitial()
+	playAndAdvance(t, e, st)
+	e.Advance(DiscardTree)
+	dist := make([]float32, st.NumActions())
+	stats := e.Search(connect4.New().NewInitial(), dist)
+	if stats.ReusedVisits != 0 {
+		t.Fatalf("discarded session still reported reuse: %+v", stats)
+	}
+	if stats.Playouts != 200 {
+		t.Fatalf("playouts = %d, want 200", stats.Playouts)
+	}
+}
+
+// TestWarmEnginesKeepSearchInvariants drives three moves of a game through
+// every reuse-capable engine and checks the core invariants on the warm
+// path: the root visit total always reaches the configured target, virtual
+// loss drains to zero, and reuse appears from move 2 on.
+func TestWarmEnginesKeepSearchInvariants(t *testing.T) {
+	const playouts = 300
+	pool := evaluate.NewPool(&evaluate.Random{}, 4)
+	defer pool.Close()
+	pool2 := evaluate.NewPool(&evaluate.Random{}, 4)
+	defer pool2.Close()
+	type testCase struct {
+		name string
+		e    Engine
+		tr   func() *tree.Tree
+	}
+	serial := NewSerial(reuseCfg(playouts), &evaluate.Random{})
+	shared := NewShared(reuseCfg(playouts), 4, &evaluate.Random{})
+	local := NewLocal(reuseCfg(playouts), pool, 4)
+	leaf := NewLeafParallel(reuseCfg(playouts), 2, pool2)
+	engines := []testCase{
+		{"serial", serial, serial.Tree},
+		{"shared", shared, shared.Tree},
+		{"local", local, local.Tree},
+		{"leaf-parallel", leaf, nil},
+	}
+	for _, tc := range engines {
+		t.Run(tc.name, func(t *testing.T) {
+			st := connect4.New().NewInitial()
+			for mv := 0; mv < 3 && !st.Terminal(); mv++ {
+				_, stats := playAndAdvance(t, tc.e, st)
+				if mv > 0 {
+					if stats.ReusedVisits == 0 {
+						t.Errorf("move %d: no reuse on warm tree", mv)
+					}
+					if stats.Playouts+stats.ReusedVisits != playouts {
+						t.Errorf("move %d: playouts %d + reused %d != %d",
+							mv, stats.Playouts, stats.ReusedVisits, playouts)
+					}
+				}
+			}
+			if tc.tr != nil {
+				if vl := tc.tr().OutstandingVirtualLoss(); vl != 0 {
+					t.Errorf("outstanding virtual loss after warm moves: %d", vl)
+				}
+			}
+			tc.e.Close()
+		})
+	}
+}
+
+func TestWarmRootNoiseReinjected(t *testing.T) {
+	cfg := reuseCfg(300)
+	cfg.DirichletAlpha = 0.3
+	cfg.NoiseFrac = 0.25
+	cfg.Seed = 11
+	e := NewSerial(cfg, &evaluate.Random{})
+	st := connect4.New().NewInitial()
+	playAndAdvance(t, e, st)
+
+	// After Advance the promoted root's children carry the clean priors
+	// they were expanded with (noise only ever lands on a root).
+	before := rootPriors(e.Tree())
+	if len(before) == 0 {
+		t.Fatal("promoted root unexpanded")
+	}
+	dist := make([]float32, st.NumActions())
+	e.Search(st, dist)
+	after := rootPriors(e.Tree())
+
+	changed := false
+	for a, p := range before {
+		if after[a] != p {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("warm search did not re-inject Dirichlet noise into root priors")
+	}
+}
+
+// TestRebaseRaceAdvanceDuringSearch is the -race acceptance test: Advance
+// fires from a second goroutine while a shared-tree search with in-flight
+// virtual loss is still running. The session lock must make the rebase
+// wait for every rollout (and its virtual loss) to drain before the
+// compaction moves any node. Whichever side wins the race, the budget
+// arithmetic and the tree structure must stay coherent.
+func TestRebaseRaceAdvanceDuringSearch(t *testing.T) {
+	g := connect4.New()
+	cfg := reuseCfg(400)
+	e := NewShared(cfg, 4, &evaluate.Random{Latency: 20 * time.Microsecond})
+	defer e.Close()
+	st := g.NewInitial()
+	for ply := 0; ply < 4 && !st.Terminal(); ply++ {
+		// The move is chosen before the search finishes — legal either
+		// way — so Advance genuinely races the running search.
+		action := st.LegalMoves(nil)[ply%2]
+		done := make(chan Stats, 1)
+		go func() {
+			d := make([]float32, g.NumActions())
+			done <- e.Search(st.Clone(), d)
+		}()
+		e.Advance(action) // races Search; must block until rollouts drain
+		stats := <-done
+		if stats.Playouts+stats.ReusedVisits != cfg.Playouts {
+			t.Fatalf("ply %d: playouts %d + reused %d != %d",
+				ply, stats.Playouts, stats.ReusedVisits, cfg.Playouts)
+		}
+		st.Play(action)
+	}
+	// The tree must still be structurally sound: a normal warm search on
+	// the final position works and drains cleanly.
+	dist := make([]float32, g.NumActions())
+	e.Search(st, dist)
+	checkDistribution(t, st, dist)
+	if vl := e.Tree().OutstandingVirtualLoss(); vl != 0 {
+		t.Fatalf("outstanding virtual loss: %d", vl)
+	}
+}
+
+// TestAdvanceBeforeFirstSearchStaysCold pins the arena game-2 hazard: at a
+// game boundary the session is discarded but the tree's memory is kept, so
+// an opponent move arriving BEFORE this engine's first search of the new
+// game must not rebase the previous game's leftover tree into a "warm"
+// subtree for an unrelated position.
+func TestAdvanceBeforeFirstSearchStaysCold(t *testing.T) {
+	e := NewSerial(reuseCfg(200), &evaluate.Random{})
+	st := connect4.New().NewInitial()
+	playAndAdvance(t, e, st) // game 1: search + advance
+	e.Advance(DiscardTree)   // game boundary
+
+	// Game 2: the opponent moves first; their move reaches us before we
+	// have searched anything this game.
+	st2 := connect4.New().NewInitial()
+	st2.Play(3)
+	e.Advance(3)
+	dist := make([]float32, st2.NumActions())
+	stats := e.Search(st2, dist)
+	checkDistribution(t, st2, dist)
+	if stats.ReusedVisits != 0 || stats.ReusedNodes != 0 {
+		t.Fatalf("stale tree was promoted as warm: %+v", stats)
+	}
+	if stats.Playouts != 200 {
+		t.Fatalf("playouts = %d, want the full cold budget 200", stats.Playouts)
+	}
+	// And the session re-syncs: the next move reuses normally.
+	_, s2 := playAndAdvance(t, e, st2)
+	_ = s2
+	dist2 := make([]float32, st2.NumActions())
+	s3 := e.Search(st2, dist2)
+	if s3.ReusedVisits == 0 {
+		t.Fatal("session did not re-warm after its first search of the new game")
+	}
+}

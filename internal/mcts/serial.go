@@ -15,9 +15,8 @@ import (
 // engines' training quality is compared against, and the design-time
 // profiling of Section 4.2 measures T_select/T_backup/T_DNN on it.
 type Serial struct {
-	cfg  Config
+	s    session
 	eval evaluate.Evaluator
-	tr   *tree.Tree
 	r    *rng.Rand
 
 	// reusable per-search scratch
@@ -29,7 +28,7 @@ type Serial struct {
 
 // NewSerial creates a serial engine.
 func NewSerial(cfg Config, eval evaluate.Evaluator) *Serial {
-	return &Serial{cfg: cfg, eval: eval, r: rng.New(cfg.Seed)}
+	return &Serial{s: session{cfg: cfg}, eval: eval, r: rng.New(cfg.Seed)}
 }
 
 // Name implements Engine.
@@ -38,34 +37,36 @@ func (e *Serial) Name() string { return "serial" }
 // Close implements Engine.
 func (e *Serial) Close() {}
 
+// Advance implements Engine.
+func (e *Serial) Advance(action int) { e.s.advance(action) }
+
 // Search implements Engine.
 func (e *Serial) Search(st game.State, dist []float32) Stats {
-	if e.tr == nil {
-		e.tr = newTreeFor(e.cfg, st)
-	} else {
-		e.tr.Reset()
-	}
+	e.s.mu.Lock()
+	defer e.s.mu.Unlock()
+	var stats Stats
+	_, budget := e.s.prepare(st, &stats, rootNoiseRemix(e.s.cfg, e.r))
 	c, h, w := st.EncodedShape()
 	if e.input == nil {
 		e.input = make([]float32, c*h*w)
 		e.policy = make([]float32, st.NumActions())
 		e.priors = make([]float32, st.NumActions())
 	}
-	var stats Stats
 	start := time.Now()
-	for p := 0; p < e.cfg.Playouts; p++ {
+	for p := 0; p < budget; p++ {
 		e.rollout(st, &stats)
 	}
-	stats.Playouts = e.cfg.Playouts
+	stats.Playouts = budget
 	stats.Duration = time.Since(start)
-	e.tr.VisitDistribution(dist)
+	e.s.finish(&stats)
+	e.s.tr.VisitDistribution(dist)
 	return stats
 }
 
 // rollout performs one Selection / Expansion / Evaluation / Backup round.
 func (e *Serial) rollout(root game.State, stats *Stats) {
-	prof := e.cfg.Profile
-	tr := e.tr
+	prof := e.s.cfg.Profile
+	tr := e.s.tr
 	st := root.Clone()
 	idx := tr.Root()
 
@@ -93,6 +94,7 @@ func (e *Serial) rollout(root game.State, stats *Stats) {
 		t1 := now(prof)
 		st.Encode(e.input)
 		value = e.eval.Evaluate(e.input, e.policy)
+		stats.Evaluations++
 		stats.EvalTime += since(prof, t1)
 
 		t2 := now(prof)
@@ -100,7 +102,7 @@ func (e *Serial) rollout(root game.State, stats *Stats) {
 		priors := e.priors[:len(e.actions)]
 		maskedPriors(e.policy, e.actions, priors)
 		if idx == tr.Root() {
-			applyRootNoise(e.cfg, e.r, priors)
+			applyRootNoise(e.s.cfg, e.r, priors)
 		}
 		tr.Expand(idx, e.actions, priors)
 		stats.Expansions++
@@ -113,4 +115,4 @@ func (e *Serial) rollout(root game.State, stats *Stats) {
 }
 
 // Tree exposes the engine's tree for tests and profiling.
-func (e *Serial) Tree() *tree.Tree { return e.tr }
+func (e *Serial) Tree() *tree.Tree { return e.s.tr }

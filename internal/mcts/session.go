@@ -1,0 +1,165 @@
+package mcts
+
+import (
+	"sync"
+
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// DiscardTree is the Advance argument that invalidates a persistent search
+// session at a game boundary: the next Search starts from a cold tree
+// instead of promoting a child. Any negative action behaves the same.
+const DiscardTree = -1
+
+// session is the persistent per-game search state shared by the
+// tree-owning engines: the arena-backed tree, its warm/cold status, and
+// the reuse accounting that Advance maintains between moves.
+//
+// The lifecycle contract is: Search(st) leaves the tree rooted at st and
+// marks the session cold; each subsequent Advance(a) promotes the child
+// reached by a (own move, then the opponent's reply) and re-warms it; the
+// next Search then continues from the retained subtree instead of paying
+// for its evaluations again. A Search that is not preceded by at least one
+// Advance always resets — callers that never call Advance get exactly the
+// rebuild-every-move behaviour the paper's workload assumes.
+//
+// mu serialises the whole Search body against Advance, which is what makes
+// a rebase safe: compaction moves nodes, so it must wait for every
+// in-flight traversal (and its virtual loss) to drain. Engines whose
+// rollouts run on worker goroutines still take mu once per Search, not per
+// rollout — the workers are interior to the locked region.
+type session struct {
+	mu   sync.Mutex
+	cfg  Config
+	tr   *tree.Tree
+	warm bool
+	// synced reports whether the tree's root still tracks the driver's
+	// game position: it turns true when a Search roots the tree at its
+	// state and false at every discard. advance only rebases a synced
+	// tree — an Advance that arrives before the engine's first Search of
+	// a new game (arena game 2+, the engine moving second) must not
+	// promote a stale subtree left over from the previous game.
+	synced bool
+	// what the most recent rebase chain retained, consumed by the next
+	// Search's stats.
+	reusedNodes  int
+	reusedVisits int
+}
+
+// advance applies one game move to the session. With ReuseTree enabled and
+// a non-negative action it promotes the played child's subtree to be the
+// new root; otherwise (reuse disabled, discard sentinel, or no such child)
+// it marks the session cold so the next Search rebuilds.
+func (s *session) advance(action int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tr == nil {
+		return
+	}
+	if !s.cfg.ReuseTree || action < 0 {
+		s.warm, s.synced = false, false
+		s.reusedNodes, s.reusedVisits = 0, 0
+		return
+	}
+	if !s.synced {
+		// The tree predates the current position (a new game's moves are
+		// arriving before this engine has searched it); stay cold rather
+		// than promote a stale subtree.
+		s.warm = false
+		s.reusedNodes, s.reusedVisits = 0, 0
+		return
+	}
+	if rs, ok := s.tr.RebaseRoot(action); ok {
+		s.warm = true
+		s.reusedNodes, s.reusedVisits = rs.RetainedNodes, rs.RetainedVisits
+	} else {
+		// The root could not follow the move (unexpanded root), so the
+		// tree no longer tracks the game; go fully cold.
+		s.warm, s.synced = false, false
+		s.reusedNodes, s.reusedVisits = 0, 0
+	}
+}
+
+// prepare readies the tree for a search of st and returns the number of
+// new rollouts to run: the configured playout budget minus the root visits
+// a warm tree already carries (never negative; at least 1 when the root
+// still needs its expansion). It fills the reuse fields of stats and
+// applies the re-rooted noise remix on warm trees. Callers must hold
+// s.mu.
+func (s *session) prepare(st game.State, stats *Stats, remix func(priors []float32)) (tr *tree.Tree, budget int) {
+	if s.tr == nil {
+		s.tr = newTreeFor(s.cfg, st)
+		s.warm = false
+	} else if s.warm && !rootMatches(s.tr, st) {
+		// Defence in depth: a warm root whose children are not exactly
+		// st's legal moves belongs to a different position (an
+		// Advance/Search ordering slip); searching it would be garbage.
+		s.warm = false
+		s.reusedNodes, s.reusedVisits = 0, 0
+		s.tr.Reset()
+	} else if !s.warm {
+		s.tr.Reset()
+	}
+	tr = s.tr
+	if s.warm {
+		stats.ReusedNodes = s.reusedNodes
+		stats.ReusedVisits = s.reusedVisits
+		if remix != nil {
+			tr.RemixRootPriors(remix)
+		}
+	}
+	s.warm = false
+	s.synced = true // the root now corresponds to st
+	s.reusedNodes, s.reusedVisits = 0, 0
+
+	budget = s.cfg.Playouts - tr.Node(tr.Root()).Visits()
+	if budget < 0 {
+		budget = 0
+	}
+	if budget == 0 && !tr.Node(tr.Root()).Expanded() {
+		budget = 1
+	}
+	return tr, budget
+}
+
+// finish completes the per-move accounting started by prepare. Callers
+// must hold s.mu. Wasted evaluations are read from the tree's
+// generation-tagged counter: Reset and RebaseRoot both open a new
+// generation, so duplicates recorded by rollouts that straddle a rebase
+// are attributed to the generation whose Expand actually ran, never
+// double-counted or dropped.
+func (s *session) finish(stats *Stats) {
+	stats.WastedEvals = int(s.tr.DoubleExpansionsThisGen())
+}
+
+// rootMatches reports whether the tree root's child actions are exactly
+// st's legal moves — a cheap, best-effort fingerprint used to reject a
+// warm tree that has drifted from the driver's game. It is defence in
+// depth behind the synced flag (the primary coherence mechanism, which
+// covers every sequential misuse): in games whose legal-move set barely
+// changes between positions (connect4 columns, early gomoku) a drifted
+// tree can pass this check, so callers racing Search against Advance get
+// coherent-but-stale output rather than an error. An unexpanded root
+// cannot be checked and is accepted (the search will expand it from st's
+// own evaluation).
+func rootMatches(tr *tree.Tree, st game.State) bool {
+	root := tr.Node(tr.Root())
+	if !root.Expanded() {
+		return true
+	}
+	legal := st.LegalMoves(nil)
+	seen := make(map[int]bool, len(legal))
+	for _, a := range legal {
+		seen[a] = true
+	}
+	n := 0
+	ok := true
+	tr.Children(tr.Root(), func(_ int32, nd *tree.Node) {
+		n++
+		if !seen[nd.Action()] {
+			ok = false
+		}
+	})
+	return ok && n == len(legal)
+}

@@ -23,12 +23,20 @@ type Drainer interface {
 // complete "threadsafe_rollout"s against a single tree in shared memory.
 // Virtual loss diversifies the paths; per-node locks protect the
 // multi-field virtual-loss and backup updates.
+//
+// Worker scratch buffers, per-worker noise RNG streams, and the stats
+// shards live for the engine's lifetime — a per-move Search only resets
+// them, instead of reallocating the lot on every move of a game.
 type Shared struct {
-	cfg     Config
+	s       session
 	workers int
 	eval    evaluate.Evaluator
-	tr      *tree.Tree
 	r       *rng.Rand
+
+	// engine-lifetime worker state, lazily built on the first Search.
+	scratch []*workerScratch
+	noises  []*rng.Rand
+	shards  []Stats
 }
 
 // NewShared creates a shared-tree engine with the given worker count.
@@ -36,7 +44,15 @@ func NewShared(cfg Config, workers int, eval evaluate.Evaluator) *Shared {
 	if workers < 1 {
 		panic("mcts: shared engine needs >= 1 worker")
 	}
-	return &Shared{cfg: cfg, workers: workers, eval: eval, r: rng.New(cfg.Seed)}
+	e := &Shared{s: session{cfg: cfg}, workers: workers, eval: eval, r: rng.New(cfg.Seed)}
+	// Per-worker noise streams are split once, on one goroutine, for the
+	// engine's lifetime; each worker's stream then flows across moves.
+	e.noises = make([]*rng.Rand, workers)
+	for w := range e.noises {
+		e.noises[w] = e.r.Split()
+	}
+	e.shards = make([]Stats, workers)
+	return e
 }
 
 // Name implements Engine.
@@ -45,37 +61,46 @@ func (e *Shared) Name() string { return "shared" }
 // Close implements Engine.
 func (e *Shared) Close() {}
 
+// Advance implements Engine. The session lock serialises the rebase
+// against a concurrently running Search: the rebase compaction moves
+// nodes, so Advance blocks until every in-flight rollout has backed up and
+// drained its virtual loss.
+func (e *Shared) Advance(action int) { e.s.advance(action) }
+
 // Workers returns the configured worker count.
 func (e *Shared) Workers() int { return e.workers }
 
 // Search implements Engine.
 func (e *Shared) Search(st game.State, dist []float32) Stats {
-	if e.tr == nil {
-		e.tr = newTreeFor(e.cfg, st)
-	} else {
-		e.tr.Reset()
+	e.s.mu.Lock()
+	defer e.s.mu.Unlock()
+	var stats Stats
+	_, budget := e.s.prepare(st, &stats, rootNoiseRemix(e.s.cfg, e.r))
+	if e.scratch == nil {
+		e.scratch = make([]*workerScratch, e.workers)
+		for w := range e.scratch {
+			e.scratch[w] = newWorkerScratch(st)
+		}
+	}
+	for w := range e.shards {
+		e.shards[w] = Stats{}
 	}
 
 	var counter atomic.Int64 // playout tickets
 	var wg sync.WaitGroup
-	shards := make([]Stats, e.workers)
-	noises := make([]*rng.Rand, e.workers)
-	for w := range noises {
-		noises[w] = e.r.Split() // split on one goroutine before the race
-	}
 	start := time.Now()
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws := newWorkerScratch(st)
-			noise := noises[w]
+			ws := e.scratch[w]
+			noise := e.noises[w]
 			for {
 				t := counter.Add(1)
-				if t > int64(e.cfg.Playouts) {
+				if t > int64(budget) {
 					break
 				}
-				e.rollout(st, ws, noise, &shards[w])
+				e.rollout(st, ws, noise, &e.shards[w])
 			}
 			// This worker is done; release any partial accelerator batch so
 			// the remaining workers are not stranded waiting for it.
@@ -85,13 +110,13 @@ func (e *Shared) Search(st game.State, dist []float32) Stats {
 		}(w)
 	}
 	wg.Wait()
-	var stats Stats
-	for _, s := range shards {
+	for _, s := range e.shards {
 		stats.Add(s) // field-complete merge: phase timings are never dropped
 	}
-	stats.Playouts = e.cfg.Playouts
+	stats.Playouts = budget
 	stats.Duration = time.Since(start)
-	e.tr.VisitDistribution(dist)
+	e.s.finish(&stats)
+	e.s.tr.VisitDistribution(dist)
 	return stats
 }
 
@@ -114,8 +139,8 @@ func newWorkerScratch(st game.State) *workerScratch {
 
 // rollout is the threadsafe_rollout of Algorithm 2.
 func (e *Shared) rollout(root game.State, ws *workerScratch, noise *rng.Rand, stats *Stats) {
-	prof := e.cfg.Profile
-	tr := e.tr
+	prof := e.s.cfg.Profile
+	tr := e.s.tr
 	st := root.Clone()
 	idx := tr.Root()
 
@@ -147,6 +172,7 @@ func (e *Shared) rollout(root game.State, ws *workerScratch, noise *rng.Rand, st
 		t1 := now(prof)
 		st.Encode(ws.input)
 		value = e.eval.Evaluate(ws.input, ws.policy)
+		stats.Evaluations++
 		stats.EvalTime += since(prof, t1)
 
 		t2 := now(prof)
@@ -154,7 +180,7 @@ func (e *Shared) rollout(root game.State, ws *workerScratch, noise *rng.Rand, st
 		priors := ws.priors[:len(ws.actions)]
 		maskedPriors(ws.policy, ws.actions, priors)
 		if idx == tr.Root() {
-			applyRootNoise(e.cfg, noise, priors)
+			applyRootNoise(e.s.cfg, noise, priors)
 		}
 		tr.Expand(idx, ws.actions, priors)
 		stats.Expansions++
@@ -168,4 +194,4 @@ func (e *Shared) rollout(root game.State, ws *workerScratch, noise *rng.Rand, st
 }
 
 // Tree exposes the engine's tree for tests.
-func (e *Shared) Tree() *tree.Tree { return e.tr }
+func (e *Shared) Tree() *tree.Tree { return e.s.tr }

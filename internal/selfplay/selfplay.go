@@ -7,6 +7,13 @@
 // Algorithm 4 of the paper exists to avoid). Finished games feed a shared
 // replay buffer, which the round-based Trainer then consumes for SGD
 // updates exactly as Algorithm 1 prescribes.
+//
+// Engines configured with mcts.Config.ReuseTree run as persistent search
+// sessions: every game advances its engine past each played move (see
+// train.SelfPlayEpisode), so each search continues from the played child's
+// warm subtree and the fleet's aggregate evaluation demand per move drops
+// by the recorded reuse fraction (Round.Search.ReuseFraction) — demand
+// relief that multiplies directly into the shared service's throughput.
 package selfplay
 
 import (
@@ -36,7 +43,9 @@ type Round struct {
 	Episodes []train.EpisodeResult
 	// Search aggregates every game's per-move engine stats (Stats.Add);
 	// Duration therein is summed engine time and exceeds wall-clock when
-	// games overlap — the wall-clock of the round is Elapsed.
+	// games overlap — the wall-clock of the round is Elapsed. With warm
+	// trees, Search.ReuseFraction reports the share of the round's playout
+	// target served from retained subtrees instead of fresh evaluations.
 	Search mcts.Stats
 	// Moves and Samples count across all games (Samples pre-augmentation).
 	Moves   int

@@ -185,3 +185,51 @@ func TestDriverPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestDriverFleetReusesSubtrees runs a round of concurrent games whose
+// engines keep persistent sessions: every game's per-move searches after
+// move 1 must be partially served from the retained subtree, and the
+// budget arithmetic (fresh playouts + reused visits = per-move target)
+// must hold in the round aggregate.
+func TestDriverFleetReusesSubtrees(t *testing.T) {
+	const g, n, playouts = 3, 2, 48
+	dev := accel.NewModel(accel.CostModel{
+		LaunchLatency:   5 * time.Microsecond,
+		BytesPerSample:  36,
+		LinkBytesPerSec: 16e9,
+		ComputeBase:     10 * time.Microsecond,
+	})
+	srv := evaluate.NewServer(evaluate.DeviceBackend{Dev: dev}, evaluate.ServerConfig{
+		Batch:          g * n,
+		FlushDeadline:  500 * time.Microsecond,
+		MaxOutstanding: 2 * g * n,
+	})
+	defer srv.Close()
+	engines := make([]mcts.Engine, g)
+	for i := 0; i < g; i++ {
+		cfg := mcts.DefaultConfig()
+		cfg.Playouts = playouts
+		cfg.Seed = uint64(i + 1)
+		cfg.ReuseTree = true
+		cl := srv.NewClient(n)
+		defer cl.Close()
+		engines[i] = mcts.NewLocal(cfg, cl, n)
+		defer engines[i].Close()
+	}
+
+	game := tictactoe.New()
+	d := NewDriver(game, engines, train.NewReplay(1000), nil, Config{TempMoves: 2, Seed: 9})
+	round := d.PlayRound()
+
+	if round.Search.ReusedVisits == 0 {
+		t.Fatal("reuse-enabled fleet reported no retained visits")
+	}
+	if round.Search.ReuseFraction() <= 0 {
+		t.Fatalf("reuse fraction = %v", round.Search.ReuseFraction())
+	}
+	// Retained visits substitute for fresh playouts one-for-one.
+	if got := round.Search.Playouts + round.Search.ReusedVisits; got != round.Moves*playouts {
+		t.Fatalf("playouts %d + reused %d = %d, want %d",
+			round.Search.Playouts, round.Search.ReusedVisits, got, round.Moves*playouts)
+	}
+}

@@ -160,7 +160,11 @@ type EpisodeResult struct {
 }
 
 // SelfPlayEpisode plays one complete game with the engine choosing both
-// sides' moves (lines 3-12 of Algorithm 1).
+// sides' moves (lines 3-12 of Algorithm 1). After every move the engine is
+// advanced past the played action, so an engine configured with
+// mcts.Config.ReuseTree continues each search from the played child's warm
+// subtree; at the episode boundary the session is discarded so the next
+// episode (typically a new game on a reused engine) starts cold.
 func SelfPlayEpisode(g game.Game, engine mcts.Engine, opts EpisodeOptions) EpisodeResult {
 	if opts.Rand == nil {
 		opts.Rand = rng.New(0)
@@ -195,7 +199,14 @@ func SelfPlayEpisode(g game.Game, engine mcts.Engine, opts EpisodeOptions) Episo
 		action := SampleAction(opts.Rand, dist, temp)
 		st.Play(action)
 		res.Moves++
+		if !st.Terminal() && res.Moves < maxMoves {
+			// Self-play drives both sides with one engine, so a single
+			// Advance per move keeps the tree rooted at the next search
+			// position.
+			engine.Advance(action)
+		}
 	}
+	engine.Advance(mcts.DiscardTree)
 	res.Winner = st.Winner()
 	for i := range res.Samples {
 		res.Samples[i].Value = game.Outcome(res.Winner, movers[i])

@@ -260,3 +260,34 @@ func TestEpisodeStatsThroughputZeroDivision(t *testing.T) {
 		t.Fatal("zero-time throughput should be 0")
 	}
 }
+
+// TestSelfPlayEpisodeWarmsTree pins the driver half of persistent search
+// sessions: SelfPlayEpisode must Advance the engine past every played
+// move, so a ReuseTree engine reports retained visits from move 2 on and
+// the recorded visit distributions still pass the usual sanity checks.
+func TestSelfPlayEpisodeWarmsTree(t *testing.T) {
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = 120
+	cfg.ReuseTree = true
+	e := mcts.NewSerial(cfg, &evaluate.Random{})
+	res := SelfPlayEpisode(tictactoe.New(), e, EpisodeOptions{Rand: rng.New(3)})
+	if res.Moves < 2 {
+		t.Fatalf("degenerate episode: %d moves", res.Moves)
+	}
+	if res.Search.ReusedVisits == 0 {
+		t.Fatal("episode with ReuseTree engine reported no subtree reuse")
+	}
+	if res.Search.ReuseFraction() <= 0 {
+		t.Fatalf("reuse fraction = %v", res.Search.ReuseFraction())
+	}
+	// The episode boundary must discard the session: a fresh episode's
+	// first search starts cold even though the engine is reused.
+	res2 := SelfPlayEpisode(tictactoe.New(), e, EpisodeOptions{Rand: rng.New(4)})
+	perMove := float64(res2.Search.ReusedVisits) / float64(res2.Moves)
+	if perMove >= float64(cfg.Playouts) {
+		t.Fatalf("second episode reused too much: %v visits/move", perMove)
+	}
+	if res2.Moves == 0 || len(res2.Samples) != res2.Moves {
+		t.Fatalf("episode 2 malformed: %d moves, %d samples", res2.Moves, len(res2.Samples))
+	}
+}

@@ -45,6 +45,10 @@ type EpisodeStats struct {
 	// SamplesProcessed counts the move samples generated this episode
 	// (pre-augmentation) — the numerator of the paper's throughput metric.
 	SamplesProcessed int
+	// Search aggregates the episode's per-move engine stats; with
+	// mcts.Config.ReuseTree set, Search.ReuseFraction reports how much of
+	// the episode's playout target was served from retained subtrees.
+	Search mcts.Stats
 	// SearchTime and TrainTime split the episode's wall clock between the
 	// tree-based search stage and the DNN update stage.
 	SearchTime time.Duration
@@ -144,6 +148,7 @@ func (t *Trainer) Run(onEpisode func(EpisodeStats)) []EpisodeStats {
 			Winner:           res.Winner,
 			Loss:             last,
 			SamplesProcessed: len(res.Samples),
+			Search:           res.Search,
 			SearchTime:       res.SearchTime,
 			TrainTime:        trainTime,
 			Elapsed:          time.Since(start),

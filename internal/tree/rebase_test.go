@@ -1,0 +1,321 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// nodeSnap is one node's observable state, keyed by its action-path from
+// the subtree root so it can be compared across a compaction that moves
+// arena indices.
+type nodeSnap struct {
+	n        int
+	w        float64
+	prior    float64
+	terminal bool
+	children int
+}
+
+func snapshotSubtree(tr *Tree, idx int32, path string, out map[string]nodeSnap) {
+	nd := tr.Node(idx)
+	snap := nodeSnap{
+		n:        nd.Visits(),
+		w:        nd.TotalValue(),
+		prior:    nd.Prior(),
+		terminal: nd.Terminal(),
+	}
+	tr.Children(idx, func(child int32, c *Node) {
+		snap.children++
+		snapshotSubtree(tr, child, fmt.Sprintf("%s/%d", path, c.Action()), out)
+	})
+	out[path] = snap
+}
+
+// checkStructure validates the parent/child index invariants over the
+// whole arena: every child block points back at its parent, and every
+// non-root node sits inside its parent's contiguous child block.
+func checkStructure(t *testing.T, tr *Tree) {
+	t.Helper()
+	n := int32(tr.Allocated())
+	for i := int32(0); i < n; i++ {
+		nd := tr.Node(i)
+		tr.Children(i, func(child int32, c *Node) {
+			if child < 0 || child >= n {
+				t.Fatalf("node %d: child %d outside allocated range [0,%d)", i, child, n)
+			}
+			if c.Parent() != i {
+				t.Fatalf("node %d: child %d has parent %d", i, child, c.Parent())
+			}
+		})
+		if i == tr.Root() {
+			if nd.Parent() != -1 {
+				t.Fatalf("root has parent %d", nd.Parent())
+			}
+			continue
+		}
+		p := nd.Parent()
+		if p < 0 || p >= n {
+			t.Fatalf("node %d: parent %d outside allocated range [0,%d)", i, p, n)
+		}
+		parent := tr.Node(p)
+		first := parent.firstChild.Load()
+		if first == nilNode || i < first || i >= first+parent.numChildren {
+			t.Fatalf("node %d not inside parent %d's child block [%d,%d)",
+				i, p, first, first+parent.numChildren)
+		}
+	}
+}
+
+// randomSearch grows the tree with a single-threaded select/expand/backup
+// loop (the serial engine's shape) and returns the playout count.
+func randomSearch(tr *Tree, r *rng.Rand, playouts, fanout int) {
+	actions := make([]int, fanout)
+	priors := make([]float32, fanout)
+	for i := range actions {
+		actions[i] = i
+		priors[i] = 1 / float32(fanout)
+	}
+	for p := 0; p < playouts; p++ {
+		idx := tr.Root()
+		tr.ApplyVirtualLoss(idx, false)
+		for tr.Node(idx).Expanded() {
+			idx = tr.SelectChild(idx)
+			tr.ApplyVirtualLoss(idx, false)
+		}
+		tr.Expand(idx, actions, priors)
+		tr.Backup(idx, r.Float64()*2-1, false)
+	}
+}
+
+func TestRebaseRootPromotesChild(t *testing.T) {
+	tr := newTestTree(64)
+	tr.Expand(tr.Root(), []int{2, 5, 7}, []float32{0.5, 0.3, 0.2})
+	c0 := tr.Node(tr.Root()).firstChild.Load()
+	tr.Expand(c0+1, []int{0, 1}, []float32{0.6, 0.4}) // expand action-5 child
+	for i := 0; i < 4; i++ {
+		tr.Backup(tr.Node(c0+1).firstChild.Load(), 0.25, false)
+	}
+	tr.Backup(c0, -1, false)
+
+	wantVisits := tr.Node(c0 + 1).Visits()
+	rs, ok := tr.RebaseRoot(5)
+	if !ok {
+		t.Fatal("rebase onto existing child failed")
+	}
+	if tr.Root() != 0 {
+		t.Fatalf("compacted root at %d, want 0", tr.Root())
+	}
+	if rs.RetainedNodes != 3 { // action-5 child + its 2 children
+		t.Fatalf("retained nodes = %d, want 3", rs.RetainedNodes)
+	}
+	if rs.RetainedVisits != wantVisits {
+		t.Fatalf("retained visits = %d, want %d", rs.RetainedVisits, wantVisits)
+	}
+	if rs.DiscardedNodes != 3 { // old root + action-2 + action-7 children
+		t.Fatalf("discarded nodes = %d, want 3", rs.DiscardedNodes)
+	}
+	if got := tr.Allocated(); got != 3 {
+		t.Fatalf("allocated after rebase = %d, want 3", got)
+	}
+	root := tr.Node(tr.Root())
+	if root.Parent() != -1 || root.Visits() != wantVisits {
+		t.Fatalf("promoted root parent=%d visits=%d", root.Parent(), root.Visits())
+	}
+	var acts []int
+	tr.Children(tr.Root(), func(_ int32, nd *Node) { acts = append(acts, nd.Action()) })
+	if len(acts) != 2 || acts[0] != 0 || acts[1] != 1 {
+		t.Fatalf("promoted root children = %v", acts)
+	}
+	checkStructure(t, tr)
+}
+
+func TestRebaseRootFailsWithoutChild(t *testing.T) {
+	tr := newTestTree(16)
+	if _, ok := tr.RebaseRoot(0); ok {
+		t.Fatal("rebase on unexpanded root should fail")
+	}
+	tr.Expand(tr.Root(), []int{1, 2}, []float32{0.5, 0.5})
+	if _, ok := tr.RebaseRoot(9); ok {
+		t.Fatal("rebase on missing action should fail")
+	}
+	if _, ok := tr.RebaseRoot(1); !ok {
+		t.Fatal("rebase on existing action should succeed")
+	}
+}
+
+// TestRebaseInvariants is the acceptance property: after a realistic
+// random search, promoting the most-visited child must preserve its entire
+// subtree's N/W/P statistics and terminal marks exactly (keyed by action
+// path), keep the parent/child index structure consistent under
+// compaction, and leave no virtual loss outstanding — and a continued
+// search over the warm tree must still work.
+func TestRebaseInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		tr := New(DefaultConfig(), 1<<14)
+		playouts := 150 + r.Intn(150)
+		fanout := 2 + r.Intn(4)
+		randomSearch(tr, r, playouts, fanout)
+
+		// Promote the most-visited child, the move a driver would play.
+		best, bestN := int32(-1), -1
+		tr.Children(tr.Root(), func(child int32, nd *Node) {
+			if nd.Visits() > bestN {
+				best, bestN = child, nd.Visits()
+			}
+		})
+		action := tr.Node(best).Action()
+		before := map[string]nodeSnap{}
+		snapshotSubtree(tr, best, "", before)
+		beforeGen := tr.Generation()
+
+		rs, ok := tr.RebaseRoot(action)
+		if !ok {
+			t.Logf("seed %d: rebase failed on expanded root", seed)
+			return false
+		}
+		after := map[string]nodeSnap{}
+		snapshotSubtree(tr, tr.Root(), "", after)
+		if len(before) != len(after) || len(after) != rs.RetainedNodes {
+			t.Logf("seed %d: subtree size %d -> %d (stats %d)", seed, len(before), len(after), rs.RetainedNodes)
+			return false
+		}
+		for path, b := range before {
+			a, found := after[path]
+			if !found || a != b {
+				t.Logf("seed %d: path %q changed: %+v -> %+v", seed, path, b, a)
+				return false
+			}
+		}
+		if rs.RetainedVisits != bestN {
+			return false
+		}
+		if tr.Allocated() != rs.RetainedNodes {
+			return false
+		}
+		if tr.OutstandingVirtualLoss() != 0 {
+			return false
+		}
+		if tr.Generation() != beforeGen+1 {
+			return false
+		}
+		checkStructure(t, tr)
+
+		// The warm tree must keep working: continue searching from it.
+		randomSearch(tr, r, 50, fanout)
+		if tr.Node(tr.Root()).Visits() != bestN+50 {
+			return false
+		}
+		if tr.OutstandingVirtualLoss() != 0 {
+			return false
+		}
+		checkStructure(t, tr)
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebaseReclaimsArenaAndClearsFull(t *testing.T) {
+	// Tight arena: root + 2 children + 2 grandchildren = 5 slots, so the
+	// second grandchild expansion is rejected and marks the tree full.
+	tr := newTestTree(5)
+	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5})
+	c0 := tr.Node(tr.Root()).firstChild.Load()
+	if !tr.Expand(c0, []int{0, 1}, []float32{0.5, 0.5}) {
+		t.Fatal("grandchild expansion should fit")
+	}
+	if tr.Expand(c0+1, []int{0, 1}, []float32{0.5, 0.5}) {
+		t.Fatal("arena should be exhausted")
+	}
+	if !tr.Full() {
+		t.Fatal("Full() should be set")
+	}
+
+	rs, ok := tr.RebaseRoot(0)
+	if !ok {
+		t.Fatal("rebase failed")
+	}
+	if rs.DiscardedNodes != 2 { // old root + action-1 sibling
+		t.Fatalf("discarded = %d, want 2", rs.DiscardedNodes)
+	}
+	if tr.Full() {
+		t.Fatal("rebase should clear the full flag after reclaiming slots")
+	}
+	// The reclaimed slots must be allocatable again.
+	gc := tr.Node(tr.Root()).firstChild.Load()
+	if !tr.Expand(gc, []int{0, 1}, []float32{0.5, 0.5}) {
+		t.Fatal("expansion into reclaimed slots failed")
+	}
+	checkStructure(t, tr)
+}
+
+func TestRebaseGenerationAndWastedCounters(t *testing.T) {
+	tr := newTestTree(64)
+	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5})
+	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5}) // duplicate
+	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5}) // duplicate
+	if got := tr.DoubleExpansions(); got != 2 {
+		t.Fatalf("duplicates = %d, want 2", got)
+	}
+	gen := tr.Generation()
+	if _, ok := tr.RebaseRoot(0); !ok {
+		t.Fatal("rebase failed")
+	}
+	// The cumulative wasted-evaluation count survives the move boundary...
+	if got := tr.DoubleExpansions(); got != 2 {
+		t.Fatalf("rebase dropped wasted rollouts: %d, want 2", got)
+	}
+	// ...while the per-generation view starts clean.
+	if got := tr.DoubleExpansionsThisGen(); got != 0 {
+		t.Fatalf("new generation inherited %d duplicates", got)
+	}
+	if tr.Generation() != gen+1 {
+		t.Fatalf("generation = %d, want %d", tr.Generation(), gen+1)
+	}
+	// A duplicate after the rebase lands in the new generation and the
+	// cumulative total.
+	tr.Expand(tr.Root(), []int{0}, []float32{1})
+	tr.Expand(tr.Root(), []int{0}, []float32{1})
+	if got := tr.DoubleExpansionsThisGen(); got != 1 {
+		t.Fatalf("this-gen duplicates = %d, want 1", got)
+	}
+	if got := tr.DoubleExpansions(); got != 3 {
+		t.Fatalf("cumulative duplicates = %d, want 3", got)
+	}
+	// Reset clears everything.
+	tr.Reset()
+	if tr.DoubleExpansions() != 0 || tr.DoubleExpansionsThisGen() != 0 {
+		t.Fatal("Reset did not clear wasted counters")
+	}
+}
+
+func TestRemixRootPriors(t *testing.T) {
+	tr := newTestTree(16)
+	if didCall := func() (called bool) {
+		tr.RemixRootPriors(func([]float32) { called = true })
+		return
+	}(); didCall {
+		t.Fatal("remix must be a no-op on an unexpanded root")
+	}
+	tr.Expand(tr.Root(), []int{0, 1, 2}, []float32{0.5, 0.3, 0.2})
+	tr.RemixRootPriors(func(priors []float32) {
+		if len(priors) != 3 || priors[0] != 0.5 {
+			t.Fatalf("remix saw priors %v", priors)
+		}
+		for i := range priors {
+			priors[i] = float32(i) * 0.1
+		}
+	})
+	var got []float64
+	tr.Children(tr.Root(), func(_ int32, nd *Node) { got = append(got, nd.Prior()) })
+	for i, p := range got {
+		if math.Abs(p-float64(i)*0.1) > 1e-6 {
+			t.Fatalf("stored priors = %v", got)
+		}
+	}
+}

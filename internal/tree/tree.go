@@ -133,8 +133,41 @@ type Tree struct {
 	full    atomic.Bool
 	// doubleExpand counts Expand calls that found the node already
 	// expanded by a racing worker — each one is a wasted (duplicate) DNN
-	// evaluation, the quantity virtual loss exists to minimise.
-	doubleExpand atomic.Int64
+	// evaluation, the quantity virtual loss exists to minimise. The counter
+	// is cumulative across RebaseRoot generations (a rollout that straddles
+	// a rebase still lands in the total) and cleared only by Reset;
+	// genWastedBase snapshots it at each generation boundary so per-move
+	// attribution stays exact.
+	doubleExpand  atomic.Int64
+	genWastedBase atomic.Int64
+	// generation counts root epochs: it advances on every Reset and every
+	// successful RebaseRoot, tagging which root a counter reading or an
+	// in-flight rollout belongs to.
+	generation atomic.Uint64
+	// remap is the old-index -> new-index scratch used by RebaseRoot's
+	// compaction; allocated once per tree (arena recycling, no per-move
+	// garbage).
+	remap []int32
+	// priorScratch backs RemixRootPriors.
+	priorScratch []float32
+}
+
+// RebaseStats reports what one RebaseRoot promotion preserved: the paper's
+// evaluation currency is DNN evaluations per playout, and RetainedVisits is
+// exactly the number of completed playouts whose evaluations the next move's
+// search inherits instead of re-buying from the device.
+type RebaseStats struct {
+	// RetainedNodes is the size of the promoted subtree (including the new
+	// root).
+	RetainedNodes int
+	// RetainedVisits is N(new root): completed rollouts preserved across
+	// the move.
+	RetainedVisits int
+	// DiscardedNodes counts the abandoned sibling-subtree slots the
+	// compaction reclaimed.
+	DiscardedNodes int
+	// Generation is the tree generation after the rebase.
+	Generation uint64
 }
 
 // New creates a tree with storage for capacity nodes and installs a fresh
@@ -175,8 +208,22 @@ func (t *Tree) Full() bool { return t.full.Load() }
 
 // DoubleExpansions returns the number of duplicate expansions since the
 // last Reset — rollouts whose evaluation was wasted because a racing
-// worker expanded the same leaf first.
+// worker expanded the same leaf first. The count survives RebaseRoot, so
+// wasted work is never silently dropped at a move boundary; engines that
+// want per-move numbers snapshot it at search start and subtract.
 func (t *Tree) DoubleExpansions() int64 { return t.doubleExpand.Load() }
+
+// DoubleExpansionsThisGen returns the duplicate expansions recorded since
+// the current root generation began (the last Reset or RebaseRoot). A
+// rollout that was in flight when the generation turned over is attributed
+// to the generation in which its Expand actually ran.
+func (t *Tree) DoubleExpansionsThisGen() int64 {
+	return t.doubleExpand.Load() - t.genWastedBase.Load()
+}
+
+// Generation returns the current root epoch. It advances on every Reset
+// and every successful RebaseRoot.
+func (t *Tree) Generation() uint64 { return t.generation.Load() }
 
 // Root returns the root node index.
 func (t *Tree) Root() int32 { return t.root }
@@ -190,14 +237,131 @@ func (t *Tree) Reset() {
 	t.next = 0
 	t.full.Store(false)
 	t.doubleExpand.Store(0)
+	t.genWastedBase.Store(0)
+	t.generation.Add(1)
 	t.root = t.allocNode(nilNode, -1, 1)
 }
 
-// RebaseRoot makes the child of the current root reached via action the new
-// root, discarding the rest of the tree (subtree reuse across moves is
-// deliberately not implemented: the paper's workload rebuilds the tree each
-// move, 1600 playouts per move). Must not run concurrently.
-func (t *Tree) RebaseRoot() { t.Reset() }
+// RebaseRoot promotes the child of the current root reached via action to
+// be the new root, retaining its whole subtree (statistics intact) and
+// reclaiming every abandoned sibling subtree's arena slot by compacting the
+// survivors to the front of the arena. It returns what was retained, or
+// ok=false when the root is unexpanded or has no child for action (the
+// caller should Reset instead).
+//
+// Must not run concurrently with any other tree operation: all in-flight
+// traversals must have drained (root virtual loss zero) before the rebase,
+// because compaction moves nodes. The engines enforce this with their
+// session locks.
+//
+// The compaction relies on two arena invariants: parents are always
+// allocated before their children (so every retained node's ancestors have
+// smaller indices), and a node's children occupy one contiguous block (so
+// assigning new indices in ascending old-index order preserves block
+// contiguity and each node moves to an index no larger than its own —
+// making the in-place sweep safe).
+func (t *Tree) RebaseRoot(action int) (RebaseStats, bool) {
+	root := &t.nodes[t.root]
+	first := root.firstChild.Load()
+	if first == nilNode {
+		return RebaseStats{}, false
+	}
+	newRoot := nilNode
+	for i := int32(0); i < root.numChildren; i++ {
+		if t.nodes[first+i].action == int32(action) {
+			newRoot = first + i
+			break
+		}
+	}
+	if newRoot == nilNode {
+		return RebaseStats{}, false
+	}
+
+	t.allocMu.Lock()
+	defer t.allocMu.Unlock()
+	n := t.next
+	if t.remap == nil {
+		t.remap = make([]int32, len(t.nodes))
+	}
+	remap := t.remap[:n]
+	for i := range remap {
+		remap[i] = nilNode
+	}
+	// Mark + number in one ascending pass: a node is retained iff it is the
+	// new root or its parent is retained (parent index < child index).
+	remap[newRoot] = 0
+	count := int32(1)
+	for i := newRoot + 1; i < n; i++ {
+		if p := t.nodes[i].parent; p >= newRoot && remap[p] != nilNode {
+			remap[i] = count
+			count++
+		}
+	}
+	retainedVisits := int(t.nodes[newRoot].n.Load())
+	// Sweep survivors down. dst <= src always, and destinations are
+	// strictly increasing, so no uncopied source is ever overwritten.
+	for src := newRoot; src < n; src++ {
+		dst := remap[src]
+		if dst == nilNode {
+			continue
+		}
+		s := &t.nodes[src]
+		d := &t.nodes[dst]
+		parent, firstChild := nilNode, s.firstChild.Load()
+		if src != newRoot {
+			parent = remap[s.parent]
+		}
+		if firstChild != nilNode {
+			firstChild = remap[firstChild]
+		}
+		d.parent = parent
+		d.action = s.action
+		d.prior = s.prior
+		d.numChildren = s.numChildren
+		d.firstChild.Store(firstChild)
+		d.n.Store(s.n.Load())
+		d.vl.Store(s.vl.Load())
+		d.w.Store(s.w.Load())
+		d.terminal = s.terminal
+		d.termValue = s.termValue
+	}
+	t.next = count
+	t.root = 0
+	t.full.Store(false)
+	t.genWastedBase.Store(t.doubleExpand.Load())
+	gen := t.generation.Add(1)
+	return RebaseStats{
+		RetainedNodes:  int(count),
+		RetainedVisits: retainedVisits,
+		DiscardedNodes: int(n - count),
+		Generation:     gen,
+	}, true
+}
+
+// RemixRootPriors hands the root children's priors to mix and stores the
+// result back — the re-rooted Dirichlet injection point: a node promoted by
+// RebaseRoot was expanded as an interior node (clean priors), and the next
+// search re-mixes exploration noise exactly once when it becomes the root.
+// No-op on an unexpanded root. Must not run concurrently with a search.
+func (t *Tree) RemixRootPriors(mix func(priors []float32)) {
+	root := &t.nodes[t.root]
+	first := root.firstChild.Load()
+	if first == nilNode {
+		return
+	}
+	k := int(root.numChildren)
+	if cap(t.priorScratch) < k {
+		t.priorScratch = make([]float32, k)
+	}
+	pr := t.priorScratch[:k]
+	for i := 0; i < k; i++ {
+		pr[i] = t.nodes[first+int32(i)].prior
+	}
+	mix(pr)
+	for i := 0; i < k; i++ {
+		t.nodes[first+int32(i)].prior = pr[i]
+	}
+}
 
 func (t *Tree) allocNode(parent, action int32, prior float32) int32 {
 	idx := t.next
