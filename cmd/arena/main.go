@@ -5,10 +5,15 @@
 // parallelisation does not degrade decision quality. With -model it gates
 // a saved network against a fresh one instead.
 //
+// With -ckpt it audits a checkpoint store from cmd/train: the latest
+// committed version plays the previous one, re-checking the promotion that
+// the training service's arena gate accepted.
+//
 // Usage:
 //
 //	arena [-game tictactoe|connect4] [-games 10] [-playouts 200] [-workers 4] [-reuse]
 //	arena -model trained.bin [-board 9] [-games 10] [-playouts 100]
+//	arena -ckpt checkpoints [-board 9] [-games 10] [-playouts 100]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 
 	"github.com/parmcts/parmcts/internal/arena"
+	"github.com/parmcts/parmcts/internal/checkpoint"
 	"github.com/parmcts/parmcts/internal/evaluate"
 	"github.com/parmcts/parmcts/internal/game"
 	"github.com/parmcts/parmcts/internal/game/connect4"
@@ -36,12 +42,17 @@ func main() {
 		workers  = flag.Int("workers", 4, "workers for the parallel schemes")
 		reuse    = flag.Bool("reuse", false, "persistent search sessions: engines keep the played subtree warm across moves")
 		model    = flag.String("model", "", "gate this saved model against a fresh network")
-		board    = flag.Int("board", 9, "gomoku board size for -model gating")
+		ckpt     = flag.String("ckpt", "", "gate the latest checkpoint in this store against the previous version")
+		board    = flag.Int("board", 9, "gomoku board size for -model/-ckpt gating")
 	)
 	flag.Parse()
 
 	if *model != "" {
 		gateModel(*model, *board, *games, *playouts)
+		return
+	}
+	if *ckpt != "" {
+		gateCheckpoints(*ckpt, *board, *games, *playouts)
 		return
 	}
 
@@ -89,6 +100,53 @@ func main() {
 	fmt.Print(tb.String())
 	fmt.Println("\nparity across schemes is the expected outcome (Section 5.5);")
 	fmt.Println("leaf-parallel may lag: its K-fold evaluations are redundant with a deterministic evaluator")
+}
+
+// gateCheckpoints replays the most recent promotion recorded in a
+// checkpoint store: latest version vs its predecessor at equal budgets.
+func gateCheckpoints(dir string, board, games, playouts int) {
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arena:", err)
+		os.Exit(1)
+	}
+	versions, err := store.Versions()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arena:", err)
+		os.Exit(1)
+	}
+	if len(versions) < 2 {
+		fmt.Fprintf(os.Stderr, "arena: store %s has %d committed versions; need at least 2 to gate\n", dir, len(versions))
+		os.Exit(1)
+	}
+	curV, prevV := versions[len(versions)-1], versions[len(versions)-2]
+	current, cm, err := store.LoadVersion(curV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arena:", err)
+		os.Exit(1)
+	}
+	previous, _, err := store.LoadVersion(prevV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arena:", err)
+		os.Exit(1)
+	}
+	g := gomoku.NewSized(board)
+	c, h, w := g.EncodedShape()
+	if current.Cfg.InC != c || current.Cfg.H != h || current.Cfg.W != w {
+		fmt.Fprintf(os.Stderr, "arena: checkpoint shape %dx%dx%d does not match board %d (pass -board)\n",
+			current.Cfg.InC, current.Cfg.H, current.Cfg.W, board)
+		os.Exit(1)
+	}
+	cfg := arena.DefaultGateConfig()
+	cfg.Games = games
+	cfg.Playouts = playouts
+	promote, res := arena.GateCandidate(g, current, previous, cfg)
+	fmt.Printf("v%d vs v%d (trained to step %d): %s\n", curV, prevV, cm.Step, res)
+	if promote {
+		fmt.Printf("verdict: v%d still clears the %.2f gate against v%d\n", curV, cfg.WinThreshold, prevV)
+	} else {
+		fmt.Printf("verdict: v%d does NOT clear the %.2f gate against v%d on this re-match\n", curV, cfg.WinThreshold, prevV)
+	}
 }
 
 func gateModel(path string, board, games, playouts int) {

@@ -1,0 +1,252 @@
+// Command train runs the continuous training service on Gomoku: G
+// concurrent self-play games generate through one shared inference service
+// while SGD updates a live parameter set, and every -gate-every rounds a
+// candidate snapshot must beat the serving incumbent in an arena match
+// (played through the same service, both versions live at once) before it
+// is promoted — checkpointed to disk, hot-swapped behind the server with no
+// drain, and version-scoped cache invalidation retiring the old model.
+//
+// If the checkpoint directory already holds committed versions, training
+// resumes from the latest one and version numbering continues.
+//
+// Usage:
+//
+//	train [-board 9] [-games 8] [-workers 4] [-playouts 100] [-rounds 12]
+//	      [-gate-every 2] [-gate-games 12] [-win-rate 0.55]
+//	      [-ckpt checkpoints] [-reuse] [-full-net] [-seed 1]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/parmcts/parmcts/internal/arena"
+	"github.com/parmcts/parmcts/internal/checkpoint"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/selfplay"
+	"github.com/parmcts/parmcts/internal/train"
+)
+
+// servicePromoter applies accepted promotions to the serving stack:
+// checkpoint first (durability), then the drain-free hot swap, and — at the
+// Loop's retire barrier — version-scoped eviction of the old model's cache
+// entries and backend.
+type servicePromoter struct {
+	store     *checkpoint.Store
+	srv       *evaluate.Server
+	cache     *evaluate.Cached
+	mkBackend func(*nn.Network, int64) evaluate.Backend
+	game      string
+	// baseStep/baseRounds/baseSamples carry the resumed checkpoint's
+	// cumulative counters: the Loop counts per-run, the manifest records
+	// training-history totals.
+	baseStep    int64
+	baseRounds  int
+	baseSamples int
+}
+
+func (p *servicePromoter) Promote(candidate *nn.Network, pr train.Promotion) error {
+	_, err := p.store.Save(candidate, checkpoint.Manifest{
+		Version:   pr.Version,
+		Step:      p.baseStep + pr.Step,
+		Rounds:    p.baseRounds + pr.Round + 1,
+		Samples:   p.baseSamples + pr.Samples,
+		GateScore: pr.Gate.Score,
+		Game:      p.game,
+		Note:      "promoted by arena gate",
+	})
+	if err != nil {
+		return err
+	}
+	p.srv.SwapBackend(p.mkBackend(candidate, pr.Version), pr.Version)
+	return nil
+}
+
+func (p *servicePromoter) Retire(version int64) {
+	p.srv.Retire(version)
+	p.cache.ResetVersion(version)
+}
+
+func main() {
+	var (
+		board        = flag.Int("board", 9, "gomoku board size")
+		games        = flag.Int("games", 8, "concurrent self-play games (tenants of the shared service)")
+		workers      = flag.Int("workers", 4, "inference threads of the shared service; also each game's in-flight bound")
+		playouts     = flag.Int("playouts", 100, "per-move playout budget of the self-play engines")
+		rounds       = flag.Int("rounds", 12, "generation rounds (each plays -games games concurrently)")
+		gateEvery    = flag.Int("gate-every", 2, "run the promotion gate every K trained rounds (0 = never)")
+		gateGames    = flag.Int("gate-games", 12, "games per gate match")
+		gatePlayouts = flag.Int("gate-playouts", 60, "playouts per move in gate matches")
+		winRate      = flag.Float64("win-rate", 0.55, "score the candidate must reach to be promoted")
+		sgdIters     = flag.Int("sgd", 8, "SGD mini-batch updates per round")
+		minSamples   = flag.Int("min-samples", 256, "replay samples required before SGD and gating start")
+		cacheSize    = flag.Int("cache", 1<<16, "shared transposition cache capacity (positions, all versions)")
+		ckptDir      = flag.String("ckpt", "checkpoints", "checkpoint store directory")
+		reuse        = flag.Bool("reuse", false, "persistent search sessions across moves")
+		fullNet      = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
+		seed         = flag.Uint64("seed", 1, "run seed")
+	)
+	flag.Parse()
+	if *games < 1 || *workers < 1 || *rounds < 1 {
+		fmt.Fprintln(os.Stderr, "train: -games, -workers and -rounds must be >= 1")
+		os.Exit(2)
+	}
+
+	g := gomoku.NewSized(*board)
+	c, h, w := g.EncodedShape()
+	gameName := fmt.Sprintf("gomoku-%d", *board)
+
+	store, err := checkpoint.NewStore(*ckptDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+
+	// Fresh start or resume: the incumbent is always a frozen clone of the
+	// training parameters, serving behind the inference service.
+	var net *nn.Network
+	startVersion := int64(1)
+	var baseStep int64
+	var baseRounds, baseSamples int
+	switch loaded, m, lerr := store.LoadLatest(); {
+	case lerr == nil:
+		net = loaded
+		startVersion = m.Version
+		baseStep, baseRounds, baseSamples = m.Step, m.Rounds, m.Samples
+		fmt.Printf("resuming from checkpoint version %d (step %d, %s)\n", m.Version, m.Step, store.Dir())
+	case errors.Is(lerr, checkpoint.ErrEmpty):
+		if *fullNet {
+			net = nn.MustNew(nn.GomokuConfig(c, h, w, g.NumActions()), rng.New(*seed))
+		} else {
+			net = nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(*seed))
+		}
+		if _, err := store.Save(net, checkpoint.Manifest{Version: 1, Game: gameName, Note: "seed network"}); err != nil {
+			fmt.Fprintln(os.Stderr, "train:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "train:", lerr)
+		os.Exit(1)
+	}
+	incumbent := net.Clone()
+
+	// Shared service: one lock-striped transposition cache shared by all
+	// live versions through version-scoped views, one EvaluatorBackend per
+	// version, batch size 1 on persistent launchers (the CPU worker-pool
+	// topology).
+	cache := evaluate.NewCached(evaluate.NewNN(incumbent), *cacheSize)
+	mkBackend := func(n *nn.Network, v int64) evaluate.Backend {
+		return &evaluate.EvaluatorBackend{Eval: cache.View(v, evaluate.NewNN(n)), Workers: *workers}
+	}
+	srv := evaluate.NewServer(mkBackend(incumbent, startVersion), evaluate.ServerConfig{
+		Batch:          1,
+		FlushDeadline:  evaluate.DefaultFlushDeadline,
+		MaxOutstanding: *games * *workers * 2,
+		LaunchWorkers:  *workers,
+		InitialVersion: startVersion,
+	})
+	defer srv.Close()
+
+	clients := make([]*evaluate.Client, *games)
+	engines := make([]mcts.Engine, *games)
+	for i := range engines {
+		clients[i] = srv.NewClient(*workers * 2)
+		cfg := mcts.DefaultConfig()
+		cfg.Playouts = *playouts
+		cfg.DirichletAlpha = 0.3
+		cfg.NoiseFrac = 0.25
+		cfg.Seed = *seed + uint64(i)*7919
+		cfg.ReuseTree = *reuse
+		engines[i] = mcts.NewLocal(cfg, clients[i], *workers)
+	}
+	defer func() {
+		for i := range engines {
+			engines[i].Close()
+			clients[i].Close()
+		}
+	}()
+
+	replay := train.NewReplay(50000)
+	driver := selfplay.NewDriver(g, engines, replay, train.GomokuAugmenter{Size: *board, Planes: c}, selfplay.Config{
+		TempMoves: 6,
+		Seed:      *seed,
+		// Pin each tenant to the serving version at game start: a game's
+		// evaluations never mix models across a mid-round promotion.
+		OnGameStart: func(tenant int) { clients[tenant].Pin(srv.Version()) },
+		OnGameEnd:   func(tenant int) { clients[tenant].Unpin() },
+	})
+
+	gate := &arena.ServerGate{
+		Game:      g,
+		Srv:       srv,
+		MkBackend: mkBackend,
+		// A rejected candidate's cached evaluations go with its backend:
+		// nothing of a network that lost its gate may outlive the match.
+		OnReject: func(version int64) { cache.ResetVersion(version) },
+		Cfg: arena.GateConfig{
+			Games:        *gateGames,
+			WinThreshold: *winRate,
+			Playouts:     *gatePlayouts,
+			Temperature:  0.2,
+			TempMoves:    6,
+			Seed:         *seed + 1_000_003,
+		},
+	}
+	promoter := &servicePromoter{
+		store: store, srv: srv, cache: cache, mkBackend: mkBackend, game: gameName,
+		baseStep: baseStep, baseRounds: baseRounds, baseSamples: baseSamples,
+	}
+
+	loop := train.NewLoop(net, incumbent, replay, driver, gate, promoter, train.LoopConfig{
+		Rounds:        *rounds,
+		GateEvery:     *gateEvery,
+		SGDIterations: *sgdIters,
+		BatchSize:     64,
+		LR:            0.01,
+		Momentum:      0.9,
+		WeightDecay:   1e-4,
+		MinSamples:    *minSamples,
+		StartVersion:  startVersion,
+		Seed:          *seed,
+	})
+
+	fmt.Printf("training service: %s, %d games x %d playouts, gate every %d rounds (%d games, win-rate >= %.2f), checkpoints in %s\n",
+		gameName, *games, *playouts, *gateEvery, *gateGames, *winRate, store.Dir())
+	report := loop.Run(func(s train.LoopRoundStats) {
+		line := fmt.Sprintf("round %2d: v%d moves=%4d samples=%4d", s.Round, s.Version, s.Moves, s.Samples)
+		if s.Trained {
+			line += fmt.Sprintf(" loss=%.4f (v=%.4f p=%.4f)", s.Loss.TotalLoss(), s.Loss.ValueLoss, s.Loss.PolicyLoss)
+		} else {
+			line += " warmup"
+		}
+		line += fmt.Sprintf(" gen=%v sgd=%v fill=%.1f", s.GenTime.Round(1e6), s.TrainTime.Round(1e6), srv.Stats().AvgFill())
+		if s.Gate != nil {
+			verdict := "rejected"
+			if s.Gate.Promote {
+				verdict = fmt.Sprintf("PROMOTED -> v%d", s.Version)
+			}
+			line += fmt.Sprintf(" | gate %d:%d+%d score=%.2f %s",
+				s.Gate.WinsCandidate, s.Gate.WinsIncumbent, s.Gate.Draws, s.Gate.Score, verdict)
+		}
+		if s.PromoteErr != nil {
+			line += fmt.Sprintf(" | PROMOTION FAILED: %v", s.PromoteErr)
+		}
+		fmt.Println(line)
+	})
+
+	hits, misses := cache.Stats()
+	fmt.Printf("done: %d rounds, %d SGD steps, %d samples, %d promotions, final version v%d, elapsed %v\n",
+		report.Rounds, report.Steps, report.Samples, len(report.Promotions), report.FinalVersion, report.Elapsed.Round(1e6))
+	fmt.Printf("service: avg batch fill %.2f over %d launches; cache %d/%d hit\n",
+		srv.Stats().AvgFill(), srv.Stats().Batches, hits, hits+misses)
+	for _, p := range report.Promotions {
+		fmt.Printf("  v%d at round %d (step %d): score %.2f over %d games\n",
+			p.Version, p.Round, p.Step, p.Gate.Score, p.Gate.Games)
+	}
+}

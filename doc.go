@@ -70,6 +70,48 @@
 // per-move evaluation demand drops by its reuse fraction, which
 // multiplies directly into the shared service's aggregate throughput.
 //
+// # Model lifecycle
+//
+// The outer ring of the self-play system closes the loop from generated
+// games back to a stronger serving model, as a continuously running
+// service rather than a single experiment:
+//
+//   - internal/checkpoint persists versioned network snapshots: weights
+//     (nn.Save) plus a JSON manifest carrying version, SGD step count,
+//     training metadata and an FNV-64a weights checksum. Saves are atomic
+//     (temp file + rename, manifest renamed last as the commit point), so
+//     a crash never leaves a loadable half-checkpoint; LoadLatest resumes
+//     a restarted training service from the newest committed version.
+//
+//   - evaluate.Server is version-aware: every request is stamped with a
+//     model version at submit time, each live version has its own Backend
+//     in a registry, and SwapBackend performs a drain-free hot swap —
+//     requests stamped before the swap (buffered or in flight) still route
+//     to the old network, new unpinned requests are stamped with (and
+//     served by) the new version, and a batch spanning the swap is split
+//     into per-version sub-batches so no network ever evaluates a request
+//     stamped for another. Client.Pin fixes a tenant to one version: fleet
+//     drivers pin each game at game start (one game never mixes models),
+//     and arena gates pin the candidate and incumbent tenant groups so two
+//     versions serve simultaneously. The shared evaluate.Cached is
+//     version-scoped the same way (View/ResetVersion): retiring a
+//     superseded model evicts exactly its entries, never the incumbent's.
+//
+//   - train.Loop overlaps self-play generation with SGD (the generator
+//     runs one round ahead on its own goroutine) and, every GateEvery
+//     rounds, clones the training parameters into a candidate and plays it
+//     against the incumbent through arena.ServerGate — on the live server,
+//     under fleet traffic. Only a candidate clearing the configurable
+//     win-rate gate is promoted: checkpointed, hot-swapped to current, and
+//     the old version retired (backend unregistered, cache entries
+//     dropped) two round barriers later, when no pinned request can still
+//     reference it. G concurrent games keep running across the entire
+//     promotion.
+//
+// cmd/train runs this service on Gomoku (resuming from its checkpoint
+// store if one exists), and cmd/arena -ckpt re-audits a store's latest
+// promotion by replaying latest-vs-previous at equal budgets.
+//
 // Packages live under internal/; the runnable entry points are the
 // binaries under cmd/ and the programs under examples/. The benchmarks in
 // bench_test.go regenerate each table and figure of the paper's evaluation

@@ -1,0 +1,88 @@
+package arena
+
+import (
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/train"
+)
+
+// ServerGate is a promotion gate that plays the candidate-vs-incumbent
+// match THROUGH the live multi-tenant inference service, while the
+// self-play fleet keeps generating on it: the candidate's backend is
+// registered under its (not yet current) version, each side's engine is a
+// sync tenant pinned to its own version, and the match traffic multiplexes
+// with fleet traffic in the same batch stream. Two versions are live
+// simultaneously — one per tenant group — which is exactly the state a
+// promotion swap later makes permanent.
+//
+// On rejection the candidate's version is retired immediately (its two
+// match tenants are closed, nothing else ever pinned it). On promotion the
+// registration is left in place for the Promoter to make current via
+// SwapBackend.
+type ServerGate struct {
+	// Game is the gating workload.
+	Game game.Game
+	// Srv is the shared inference service (the fleet's server).
+	Srv *evaluate.Server
+	// MkBackend builds the backend serving a model version during (and, if
+	// promoted, after) the match — e.g. an EvaluatorBackend over a
+	// version-scoped cache view of the candidate network.
+	MkBackend func(net *nn.Network, version int64) evaluate.Backend
+	// OnReject, when non-nil, runs after a rejected candidate's version is
+	// retired from the server — the place to drop any other state tagged
+	// with that version (cmd/train evicts the shared cache's entries here,
+	// so a rejected network's evaluations cannot linger in the table).
+	OnReject func(version int64)
+	// Cfg carries the match size, win threshold and search budget.
+	Cfg GateConfig
+}
+
+// Gate implements train.Gate.
+func (sg *ServerGate) Gate(candidate *nn.Network, cv int64, incumbent *nn.Network, iv int64) train.GateResult {
+	if sg.Cfg.Games < 1 || sg.Cfg.Playouts < 1 {
+		panic("arena: gate needs Games >= 1 and Playouts >= 1")
+	}
+	sg.Srv.RegisterBackend(sg.MkBackend(candidate, cv), cv)
+
+	mk := func(version int64, seed uint64) (mcts.Engine, *evaluate.Client) {
+		cl := sg.Srv.NewSyncClient()
+		cl.Pin(version)
+		c := mcts.DefaultConfig()
+		c.Playouts = sg.Cfg.Playouts
+		c.Seed = seed
+		return mcts.NewSerial(c, cl), cl
+	}
+	a, clA := mk(cv, sg.Cfg.Seed)
+	b, clB := mk(iv, sg.Cfg.Seed+1)
+	res := Play(sg.Game, a, b, MatchConfig{
+		Games:       sg.Cfg.Games,
+		Temperature: sg.Cfg.Temperature,
+		TempMoves:   sg.Cfg.TempMoves,
+		Seed:        sg.Cfg.Seed,
+	})
+	a.Close()
+	b.Close()
+	clA.Close()
+	clB.Close()
+
+	promote := res.Score() >= sg.Cfg.WinThreshold
+	if !promote {
+		// No fleet tenant ever pins a never-promoted version; with the
+		// match tenants closed the registration can go immediately.
+		sg.Srv.Retire(cv)
+		if sg.OnReject != nil {
+			sg.OnReject(cv)
+		}
+	}
+	return train.GateResult{
+		Promote:       promote,
+		Score:         res.Score(),
+		Games:         res.Games,
+		WinsCandidate: res.WinsA,
+		WinsIncumbent: res.WinsB,
+		Draws:         res.Draws,
+		Elapsed:       res.Duration,
+	}
+}

@@ -1,0 +1,85 @@
+package arena
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// gateFixture builds a live server (incumbent v1) and a ServerGate over it.
+func gateFixture(t *testing.T, threshold float64) (*evaluate.Server, *ServerGate, *nn.Network, func()) {
+	t.Helper()
+	g := tictactoe.New()
+	c, h, w := g.EncodedShape()
+	incumbent := nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(1))
+	mkBackend := func(n *nn.Network, v int64) evaluate.Backend {
+		return &evaluate.EvaluatorBackend{Eval: evaluate.NewNN(n), Workers: 2}
+	}
+	srv := evaluate.NewServer(mkBackend(incumbent, 1), evaluate.ServerConfig{Batch: 1, LaunchWorkers: 2})
+	sg := &ServerGate{
+		Game:      g,
+		Srv:       srv,
+		MkBackend: mkBackend,
+		Cfg: GateConfig{
+			Games:        2,
+			WinThreshold: threshold,
+			Playouts:     8,
+			Temperature:  0.3,
+			Seed:         3,
+		},
+	}
+	return srv, sg, incumbent, srv.Close
+}
+
+// TestServerGateRejectionCleansUp: a rejected candidate's version must be
+// fully gone afterwards — retired from the server and reported to OnReject
+// so version-tagged caches can evict, leaving nothing a later candidate
+// (which always gets a fresh version number) could collide with.
+func TestServerGateRejectionCleansUp(t *testing.T) {
+	srv, sg, incumbent, closeSrv := gateFixture(t, 1.1) // unreachable: always reject
+	defer closeSrv()
+	var rejected []int64
+	sg.OnReject = func(v int64) { rejected = append(rejected, v) }
+
+	candidate := incumbent.Clone()
+	res := sg.Gate(candidate, 2, incumbent, 1)
+	if res.Promote {
+		t.Fatal("score above an unreachable threshold")
+	}
+	if res.Games != 2 || res.WinsCandidate+res.WinsIncumbent+res.Draws != 2 {
+		t.Fatalf("match evidence inconsistent: %+v", res)
+	}
+	if len(rejected) != 1 || rejected[0] != 2 {
+		t.Fatalf("OnReject calls = %v, want [2]", rejected)
+	}
+	if vs := srv.Versions(); len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("versions after rejection = %v, want [1]", vs)
+	}
+	if srv.Version() != 1 {
+		t.Fatalf("rejection changed the current version to %d", srv.Version())
+	}
+}
+
+// TestServerGatePromotionLeavesRegistration: an accepted candidate's
+// backend stays registered (the Promoter makes it current) and OnReject
+// does not fire.
+func TestServerGatePromotionLeavesRegistration(t *testing.T) {
+	srv, sg, incumbent, closeSrv := gateFixture(t, 0) // any score promotes
+	defer closeSrv()
+	sg.OnReject = func(v int64) { t.Errorf("OnReject(%d) fired on a promotion", v) }
+
+	res := sg.Gate(incumbent.Clone(), 2, incumbent, 1)
+	if !res.Promote {
+		t.Fatal("score below a zero threshold")
+	}
+	if vs := srv.Versions(); len(vs) != 2 {
+		t.Fatalf("versions after promotion = %v, want candidate still registered", vs)
+	}
+	if srv.Version() != 1 {
+		t.Fatalf("gate itself changed the current version to %d (the Promoter's job)", srv.Version())
+	}
+	srv.Retire(2)
+}

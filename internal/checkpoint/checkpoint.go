@@ -1,0 +1,249 @@
+// Package checkpoint persists versioned network snapshots — the durable
+// half of the model lifecycle. A trained network no longer dies with the
+// process: each promotion writes an immutable, numbered checkpoint (weights
+// via nn.Save plus a JSON manifest carrying version, step count and
+// training metadata), and a restarted service resumes from LoadLatest.
+//
+// Durability protocol: the weights file is written to a temp name and
+// renamed into place first; the manifest is written and renamed LAST, so
+// the manifest's existence is the commit point. A crash mid-save leaves at
+// worst an orphaned weights file that Versions/LoadLatest never report. The
+// manifest records an FNV-64a checksum of the weights bytes; loads verify
+// it, so a truncated or corrupted checkpoint is rejected instead of
+// silently serving garbage parameters.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/nn"
+)
+
+// ErrEmpty is returned by Latest/LoadLatest on a store with no committed
+// checkpoints.
+var ErrEmpty = errors.New("checkpoint: store is empty")
+
+// Manifest is the metadata committed alongside each snapshot's weights.
+type Manifest struct {
+	// Version is the model version (positive, strictly increasing across a
+	// training run; the version stamped onto inference requests served by
+	// this network).
+	Version int64 `json:"version"`
+	// Step is the cumulative SGD mini-batch update count at save time.
+	Step int64 `json:"step"`
+	// Rounds is the number of self-play generation rounds completed.
+	Rounds int `json:"rounds"`
+	// Samples is the cumulative count of generated training samples.
+	Samples int `json:"samples"`
+	// GateScore is the arena match score that promoted this version
+	// (0 for an initial seed checkpoint saved without a gate).
+	GateScore float64 `json:"gate_score"`
+	// Game names the workload (e.g. "gomoku-9").
+	Game string `json:"game,omitempty"`
+	// Note carries free-form provenance.
+	Note string `json:"note,omitempty"`
+	// SavedAtUnix is the commit wall-clock time (Unix seconds).
+	SavedAtUnix int64 `json:"saved_at_unix"`
+	// WeightsFile is the snapshot's weights filename, relative to the
+	// store directory.
+	WeightsFile string `json:"weights_file"`
+	// Checksum is the FNV-64a digest of the weights file, hex-encoded.
+	Checksum string `json:"checksum"`
+}
+
+// Store is a directory of versioned checkpoints. It is safe for concurrent
+// use within one process: Save serialises version assignment and commit,
+// while loads only ever observe committed (manifest-renamed) checkpoints.
+type Store struct {
+	dir string
+
+	mu sync.Mutex // serialises Save's version assignment + commit
+}
+
+// NewStore opens (creating if needed) a checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("checkpoint: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+func manifestName(version int64) string { return fmt.Sprintf("v%06d.json", version) }
+func weightsName(version int64) string  { return fmt.Sprintf("v%06d.net", version) }
+
+// checksum digests raw weight bytes (FNV-64a, hex).
+func checksum(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Save commits one snapshot and returns the completed manifest. If
+// m.Version is 0 the next version after the latest committed one is
+// assigned; an explicit version must not collide with a committed one
+// (checkpoints are immutable). SavedAtUnix, WeightsFile and Checksum are
+// filled in by the store.
+func (s *Store) Save(net *nn.Network, m Manifest) (Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Version == 0 {
+		latest, err := s.Latest()
+		switch {
+		case errors.Is(err, ErrEmpty):
+			m.Version = 1
+		case err != nil:
+			return Manifest{}, err
+		default:
+			m.Version = latest + 1
+		}
+	}
+	if m.Version < 0 {
+		return Manifest{}, fmt.Errorf("checkpoint: negative version %d", m.Version)
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, manifestName(m.Version))); err == nil {
+		return Manifest{}, fmt.Errorf("checkpoint: version %d already committed", m.Version)
+	}
+
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		return Manifest{}, fmt.Errorf("checkpoint: serialize: %w", err)
+	}
+	m.WeightsFile = weightsName(m.Version)
+	m.Checksum = checksum(buf.Bytes())
+	m.SavedAtUnix = time.Now().Unix()
+
+	// Weights first, manifest last: the manifest rename is the commit.
+	if err := s.writeAtomic(m.WeightsFile, buf.Bytes()); err != nil {
+		return Manifest{}, err
+	}
+	mj, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	if err := s.writeAtomic(manifestName(m.Version), mj); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// writeAtomic writes name via a temp file + rename so readers never observe
+// a partially written checkpoint file.
+func (s *Store) writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write %s: %w", name, werr)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: commit %s: %w", name, err)
+	}
+	return nil
+}
+
+// Versions returns the committed versions in ascending order. Only versions
+// with a parseable manifest count — orphaned weights from an interrupted
+// Save are invisible.
+func (s *Store) Versions() ([]int64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out []int64
+	for _, e := range entries {
+		var v int64
+		if n, _ := fmt.Sscanf(e.Name(), "v%d.json", &v); n == 1 && e.Name() == manifestName(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Latest returns the highest committed version, or ErrEmpty.
+func (s *Store) Latest() (int64, error) {
+	vs, err := s.Versions()
+	if err != nil {
+		return 0, err
+	}
+	if len(vs) == 0 {
+		return 0, ErrEmpty
+	}
+	return vs[len(vs)-1], nil
+}
+
+// LoadManifest reads and validates one version's manifest.
+func (s *Store) LoadManifest(version int64) (Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, manifestName(version)))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("checkpoint: version %d: %w", version, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("checkpoint: version %d: corrupt manifest: %w", version, err)
+	}
+	if m.Version != version {
+		return Manifest{}, fmt.Errorf("checkpoint: manifest %s claims version %d", manifestName(version), m.Version)
+	}
+	if m.WeightsFile == "" || m.Checksum == "" {
+		return Manifest{}, fmt.Errorf("checkpoint: version %d: manifest missing weights reference", version)
+	}
+	return m, nil
+}
+
+// LoadVersion restores one snapshot, verifying the weights checksum before
+// deserializing. Corrupted or truncated checkpoints return an error.
+func (s *Store) LoadVersion(version int64) (*nn.Network, Manifest, error) {
+	m, err := s.LoadManifest(version)
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	raw, err := os.ReadFile(filepath.Join(s.dir, m.WeightsFile))
+	if err != nil {
+		return nil, Manifest{}, fmt.Errorf("checkpoint: version %d: %w", version, err)
+	}
+	if got := checksum(raw); got != m.Checksum {
+		return nil, Manifest{}, fmt.Errorf("checkpoint: version %d: weights checksum mismatch (manifest %s, file %s)",
+			version, m.Checksum, got)
+	}
+	net, err := nn.Load(bytes.NewReader(raw))
+	if err != nil {
+		return nil, Manifest{}, fmt.Errorf("checkpoint: version %d: %w", version, err)
+	}
+	return net, m, nil
+}
+
+// LoadLatest restores the highest committed version, or ErrEmpty.
+func (s *Store) LoadLatest() (*nn.Network, Manifest, error) {
+	latest, err := s.Latest()
+	if err != nil {
+		return nil, Manifest{}, err
+	}
+	return s.LoadVersion(latest)
+}

@@ -58,6 +58,10 @@ type cacheEntry struct {
 	policy  []float32
 	value   float64
 	touched bool
+	// version is the model version whose network produced this entry
+	// (0 for the plain, unversioned Evaluate path). ResetVersion evicts by
+	// this tag, so promoting one model never drops another's entries.
+	version int64
 }
 
 // NewCached wraps inner with a cache of at most capacity positions spread
@@ -131,9 +135,29 @@ func (c *Cached) shardFor(key uint64) *cacheShard {
 	return &c.shards[key%uint64(len(c.shards))]
 }
 
-// Evaluate implements Evaluator.
+// mixVersion folds a model version into a position key, so the same board
+// cached under two live versions occupies two distinct entries and a lookup
+// can never return an evaluation computed by a different network.
+func mixVersion(h uint64, version int64) uint64 {
+	if version == 0 {
+		return h
+	}
+	z := uint64(version) * 0x9E3779B97F4A7C15
+	z ^= z >> 29
+	z *= 0xBF58476D1CE4E5B9
+	return h ^ z
+}
+
+// Evaluate implements Evaluator (the unversioned path: version tag 0,
+// evaluated by the inner evaluator the cache was constructed with).
 func (c *Cached) Evaluate(input []float32, policy []float32) float64 {
-	key := hashInput(input)
+	return c.evaluate(0, c.inner, input, policy)
+}
+
+// evaluate is the shared lookup/fill path for the plain Evaluate and every
+// version-scoped View.
+func (c *Cached) evaluate(version int64, inner Evaluator, input []float32, policy []float32) float64 {
+	key := mixVersion(hashInput(input), version)
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
@@ -149,7 +173,7 @@ func (c *Cached) Evaluate(input []float32, policy []float32) float64 {
 
 	// Miss path: the inner (potentially multi-millisecond DNN) evaluation
 	// runs with no lock held.
-	value := c.inner.Evaluate(input, policy)
+	value := inner.Evaluate(input, policy)
 
 	stored := make([]float32, len(policy))
 	copy(stored, policy)
@@ -158,11 +182,43 @@ func (c *Cached) Evaluate(input []float32, policy []float32) float64 {
 		if len(sh.entries) >= sh.capacity {
 			sh.evictLocked()
 		}
-		sh.entries[key] = &cacheEntry{policy: stored, value: value}
+		sh.entries[key] = &cacheEntry{policy: stored, value: value, version: version}
 		sh.ring = append(sh.ring, key)
 	}
 	sh.mu.Unlock()
 	return value
+}
+
+// CacheView is a version-scoped handle on a shared Cached: lookups and
+// inserts are tagged with the view's model version and misses evaluate on
+// the view's own inner evaluator (that version's network). All views of one
+// Cached share its capacity and lock stripes, so co-tenant versions — an
+// incumbent serving mid-game tenants and a freshly promoted candidate —
+// share one bounded table without ever mixing each other's evaluations.
+type CacheView struct {
+	c       *Cached
+	version int64
+	inner   Evaluator
+}
+
+// View returns a version-scoped view over the shared table. version must be
+// positive (0 is the plain Evaluate path); inner evaluates misses.
+func (c *Cached) View(version int64, inner Evaluator) *CacheView {
+	if version <= 0 {
+		panic("evaluate: cache view versions must be positive")
+	}
+	if inner == nil {
+		panic("evaluate: cache view needs an inner evaluator")
+	}
+	return &CacheView{c: c, version: version, inner: inner}
+}
+
+// Version returns the view's model version tag.
+func (v *CacheView) Version() int64 { return v.version }
+
+// Evaluate implements Evaluator.
+func (v *CacheView) Evaluate(input []float32, policy []float32) float64 {
+	return v.c.evaluate(v.version, v.inner, input, policy)
 }
 
 // evictLocked removes one entry using the clock algorithm. Caller holds
@@ -192,9 +248,11 @@ func (sh *cacheShard) evictLocked() {
 	}
 }
 
-// Reset drops every cached position (hit/miss counters are kept). Training
-// loops call it after each parameter update: entries computed with the old
-// weights would otherwise serve stale evaluations to the next round.
+// Reset drops every cached position across ALL versions (hit/miss counters
+// are kept). Single-model training loops call it after each parameter
+// update: entries computed with the old weights would otherwise serve stale
+// evaluations to the next round. Multi-version deployments should prefer
+// ResetVersion, which does not evict other versions' still-valid entries.
 func (c *Cached) Reset() {
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -204,6 +262,41 @@ func (c *Cached) Reset() {
 		sh.hand = 0
 		sh.mu.Unlock()
 	}
+}
+
+// ResetVersion drops only the entries tagged with the given version — the
+// version-scoped half of the promotion protocol. Retiring a superseded
+// model evicts exactly its entries, so an incumbent still serving pinned
+// mid-game tenants (or the freshly promoted candidate) keeps every cached
+// evaluation it has earned. Vacated ring slots are compacted lazily by the
+// clock hand on the next eviction pass.
+func (c *Cached) ResetVersion(version int64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			if e.version == version {
+				delete(sh.entries, key)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// LenVersion returns the number of cached positions tagged with version.
+func (c *Cached) LenVersion(version int64) int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.version == version {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns cumulative hits and misses aggregated across shards.

@@ -38,6 +38,14 @@ type Request struct {
 	Policy []float32
 	Value  float64
 	Tag    int64
+	// Version identifies the network version that serves (or served) this
+	// request. It is OWNED by the routing layer: Client.Submit stamps it on
+	// every submission — the client's pinned version if Pin was called, the
+	// server's current version otherwise — so requesters read it after
+	// completion to learn which model produced the evaluation, but never
+	// write it themselves (reused requests would otherwise carry stale
+	// versions across a hot swap).
+	Version int64
 	// Ctx carries arbitrary requester context through the evaluator
 	// (e.g. the cloned game state needed to expand the leaf on completion).
 	Ctx interface{}

@@ -1,6 +1,7 @@
 package evaluate
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,10 @@ type ServerConfig struct {
 	// batches); persistent launchers suit Batch=1 worker-pool deployments,
 	// where a per-request spawn would sit on the per-playout hot path.
 	LaunchWorkers int
+	// InitialVersion is the model version the constructor backend is
+	// registered under (0 = 1). Versions must be positive; 0 on a Request
+	// means "the server's current version at submit time".
+	InitialVersion int64
 }
 
 // ServerStats is a snapshot of the service's aggregate batch economics.
@@ -135,16 +140,36 @@ func (s ServerStats) AvgFill() float64 {
 // topology of the seed: G concurrent searches sharing a Server present the
 // device with one large batch stream instead of G under-filled ones.
 //
+// The server is also the model-lifecycle boundary: every request is stamped
+// with a model version at submit time, each registered version has its own
+// Backend, and SwapBackend hot-swaps the current version without draining —
+// the outer training loop promotes a candidate network under live traffic
+// this way, while arena gates run two versions simultaneously via pinned
+// tenant groups (Client.Pin).
+//
 // Lifecycle: all Submits must happen-before Close. Close flushes the
 // remaining partial batch, waits for in-flight launches to drain, and then
 // refuses further work. Clients are closed individually (Client.Close) and
 // may outlive each other; closing the Server while clients still have
 // requests in flight is a bug in the caller.
 type Server struct {
-	backend Backend
 	cfg     ServerConfig
 	batcher *queue.Batcher[*Request]
 	sem     chan struct{} // backpressure tokens (nil = unbounded)
+
+	// backends is the versioned model registry: every live network version
+	// has one Backend, and current names the version stamped onto unpinned
+	// submissions. SwapBackend replaces current atomically; superseded
+	// versions stay registered (serving pinned mid-game tenants) until
+	// Retire. currentEntry caches the current (version, backend) pair so
+	// the steady-state launch path resolves its backend with one atomic
+	// load — no mutex on the per-batch hot path (lock acquisition there
+	// perturbs worker wake timing, which interleaving-sensitive engines
+	// would surface as trajectory drift).
+	backendMu    sync.RWMutex
+	backends     map[int64]Backend
+	current      atomic.Int64
+	currentEntry atomic.Pointer[backendEntry]
 
 	inflight        sync.WaitGroup
 	inflightBatches atomic.Int64
@@ -170,7 +195,15 @@ func NewServer(backend Backend, cfg ServerConfig) *Server {
 	if cfg.FlushDeadline < 0 {
 		panic("evaluate: negative flush deadline")
 	}
-	s := &Server{backend: backend, cfg: cfg}
+	if cfg.InitialVersion < 0 {
+		panic("evaluate: negative initial version")
+	}
+	if cfg.InitialVersion == 0 {
+		cfg.InitialVersion = 1
+	}
+	s := &Server{cfg: cfg, backends: map[int64]Backend{cfg.InitialVersion: backend}}
+	s.current.Store(cfg.InitialVersion)
+	s.currentEntry.Store(&backendEntry{version: cfg.InitialVersion, backend: backend})
 	if cfg.MaxOutstanding > 0 {
 		s.sem = make(chan struct{}, cfg.MaxOutstanding)
 	}
@@ -194,6 +227,91 @@ func NewServer(backend Backend, cfg ServerConfig) *Server {
 		}
 	}
 	return s
+}
+
+// Version returns the current model version: the version stamped onto
+// unpinned submissions arriving now.
+func (s *Server) Version() int64 { return s.current.Load() }
+
+// Versions returns the registered model versions in unspecified order.
+func (s *Server) Versions() []int64 {
+	s.backendMu.RLock()
+	defer s.backendMu.RUnlock()
+	out := make([]int64, 0, len(s.backends))
+	for v := range s.backends {
+		out = append(out, v)
+	}
+	return out
+}
+
+// RegisterBackend adds a backend under version WITHOUT making it current.
+// Arena gating uses it to bring a candidate model live next to the
+// incumbent: tenants pinned to the candidate version route to it while
+// every unpinned tenant keeps evaluating on the current version.
+func (s *Server) RegisterBackend(b Backend, version int64) {
+	if b == nil {
+		panic("evaluate: RegisterBackend with nil backend")
+	}
+	if version <= 0 {
+		panic("evaluate: backend versions must be positive")
+	}
+	s.backendMu.Lock()
+	s.backends[version] = b
+	s.backendMu.Unlock()
+}
+
+// backendEntry pairs a version with its backend for the lock-free
+// current-backend cache.
+type backendEntry struct {
+	version int64
+	backend Backend
+}
+
+// SwapBackend is the drain-free hot swap: it registers b under version and
+// makes that version current, all while the service keeps running. Requests
+// already stamped with the old version — buffered, in a launched batch, or
+// submitted by a pinned client — still route to the old backend, which
+// stays registered until Retire; requests submitted after the swap by
+// unpinned clients are stamped with (and served by) the new version. No
+// queue is drained and no submitter blocks.
+func (s *Server) SwapBackend(b Backend, version int64) {
+	s.RegisterBackend(b, version)
+	s.currentEntry.Store(&backendEntry{version: version, backend: b})
+	s.current.Store(version)
+}
+
+// Retire unregisters a superseded version. It must not be the current
+// version, and the caller must guarantee no client is still pinned to it
+// and no request stamped with it is in flight (in a fleet, one full round
+// barrier after the swap suffices: every game that started before the swap
+// has ended and re-pinned). A late submission against a retired version
+// panics rather than silently mixing model versions.
+func (s *Server) Retire(version int64) {
+	if version == s.current.Load() {
+		panic("evaluate: cannot retire the current version")
+	}
+	s.backendMu.Lock()
+	delete(s.backends, version)
+	s.backendMu.Unlock()
+}
+
+// backendFor resolves the backend serving version, panicking on a version
+// that was never registered or already retired — serving such a request
+// from a different model would silently mix evaluations across versions.
+// The current version (all of steady-state traffic) resolves through one
+// atomic load; only requests pinned to a non-current version touch the
+// registry lock.
+func (s *Server) backendFor(version int64) Backend {
+	if e := s.currentEntry.Load(); e.version == version {
+		return e.backend
+	}
+	s.backendMu.RLock()
+	b := s.backends[version]
+	s.backendMu.RUnlock()
+	if b == nil {
+		panic(fmt.Sprintf("evaluate: no backend registered for version %d", version))
+	}
+	return b
 }
 
 // Batch returns the configured flush threshold.
@@ -232,10 +350,30 @@ func (s *Server) Close() {
 	}
 }
 
-// submit is the Client-facing entry point.
+// submit is the Client-facing entry point. Requests arriving without a
+// version (Version == 0, i.e. from an unpinned client) are stamped with the
+// current version HERE, before buffering: a request submitted before a
+// SwapBackend therefore routes to the old network even if its batch
+// launches after the swap — the "in-flight work belongs to the old model"
+// half of the drain-free swap contract.
 func (s *Server) submit(req *Request) {
 	if s.closed.Load() {
 		panic("evaluate: Submit on closed Server")
+	}
+	if req.Version == 0 {
+		req.Version = s.current.Load()
+	} else {
+		// A pinned submission against an unknown (never registered, or
+		// already retired) version fails HERE on the submitter's goroutine —
+		// serving it from another version's network would silently mix model
+		// versions, and panicking later on the launch goroutine would point
+		// at the service instead of the misbehaving tenant.
+		s.backendMu.RLock()
+		_, ok := s.backends[req.Version]
+		s.backendMu.RUnlock()
+		if !ok {
+			panic(fmt.Sprintf("evaluate: Submit pinned to unregistered version %d", req.Version))
+		}
 	}
 	if s.sem != nil {
 		s.sem <- struct{}{}
@@ -258,11 +396,43 @@ func (s *Server) launch(batch []*Request) {
 	go s.runAndDeliver(batch)
 }
 
+// runBatch executes one formed batch on the backend(s) matching its
+// requests' stamped versions. Around a hot swap (or during an arena match
+// with pinned tenant groups) one batch may span versions; it is then split
+// into per-version sub-batches in submission order so no network ever sees
+// a request stamped for a different one. The homogeneous case — all of
+// steady-state operation — stays a single RunBatch with no allocation.
+func (s *Server) runBatch(batch []*Request) {
+	v0 := batch[0].Version
+	homogeneous := true
+	for _, req := range batch[1:] {
+		if req.Version != v0 {
+			homogeneous = false
+			break
+		}
+	}
+	if homogeneous {
+		s.backendFor(v0).RunBatch(batch)
+		return
+	}
+	versions := make([]int64, 0, 2)
+	groups := make(map[int64][]*Request, 2)
+	for _, req := range batch {
+		if _, ok := groups[req.Version]; !ok {
+			versions = append(versions, req.Version)
+		}
+		groups[req.Version] = append(groups[req.Version], req)
+	}
+	for _, v := range versions {
+		s.backendFor(v).RunBatch(groups[v])
+	}
+}
+
 // runAndDeliver is the launch body: backend compute, per-client routing,
 // backpressure release.
 func (s *Server) runAndDeliver(batch []*Request) {
 	defer s.inflight.Done()
-	s.backend.RunBatch(batch)
+	s.runBatch(batch)
 	for _, req := range batch {
 		cl := req.client
 		req.client = nil
@@ -304,13 +474,33 @@ type Client struct {
 	completions chan *Request
 	syncMode    bool
 
+	// pin, when non-zero, stamps every submission with that model version
+	// instead of the server's current one (see Pin).
+	pin atomic.Int64
+
 	mu          sync.Mutex
 	outstanding int
 	drained     *sync.Cond
 	closed      bool
 }
 
-// Submit implements Async.
+// Pin routes all subsequent Submits to the given registered model version,
+// regardless of later SwapBackend calls. Fleet drivers pin each tenant to
+// the current version at game start so one game's evaluations never mix
+// models across a mid-game promotion; arena gates pin the candidate tenant
+// group to the candidate version. Pin(0) is equivalent to Unpin.
+func (c *Client) Pin(version int64) { c.pin.Store(version) }
+
+// Unpin reverts the client to current-version stamping.
+func (c *Client) Unpin() { c.pin.Store(0) }
+
+// PinnedVersion returns the pinned version (0 = unpinned).
+func (c *Client) PinnedVersion() int64 { return c.pin.Load() }
+
+// Submit implements Async. The request's Version is re-stamped on every
+// submission — the client's pin, or 0 for the server to stamp its current
+// version — so requests reused across searches cannot leak a stale version
+// past a hot swap.
 func (c *Client) Submit(req *Request) {
 	c.mu.Lock()
 	if c.closed {
@@ -320,6 +510,7 @@ func (c *Client) Submit(req *Request) {
 	c.outstanding++
 	c.mu.Unlock()
 	req.client = c
+	req.Version = c.pin.Load()
 	c.srv.submit(req)
 }
 
@@ -355,6 +546,23 @@ func (c *Client) Idle() bool {
 		return false
 	}
 	return c.srv.InFlightBatches() == 0
+}
+
+// Evaluate adapts a sync-mode client to the Evaluator interface: it submits
+// one pooled request and blocks until the service delivers it. Combined
+// with Pin this is how arena gate tenants play serial searches through the
+// shared multi-tenant server against a specific model version.
+func (c *Client) Evaluate(input []float32, policy []float32) float64 {
+	if !c.syncMode {
+		panic("evaluate: Evaluate requires a sync-mode client (NewSyncClient)")
+	}
+	req := AcquireRequest()
+	req.Input, req.Policy = input, policy
+	c.Submit(req)
+	req.wait()
+	v := req.Value
+	ReleaseRequest(req)
+	return v
 }
 
 // Outstanding returns the tenant's submitted-but-undelivered request count.
@@ -414,6 +622,7 @@ func ReleaseRequest(req *Request) {
 	req.Policy = nil
 	req.Value = 0
 	req.Tag = 0
+	req.Version = 0
 	req.Ctx = nil
 	req.client = nil
 	select { // drop a stray completion signal so reuse starts clean

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"sync"
 	"testing"
@@ -340,5 +341,32 @@ func BenchmarkTrainBatch32Gomoku(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		TrainBatch(net, opt, batch, 0)
+	}
+}
+
+// TestLoadRejectsUnknownWireFormat: a serialized network from a different
+// format version must be rejected, not decoded into garbage parameters —
+// checkpoints are durable artifacts now.
+func TestLoadRejectsUnknownWireFormat(t *testing.T) {
+	net := MustNew(TinyConfig(2, 4, 4, 16), rng.New(1))
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+	// Re-encode the wire struct with a bumped format version.
+	var wire netWire
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	wire.Format = wireFormat + 1
+	var future bytes.Buffer
+	if err := gob.NewEncoder(&future).Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&future); err == nil {
+		t.Fatal("future wire format accepted")
 	}
 }

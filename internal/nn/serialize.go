@@ -9,16 +9,24 @@ import (
 	"github.com/parmcts/parmcts/internal/tensor"
 )
 
-// netWire is the gob wire format: configuration plus parameter payloads in
-// visitParams order.
+// wireFormat is the serialization format version. Stamped into every saved
+// network and checked on load: checkpoints are durable artifacts that
+// outlive the process (internal/checkpoint), so an incompatible future
+// change to the wire layout must be detected, not decoded into garbage
+// parameters.
+const wireFormat = 1
+
+// netWire is the gob wire format: format version, configuration, and
+// parameter payloads in visitParams order.
 type netWire struct {
+	Format int
 	Cfg    Config
 	Params [][]float32
 }
 
 // Save writes the network to w in a self-describing binary format.
 func (n *Network) Save(w io.Writer) error {
-	wire := netWire{Cfg: n.Cfg}
+	wire := netWire{Format: wireFormat, Cfg: n.Cfg}
 	n.visitParams(func(t *tensor.Tensor) {
 		wire.Params = append(wire.Params, t.Data)
 	})
@@ -30,6 +38,12 @@ func Load(r io.Reader) (*Network, error) {
 	var wire netWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("nn: decode: %w", err)
+	}
+	// Format 0 is the legacy pre-stamp layout, whose Cfg/Params encoding is
+	// identical to format 1 — networks saved before the stamp existed stay
+	// loadable. Anything else comes from a future incompatible layout.
+	if wire.Format != 0 && wire.Format != wireFormat {
+		return nil, fmt.Errorf("nn: unsupported wire format %d (want %d)", wire.Format, wireFormat)
 	}
 	net, err := New(wire.Cfg, rng.New(0)) // weights are overwritten below
 	if err != nil {

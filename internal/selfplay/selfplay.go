@@ -35,6 +35,16 @@ type Config struct {
 	MaxMoves int
 	// Seed drives per-game move sampling (split per game per round).
 	Seed uint64
+	// OnGameStart, when non-nil, runs on the game goroutine immediately
+	// before each episode. The model-lifecycle driver uses it to pin the
+	// tenant's inference client to the serving version current at game
+	// start, so one game's evaluations never mix model versions across a
+	// mid-round hot swap.
+	OnGameStart func(tenant int)
+	// OnGameEnd, when non-nil, runs on the game goroutine after the episode
+	// finishes (typically Client.Unpin, so the next game re-pins to
+	// whatever version is current by then).
+	OnGameEnd func(tenant int)
 }
 
 // Round reports one batch of G concurrent games.
@@ -130,11 +140,17 @@ func (d *Driver) PlayRound() Round {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if d.cfg.OnGameStart != nil {
+				d.cfg.OnGameStart(i)
+			}
 			episodes[i] = train.SelfPlayEpisode(d.g, d.engines[i], train.EpisodeOptions{
 				TempMoves: d.cfg.TempMoves,
 				MaxMoves:  d.cfg.MaxMoves,
 				Rand:      rands[i],
 			})
+			if d.cfg.OnGameEnd != nil {
+				d.cfg.OnGameEnd(i)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -151,6 +167,21 @@ func (d *Driver) PlayRound() Round {
 		round.Samples += len(episodes[i].Samples)
 	}
 	return round
+}
+
+// Generate implements train.Generator: one continuous-loop generation round
+// is one PlayRound. Through this adapter the fleet plugs into train.Loop,
+// which overlaps these rounds with SGD and promotion gates on another
+// goroutine.
+func (d *Driver) Generate() train.GenRound {
+	r := d.PlayRound()
+	return train.GenRound{
+		Games:   d.Games(),
+		Moves:   r.Moves,
+		Samples: r.Samples,
+		Search:  r.Search,
+		Elapsed: r.Elapsed,
+	}
 }
 
 // TrainerConfig configures the round-based training loop.

@@ -1,0 +1,341 @@
+package train
+
+import (
+	"time"
+
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// GenRound summarises one round of self-play generation (G concurrent
+// games ingested into the shared replay buffer).
+type GenRound struct {
+	Games, Moves, Samples int
+	Search                mcts.Stats
+	Elapsed               time.Duration
+}
+
+// Generator produces self-play data: one call plays a round of games whose
+// samples land in the replay buffer the Loop trains from. The fleet driver
+// (internal/selfplay) is the production implementation; its engines
+// evaluate through the shared inference service, so generation keeps
+// running unmodified across a model promotion.
+type Generator interface {
+	Generate() GenRound
+}
+
+// GateResult is the evidence a promotion gate produced.
+type GateResult struct {
+	// Promote reports whether the candidate cleared the win-rate gate.
+	Promote bool
+	// Score is the candidate's match score in [0, 1] (wins + half-draws).
+	Score                                      float64
+	Games, WinsCandidate, WinsIncumbent, Draws int
+	Elapsed                                    time.Duration
+}
+
+// Gate decides promotion: it plays candidate (to serve as candidateVersion)
+// against the incumbent (serving as incumbentVersion) and reports whether
+// the candidate is strong enough to replace it. Implementations that play
+// through the live inference service (arena.ServerGate) must register the
+// candidate version for the duration of the match and retire it on
+// rejection; on promotion the registration is left in place for the
+// Promoter to make current.
+type Gate interface {
+	Gate(candidate *nn.Network, candidateVersion int64, incumbent *nn.Network, incumbentVersion int64) GateResult
+}
+
+// Promotion records one accepted gate.
+type Promotion struct {
+	// Version is the promoted model version.
+	Version int64
+	// Round is the generation round after which the gate ran.
+	Round int
+	// Step is the cumulative SGD update count at promotion time.
+	Step int64
+	// Samples is the cumulative generated sample count at promotion time.
+	Samples int
+	// Gate is the match evidence.
+	Gate GateResult
+}
+
+// Promoter applies an accepted promotion to the serving side: persist the
+// snapshot (checkpoint store), hot-swap the inference service's current
+// backend to the new version, and — once the Loop signals it safe — retire
+// the superseded version and drop its cache entries.
+type Promoter interface {
+	// Promote makes candidate the serving model under p.Version. An error
+	// aborts the promotion: the Loop keeps the old incumbent.
+	Promote(candidate *nn.Network, p Promotion) error
+	// Retire is called when no request pinned to version can still be in
+	// flight (two generation-round barriers after the swap).
+	Retire(version int64)
+}
+
+// LoopConfig tunes the continuous training loop.
+type LoopConfig struct {
+	// Rounds is the number of generation rounds to consume.
+	Rounds int
+	// GateEvery runs the promotion gate after every K trained rounds
+	// (0 = never gate; the loop degenerates to generate+SGD).
+	GateEvery int
+	// SGDIterations is the number of mini-batch updates per round.
+	SGDIterations int
+	// BatchSize is the SGD mini-batch size.
+	BatchSize int
+	// LR, Momentum, WeightDecay are the optimizer hyper-parameters.
+	LR, Momentum, WeightDecay float64
+	// TrainWorkers is the gradient-computation thread count (0 = GOMAXPROCS).
+	TrainWorkers int
+	// MinSamples delays SGD (and therefore gating) until the replay buffer
+	// has at least this many samples (0 = train from the first round).
+	MinSamples int
+	// StartVersion is the incumbent's model version at loop start (0 = 1).
+	// Promoted candidates get consecutive versions above it.
+	StartVersion int64
+	// Seed drives mini-batch draws.
+	Seed uint64
+}
+
+// LoopRoundStats reports one consumed generation round.
+type LoopRoundStats struct {
+	Round   int
+	Games   int
+	Moves   int
+	Samples int
+	// Version is the incumbent version serving the fleet AFTER this round's
+	// gate (if any) resolved.
+	Version int64
+	// Step is the cumulative SGD update count.
+	Step int64
+	// Trained reports whether SGD ran this round (false during replay
+	// warmup, see LoopConfig.MinSamples).
+	Trained bool
+	// Loss is the Equation 2 decomposition of the round's last update.
+	Loss nn.BatchResult
+	// Gate is the gate evidence when one ran this round (nil otherwise).
+	Gate *GateResult
+	// PromoteErr reports a promotion that was accepted by the gate but
+	// failed to apply (checkpoint write error); the incumbent was kept.
+	PromoteErr error
+	// Search aggregates the round's engine stats.
+	Search mcts.Stats
+	// GenTime is the round's generation wall-clock (overlapped with the
+	// previous round's SGD); TrainTime is this round's SGD stage; Elapsed
+	// is since the loop started.
+	GenTime   time.Duration
+	TrainTime time.Duration
+	Elapsed   time.Duration
+}
+
+// LoopReport summarises a finished Run.
+type LoopReport struct {
+	Rounds     int
+	Steps      int64
+	Samples    int
+	Promotions []Promotion
+	// FinalVersion is the incumbent version when the loop ended.
+	FinalVersion int64
+	Elapsed      time.Duration
+}
+
+// Loop is the outer ring of the self-play system: it overlaps self-play
+// generation with SGD on the replay buffer and, every GateEvery rounds,
+// plays a freshly cloned candidate against the incumbent through the
+// promotion gate, swapping the serving model only when the candidate clears
+// the win-rate threshold.
+//
+// Concurrency contract: the Generator runs on its own goroutine, one round
+// ahead of the SGD consumer (a one-round channel buffer), so generation for
+// round r+1 overlaps SGD on round r's data. The generator's engines must
+// evaluate a FROZEN parameter snapshot (the incumbent behind the inference
+// service), never the live training network this loop mutates; the replay
+// buffer is internally synchronised. Gates and promotions run on the
+// consumer goroutine while generation continues — G concurrent games keep
+// running across a hot swap.
+type Loop struct {
+	gen       Generator
+	gate      Gate
+	promoter  Promoter
+	net       *nn.Network // live training parameters (SGD mutates)
+	incumbent *nn.Network // frozen serving snapshot (gate opponent)
+	replay    *Replay
+	opt       *nn.SGD
+	cfg       LoopConfig
+	r         *rng.Rand
+
+	version int64
+	// candidateSeq is the last version number handed to a gate candidate.
+	// Every gate attempt consumes a FRESH version — a rejected candidate's
+	// number is never reused, so nothing cached, registered, or logged
+	// under it can ever be confused with a later candidate's artifacts.
+	candidateSeq int64
+	step         int64
+	samples      int
+	promotions   []Promotion
+}
+
+// NewLoop assembles the continuous pipeline. incumbent is the frozen clone
+// currently serving the generator's inference service (version
+// cfg.StartVersion); net is the live training parameter set. gate and
+// promoter may be nil only when cfg.GateEvery is 0.
+func NewLoop(net, incumbent *nn.Network, replay *Replay, gen Generator, gate Gate, promoter Promoter, cfg LoopConfig) *Loop {
+	if net == nil || incumbent == nil {
+		panic("train: loop needs both a training and an incumbent network")
+	}
+	if net == incumbent {
+		panic("train: incumbent must be a frozen clone, not the training network")
+	}
+	if replay == nil || gen == nil {
+		panic("train: loop needs a replay buffer and a generator")
+	}
+	if cfg.Rounds < 1 {
+		panic("train: Rounds must be >= 1")
+	}
+	if cfg.GateEvery > 0 && (gate == nil || promoter == nil) {
+		panic("train: gating requires a Gate and a Promoter")
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 32
+	}
+	if cfg.SGDIterations < 1 {
+		cfg.SGDIterations = 1
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.01
+	}
+	if cfg.StartVersion < 1 {
+		cfg.StartVersion = 1
+	}
+	return &Loop{
+		gen:          gen,
+		gate:         gate,
+		promoter:     promoter,
+		net:          net,
+		incumbent:    incumbent,
+		replay:       replay,
+		opt:          nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+		cfg:          cfg,
+		r:            rng.New(cfg.Seed),
+		version:      cfg.StartVersion,
+		candidateSeq: cfg.StartVersion,
+	}
+}
+
+// Version returns the incumbent's current model version.
+func (l *Loop) Version() int64 { return l.version }
+
+// Incumbent returns the frozen snapshot currently treated as incumbent.
+func (l *Loop) Incumbent() *nn.Network { return l.incumbent }
+
+// Promotions returns the accepted promotions so far.
+func (l *Loop) Promotions() []Promotion { return l.promotions }
+
+// retireBarrier tracks a superseded version awaiting retirement: after a
+// swap at round r, games started before the swap may still be pinned to the
+// old version, and with the generator running one round of read-ahead the
+// last such game belongs to round r+2 — so once round r+2 has been
+// consumed, nothing can reference the version and the Promoter may retire
+// it. Consecutive promotions queue their barriers.
+type retireBarrier struct {
+	version    int64
+	afterRound int
+}
+
+// Run drives the loop to completion, invoking onRound (if non-nil) after
+// each consumed round.
+func (l *Loop) Run(onRound func(LoopRoundStats)) LoopReport {
+	type timedRound struct {
+		gr      GenRound
+		elapsed time.Duration
+	}
+	rounds := make(chan timedRound, 1) // one round of read-ahead: gen overlaps SGD
+	go func() {
+		defer close(rounds)
+		for i := 0; i < l.cfg.Rounds; i++ {
+			t0 := time.Now()
+			gr := l.gen.Generate()
+			rounds <- timedRound{gr: gr, elapsed: time.Since(t0)}
+		}
+	}()
+
+	start := time.Now()
+	var retires []retireBarrier
+	var trainedRounds int
+	round := 0
+	for tr := range rounds {
+		gr := tr.gr
+		l.samples += gr.Samples
+
+		t0 := time.Now()
+		var last nn.BatchResult
+		trained := false
+		if l.replay.Len() >= l.cfg.MinSamples && l.replay.Len() > 0 {
+			for it := 0; it < l.cfg.SGDIterations; it++ {
+				batch := l.replay.Sample(l.r, l.cfg.BatchSize)
+				last = nn.TrainBatch(l.net, l.opt, batch, l.cfg.TrainWorkers)
+				l.step++
+			}
+			trained = true
+			trainedRounds++
+		}
+		trainTime := time.Since(t0)
+
+		for len(retires) > 0 && round >= retires[0].afterRound {
+			l.promoter.Retire(retires[0].version)
+			retires = retires[1:]
+		}
+
+		stats := LoopRoundStats{
+			Round:   round,
+			Games:   gr.Games,
+			Moves:   gr.Moves,
+			Samples: gr.Samples,
+			Step:    l.step,
+			Trained: trained,
+			Loss:    last,
+			Search:  gr.Search,
+			GenTime: tr.elapsed,
+		}
+
+		if l.cfg.GateEvery > 0 && trained && trainedRounds%l.cfg.GateEvery == 0 {
+			candidate := l.net.Clone()
+			l.candidateSeq++
+			cv := l.candidateSeq
+			res := l.gate.Gate(candidate, cv, l.incumbent, l.version)
+			stats.Gate = &res
+			if res.Promote {
+				p := Promotion{Version: cv, Round: round, Step: l.step, Samples: l.samples, Gate: res}
+				if err := l.promoter.Promote(candidate, p); err != nil {
+					stats.PromoteErr = err
+				} else {
+					old := l.version
+					l.incumbent = candidate
+					l.version = cv
+					l.promotions = append(l.promotions, p)
+					// Old-version requests can be in flight until every game
+					// started before the swap has ended: two round barriers.
+					retires = append(retires, retireBarrier{version: old, afterRound: round + 2})
+				}
+			}
+		}
+
+		stats.Version = l.version
+		stats.TrainTime = trainTime
+		stats.Elapsed = time.Since(start)
+		if onRound != nil {
+			onRound(stats)
+		}
+		round++
+	}
+
+	return LoopReport{
+		Rounds:       round,
+		Steps:        l.step,
+		Samples:      l.samples,
+		Promotions:   l.promotions,
+		FinalVersion: l.version,
+		Elapsed:      time.Since(start),
+	}
+}

@@ -1,0 +1,375 @@
+package train_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/arena"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/selfplay"
+	"github.com/parmcts/parmcts/internal/train"
+)
+
+// checkedBackend wraps a version's real backend and verifies the service's
+// routing invariant: every request reaching this backend must be stamped
+// with exactly this version.
+type checkedBackend struct {
+	version    int64
+	inner      evaluate.Backend
+	served     *atomic.Int64
+	mismatches *atomic.Int64
+}
+
+func (b *checkedBackend) RunBatch(batch []*evaluate.Request) {
+	for _, req := range batch {
+		if req.Version != b.version {
+			b.mismatches.Add(1)
+		}
+	}
+	b.inner.RunBatch(batch)
+	b.served.Add(int64(len(batch)))
+}
+
+// fakeGen / fakeGate / fakePromoter drive the Loop's control flow without a
+// fleet, for the ordering tests below.
+type fakeGen struct{ replay *train.Replay }
+
+func (g *fakeGen) Generate() train.GenRound {
+	for i := 0; i < 10; i++ {
+		g.replay.Add(nn.Sample{Input: make([]float32, 36), Policy: uniform(9), Value: 0})
+	}
+	return train.GenRound{Games: 1, Moves: 10, Samples: 10}
+}
+
+func uniform(n int) []float32 {
+	p := make([]float32, n)
+	for i := range p {
+		p[i] = 1 / float32(n)
+	}
+	return p
+}
+
+type fakeGate struct {
+	verdicts []bool // consumed in order; gate i promotes iff verdicts[i]
+	calls    int
+}
+
+func (g *fakeGate) Gate(candidate *nn.Network, cv int64, incumbent *nn.Network, iv int64) train.GateResult {
+	promote := g.calls < len(g.verdicts) && g.verdicts[g.calls]
+	g.calls++
+	return train.GateResult{Promote: promote, Score: 1, Games: 1, WinsCandidate: 1}
+}
+
+type fakePromoter struct {
+	promoted []int64
+	retired  []int64
+	failOn   int64 // version whose Promote errors (0 = never)
+}
+
+func (p *fakePromoter) Promote(candidate *nn.Network, pr train.Promotion) error {
+	if pr.Version == p.failOn {
+		return errors.New("checkpoint disk full")
+	}
+	p.promoted = append(p.promoted, pr.Version)
+	return nil
+}
+
+func (p *fakePromoter) Retire(version int64) { p.retired = append(p.retired, version) }
+
+func testTTTNet(t *testing.T, seed uint64) *nn.Network {
+	t.Helper()
+	g := tictactoe.New()
+	c, h, w := g.EncodedShape()
+	net, err := nn.New(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestLoopPromotionAndRetireOrdering checks the control flow on fakes:
+// versions advance only on accepted gates, a failed Promote keeps the
+// incumbent, and superseded versions retire exactly once, two rounds after
+// their swap.
+func TestLoopPromotionAndRetireOrdering(t *testing.T) {
+	net := testTTTNet(t, 1)
+	incumbent := net.Clone()
+	replay := train.NewReplay(1000)
+	// Candidate versions are minted per gate ATTEMPT (2,3,4,5,...), never
+	// reusing a rejected number: gate 2's rejected candidate consumes v4,
+	// so gate 3's accepted-but-unpersistable candidate is v5.
+	gate := &fakeGate{verdicts: []bool{true, true, false, true, false, false, false, false}}
+	promoter := &fakePromoter{failOn: 5}
+	loop := train.NewLoop(net, incumbent, replay, &fakeGen{replay: replay}, gate, promoter, train.LoopConfig{
+		Rounds:        8,
+		GateEvery:     1,
+		SGDIterations: 1,
+		BatchSize:     4,
+		Seed:          1,
+	})
+	var promoteErrs int
+	report := loop.Run(func(s train.LoopRoundStats) {
+		if s.PromoteErr != nil {
+			promoteErrs++
+		}
+	})
+
+	// Gates at rounds 0..7; verdicts: v2 ok, v3 ok, v4 rejected, v5
+	// accepted by the gate but Promote fails, then rejections.
+	if len(report.Promotions) != 2 || report.Promotions[0].Version != 2 || report.Promotions[1].Version != 3 {
+		t.Fatalf("promotions = %+v, want v2 then v3", report.Promotions)
+	}
+	if report.FinalVersion != 3 {
+		t.Fatalf("final version = %d, want 3 (v5's Promote failed)", report.FinalVersion)
+	}
+	if promoteErrs != 1 {
+		t.Fatalf("observed %d promote errors, want 1", promoteErrs)
+	}
+	// v1 swapped out at round 0 -> retired at round 2; v2 at round 1 -> round 3.
+	if len(promoter.retired) != 2 || promoter.retired[0] != 1 || promoter.retired[1] != 2 {
+		t.Fatalf("retired = %v, want [1 2]", promoter.retired)
+	}
+	if report.Rounds != 8 || report.Steps != 8 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+// TestLoopWarmupSkipsSGDAndGate: rounds before MinSamples neither train nor
+// gate. The generator runs up to two rounds ahead of the consumer (one in
+// flight, one buffered), so the replay size seen at round r is bounded, not
+// exact: with 10 samples/round and MinSamples 45, rounds 0-1 are certainly
+// warmup ((r+3)*10 < 45) and rounds >= 4 certainly train ((r+1)*10 >= 45).
+func TestLoopWarmupSkipsSGDAndGate(t *testing.T) {
+	net := testTTTNet(t, 1)
+	replay := train.NewReplay(1000)
+	gate := &fakeGate{verdicts: []bool{true, true, true, true, true, true}}
+	promoter := &fakePromoter{}
+	loop := train.NewLoop(net, net.Clone(), replay, &fakeGen{replay: replay}, gate, promoter, train.LoopConfig{
+		Rounds:     6,
+		GateEvery:  1,
+		MinSamples: 45,
+	})
+	var warmups, trained int
+	loop.Run(func(s train.LoopRoundStats) {
+		if !s.Trained {
+			warmups++
+			if s.Round >= 4 {
+				t.Errorf("round %d was warmup with replay certainly past MinSamples", s.Round)
+			}
+			if s.Gate != nil {
+				t.Fatal("gated during warmup")
+			}
+		} else {
+			trained++
+			if s.Round < 2 {
+				t.Errorf("round %d trained before MinSamples could be reached", s.Round)
+			}
+			if s.Gate == nil {
+				t.Errorf("round %d trained but did not gate (GateEvery=1)", s.Round)
+			}
+		}
+	})
+	if warmups < 2 || warmups > 4 {
+		t.Fatalf("warmup rounds = %d, want within [2, 4]", warmups)
+	}
+	if gate.calls != trained {
+		t.Fatalf("gate ran %d times over %d trained rounds", gate.calls, trained)
+	}
+}
+
+// TestLoopServiceEndToEnd is the acceptance test for the model lifecycle
+// (run with -race in CI): G concurrent self-play games generate through one
+// shared inference service while the loop trains, gates and promotes across
+// them. It asserts that at least two promotion gates complete with hot
+// swaps under live traffic, that every evaluation was served by exactly the
+// network version it was stamped for (no cross-version mixing), that no
+// evaluation was dropped, and that games observed more than one serving
+// version (the fleet really did keep playing across swaps).
+func TestLoopServiceEndToEnd(t *testing.T) {
+	g := tictactoe.New()
+	c, h, w := g.EncodedShape()
+	net := nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(3))
+	incumbent := net.Clone()
+
+	var served, mismatches atomic.Int64
+	cache := evaluate.NewCached(evaluate.NewNN(incumbent), 1<<10)
+	mkBackend := func(n *nn.Network, v int64) evaluate.Backend {
+		return &checkedBackend{
+			version:    v,
+			inner:      &evaluate.EvaluatorBackend{Eval: cache.View(v, evaluate.NewNN(n)), Workers: 2},
+			served:     &served,
+			mismatches: &mismatches,
+		}
+	}
+
+	const games = 4
+	const inflight = 2
+	srv := evaluate.NewServer(mkBackend(incumbent, 1), evaluate.ServerConfig{
+		Batch:          1,
+		FlushDeadline:  evaluate.DefaultFlushDeadline,
+		MaxOutstanding: games * inflight * 2,
+		LaunchWorkers:  2,
+	})
+
+	clients := make([]*evaluate.Client, games)
+	engines := make([]mcts.Engine, games)
+	for i := range engines {
+		clients[i] = srv.NewClient(inflight * 2)
+		cfg := mcts.DefaultConfig()
+		cfg.Playouts = 16
+		cfg.Seed = uint64(i + 1)
+		engines[i] = mcts.NewLocal(cfg, clients[i], inflight)
+	}
+
+	// Track the serving versions games pinned at start: >1 distinct value
+	// proves games spanned a promotion.
+	var pinMu sync.Mutex
+	pinnedVersions := map[int64]int{}
+
+	replay := train.NewReplay(4000)
+	driver := selfplay.NewDriver(g, engines, replay, nil, selfplay.Config{
+		TempMoves: 2,
+		Seed:      11,
+		OnGameStart: func(tenant int) {
+			v := srv.Version()
+			clients[tenant].Pin(v)
+			pinMu.Lock()
+			pinnedVersions[v]++
+			pinMu.Unlock()
+		},
+		OnGameEnd: func(tenant int) { clients[tenant].Unpin() },
+	})
+
+	gate := &arena.ServerGate{
+		Game:      g,
+		Srv:       srv,
+		MkBackend: mkBackend,
+		Cfg: arena.GateConfig{
+			Games:        2,
+			WinThreshold: 0, // every candidate promotes: the test is about the swap machinery
+			Playouts:     8,
+			Temperature:  0.3,
+			Seed:         5,
+		},
+	}
+	promoter := &servicePromoter{srv: srv, cache: cache, mkBackend: mkBackend}
+
+	loop := train.NewLoop(net, incumbent, replay, driver, gate, promoter, train.LoopConfig{
+		Rounds:        6,
+		GateEvery:     1,
+		SGDIterations: 1,
+		BatchSize:     8,
+		Seed:          2,
+	})
+	report := loop.Run(nil)
+
+	if len(report.Promotions) < 2 {
+		t.Fatalf("completed %d promotions, want >= 2", len(report.Promotions))
+	}
+	if report.FinalVersion != int64(1+len(report.Promotions)) {
+		t.Fatalf("final version %d does not match %d promotions", report.FinalVersion, len(report.Promotions))
+	}
+	if mismatches.Load() != 0 {
+		t.Fatalf("%d evaluations were routed to a backend of another version", mismatches.Load())
+	}
+	pinMu.Lock()
+	distinct := len(pinnedVersions)
+	pinMu.Unlock()
+	if distinct < 2 {
+		t.Fatalf("all games pinned one version (%v); fleet did not keep playing across a swap", pinnedVersions)
+	}
+	for i, cl := range clients {
+		if cl.Outstanding() != 0 {
+			t.Fatalf("tenant %d still has %d undelivered evaluations (dropped work)", i, cl.Outstanding())
+		}
+		cl.Close()
+	}
+	if srv.Pending() != 0 {
+		t.Fatalf("%d evaluations stranded in the service buffer", srv.Pending())
+	}
+	srv.Close()
+	if served.Load() == 0 {
+		t.Fatal("no evaluations flowed through the service")
+	}
+	if promoter.retires == 0 {
+		t.Fatal("no superseded version was retired")
+	}
+}
+
+// servicePromoter mirrors cmd/train's promoter: swap on promote, retire +
+// version-scoped cache eviction at the barrier.
+type servicePromoter struct {
+	srv       *evaluate.Server
+	cache     *evaluate.Cached
+	mkBackend func(*nn.Network, int64) evaluate.Backend
+	retires   int
+}
+
+func (p *servicePromoter) Promote(candidate *nn.Network, pr train.Promotion) error {
+	p.srv.SwapBackend(p.mkBackend(candidate, pr.Version), pr.Version)
+	return nil
+}
+
+func (p *servicePromoter) Retire(version int64) {
+	p.srv.Retire(version)
+	p.cache.ResetVersion(version)
+	p.retires++
+}
+
+// TestLoopGenerationOverlapsSGD pins the pipelining property: the
+// generator's next round runs while the consumer is still in SGD. A
+// generator that records concurrency with a slow trainer proves the
+// overlap.
+func TestLoopGenerationOverlapsSGD(t *testing.T) {
+	net := testTTTNet(t, 1)
+	replay := train.NewReplay(1000)
+	gen := &overlapGen{replay: replay}
+	loop := train.NewLoop(net, net.Clone(), replay, gen, nil, nil, train.LoopConfig{
+		Rounds:        4,
+		SGDIterations: 1,
+		BatchSize:     16,
+	})
+	loop.Run(func(train.LoopRoundStats) {
+		// Simulate a slow SGD+gate stage on the consumer goroutine; the
+		// generator's poll in Generate must observe it running.
+		gen.inConsume.Store(true)
+		time.Sleep(20 * time.Millisecond)
+		gen.inConsume.Store(false)
+	})
+	if !gen.overlapped.Load() {
+		t.Fatal("generation never overlapped the consumer stage: the loop is serial")
+	}
+}
+
+type overlapGen struct {
+	replay     *train.Replay
+	inConsume  atomic.Bool
+	overlapped atomic.Bool
+	rounds     int
+}
+
+func (g *overlapGen) Generate() train.GenRound {
+	// After the first round, the consumer stage runs while this generator
+	// goroutine produces the next round: observe it.
+	if g.rounds > 0 {
+		deadline := time.Now().Add(500 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if g.inConsume.Load() {
+				g.overlapped.Store(true)
+				break
+			}
+		}
+	}
+	g.rounds++
+	for i := 0; i < 40; i++ {
+		g.replay.Add(nn.Sample{Input: make([]float32, 36), Policy: uniform(9), Value: 0})
+	}
+	return train.GenRound{Games: 1, Moves: 40, Samples: 40}
+}

@@ -8,6 +8,7 @@ package train
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"github.com/parmcts/parmcts/internal/game"
@@ -48,8 +49,11 @@ func (a GomokuAugmenter) Augment(s nn.Sample) []nn.Sample {
 }
 
 // Replay is a bounded FIFO sample store ("dataset" of Algorithm 1) with
-// uniform random mini-batch sampling.
+// uniform random mini-batch sampling. It is safe for concurrent use: the
+// continuous training Loop samples mini-batches on the SGD goroutine while
+// the self-play generator ingests finished games.
 type Replay struct {
+	mu   sync.Mutex
 	buf  []nn.Sample
 	next int
 	full bool
@@ -65,6 +69,8 @@ func NewReplay(capacity int) *Replay {
 
 // Add appends a sample, evicting the oldest when full.
 func (r *Replay) Add(s nn.Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, s)
 		return
@@ -75,14 +81,22 @@ func (r *Replay) Add(s nn.Sample) {
 }
 
 // Len returns the number of stored samples.
-func (r *Replay) Len() int { return len(r.buf) }
+func (r *Replay) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
 
 // Cap returns the buffer capacity.
 func (r *Replay) Cap() int { return cap(r.buf) }
 
 // Sample draws n samples uniformly with replacement (standard for
-// AlphaZero-style training; mini-batches may overlap).
+// AlphaZero-style training; mini-batches may overlap). The returned slice
+// holds copies of the sample headers, so a concurrent Add that overwrites a
+// ring slot cannot mutate a drawn mini-batch.
 func (r *Replay) Sample(rnd *rng.Rand, n int) []nn.Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.buf) == 0 {
 		return nil
 	}
