@@ -14,6 +14,7 @@ import (
 
 	"github.com/parmcts/parmcts/internal/evaluate"
 	"github.com/parmcts/parmcts/internal/experiments"
+	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/game/gomoku"
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/nn"
@@ -88,7 +89,7 @@ func BenchmarkFigure5LatencyGPU(b *testing.B) {
 // under optimal configurations) at the laptop scale.
 func BenchmarkFigure6Throughput(b *testing.B) {
 	sc := experiments.DefaultTrainingScale()
-	sc.BoardSize = 7
+	sc.Game = "gomoku:7"
 	sc.Playouts = 24
 	sc.Episodes = 1
 	sc.SGDIterations = 2
@@ -104,7 +105,7 @@ func BenchmarkFigure6Throughput(b *testing.B) {
 // several worker counts) at the laptop scale.
 func BenchmarkFigure7Loss(b *testing.B) {
 	sc := experiments.DefaultTrainingScale()
-	sc.BoardSize = 7
+	sc.Game = "gomoku:7"
 	sc.Playouts = 24
 	sc.Episodes = 2
 	sc.SGDIterations = 2
@@ -190,7 +191,7 @@ func BenchmarkAblationInterconnect(b *testing.B) {
 // local / root-parallel / leaf-parallel at equal budgets).
 func BenchmarkAblationBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := experiments.AblationBaselines(4, 100)
+		tb := experiments.AblationBaselines(games.MustNew("gomoku:9"), 4, 100)
 		if i == 0 {
 			printFirst(b, "baselines", tb)
 		}

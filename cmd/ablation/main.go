@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	ablation [-workers 4] [-playouts 200] [-which vl,vlmode,baselines,interconnect]
+//	ablation [-game othello] [-workers 4] [-playouts 200] [-which vl,vlmode,baselines,interconnect]
+//
+// The engine studies (vl, vlmode, baselines) run on any registered game;
+// without -game they keep their historical defaults (tictactoe for the
+// virtual-loss studies, gomoku:9 for the baselines).
 package main
 
 import (
@@ -15,30 +19,39 @@ import (
 	"strings"
 
 	"github.com/parmcts/parmcts/internal/experiments"
+	gamepkg "github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/game/games"
 )
 
 func main() {
 	var (
+		gameSpec = flag.String("game", "", games.FlagHelp()+" (default: tictactoe for vl/vlmode, gomoku:9 for baselines)")
 		workers  = flag.Int("workers", 4, "parallel workers for engine ablations")
 		playouts = flag.Int("playouts", 200, "per-move playout budget")
 		which    = flag.String("which", "vl,vlmode,baselines,interconnect", "comma-separated studies")
 	)
 	flag.Parse()
 
+	// gameFor resolves the study's game: the -game override, else the
+	// study's historical default.
+	gameFor := func(def string) gamepkg.Game {
+		return games.ResolveFlag("ablation", *gameSpec, def)
+	}
+
 	want := map[string]bool{}
 	for _, w := range strings.Split(*which, ",") {
 		want[strings.TrimSpace(w)] = true
 	}
 	if want["vl"] {
-		fmt.Print(experiments.AblationVirtualLoss([]float64{0, 0.5, 1, 2, 4}, *workers, *playouts).String())
+		fmt.Print(experiments.AblationVirtualLoss(gameFor("tictactoe"), []float64{0, 0.5, 1, 2, 4}, *workers, *playouts).String())
 		fmt.Println()
 	}
 	if want["vlmode"] {
-		fmt.Print(experiments.AblationVLMode(*workers, *playouts).String())
+		fmt.Print(experiments.AblationVLMode(gameFor("tictactoe"), *workers, *playouts).String())
 		fmt.Println()
 	}
 	if want["baselines"] {
-		fmt.Print(experiments.AblationBaselines(*workers, *playouts).String())
+		fmt.Print(experiments.AblationBaselines(gameFor("gomoku:9"), *workers, *playouts).String())
 		fmt.Println()
 	}
 	if want["interconnect"] {

@@ -11,9 +11,13 @@
 //
 // Usage:
 //
-//	arena [-game tictactoe|connect4] [-games 10] [-playouts 200] [-workers 4] [-reuse]
-//	arena -model trained.bin [-board 9] [-games 10] [-playouts 100]
-//	arena -ckpt checkpoints [-board 9] [-games 10] [-playouts 100]
+//	arena [-game othello] [-games 10] [-playouts 200] [-workers 4] [-reuse]
+//	arena -model trained.bin [-game gomoku:9] [-games 10] [-playouts 100]
+//	arena -ckpt checkpoints [-game gomoku:9] [-games 10] [-playouts 100]
+//
+// -game takes any registry spec (tictactoe, connect4, gomoku:9, othello,
+// hex:11, ...); the round robin defaults to connect4 and the -model/-ckpt
+// gates to gomoku:9.
 package main
 
 import (
@@ -25,9 +29,7 @@ import (
 	"github.com/parmcts/parmcts/internal/checkpoint"
 	"github.com/parmcts/parmcts/internal/evaluate"
 	"github.com/parmcts/parmcts/internal/game"
-	"github.com/parmcts/parmcts/internal/game/connect4"
-	"github.com/parmcts/parmcts/internal/game/gomoku"
-	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/nn"
 	"github.com/parmcts/parmcts/internal/rng"
@@ -36,36 +38,25 @@ import (
 
 func main() {
 	var (
-		gameName = flag.String("game", "connect4", "tictactoe or connect4")
-		games    = flag.Int("games", 10, "games per pairing")
+		gameSpec = flag.String("game", "", games.FlagHelp()+" (default connect4; gomoku:9 for -model/-ckpt)")
+		nGames   = flag.Int("games", 10, "games per pairing")
 		playouts = flag.Int("playouts", 200, "playouts per move")
 		workers  = flag.Int("workers", 4, "workers for the parallel schemes")
 		reuse    = flag.Bool("reuse", false, "persistent search sessions: engines keep the played subtree warm across moves")
 		model    = flag.String("model", "", "gate this saved model against a fresh network")
 		ckpt     = flag.String("ckpt", "", "gate the latest checkpoint in this store against the previous version")
-		board    = flag.Int("board", 9, "gomoku board size for -model/-ckpt gating")
 	)
 	flag.Parse()
 
 	if *model != "" {
-		gateModel(*model, *board, *games, *playouts)
+		gateModel(*model, games.ResolveFlag("arena", *gameSpec, "gomoku:9"), *nGames, *playouts)
 		return
 	}
 	if *ckpt != "" {
-		gateCheckpoints(*ckpt, *board, *games, *playouts)
+		gateCheckpoints(*ckpt, games.ResolveFlag("arena", *gameSpec, "gomoku:9"), *nGames, *playouts)
 		return
 	}
-
-	var g game.Game
-	switch *gameName {
-	case "tictactoe":
-		g = tictactoe.New()
-	case "connect4":
-		g = connect4.New()
-	default:
-		fmt.Fprintln(os.Stderr, "arena: unknown game", *gameName)
-		os.Exit(2)
-	}
+	g := games.ResolveFlag("arena", *gameSpec, "connect4")
 
 	cfg := mcts.DefaultConfig()
 	cfg.Playouts = *playouts
@@ -84,13 +75,13 @@ func main() {
 		{Name: "leaf-par", Engine: mcts.NewLeafParallel(cfg, *workers, pool2)},
 	}
 	results := arena.RoundRobin(g, entrants, arena.MatchConfig{
-		Games:       *games,
+		Games:       *nGames,
 		Temperature: 0.3,
 		TempMoves:   4,
 		Seed:        7,
 	})
 	tb := stats.NewTable(fmt.Sprintf("Round robin on %s (%d games/pair, %d playouts/move)",
-		g.Name(), *games, *playouts),
+		g.Name(), *nGames, *playouts),
 		"A", "B", "A wins", "B wins", "draws", "A score", "A elo")
 	for _, r := range results {
 		tb.AddRow(r.A, r.B, r.Result.WinsA, r.Result.WinsB, r.Result.Draws,
@@ -104,7 +95,7 @@ func main() {
 
 // gateCheckpoints replays the most recent promotion recorded in a
 // checkpoint store: latest version vs its predecessor at equal budgets.
-func gateCheckpoints(dir string, board, games, playouts int) {
+func gateCheckpoints(dir string, g game.Game, nGames, playouts int) {
 	store, err := checkpoint.NewStore(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arena:", err)
@@ -130,15 +121,18 @@ func gateCheckpoints(dir string, board, games, playouts int) {
 		fmt.Fprintln(os.Stderr, "arena:", err)
 		os.Exit(1)
 	}
-	g := gomoku.NewSized(board)
+	if cm.Game != "" && games.SpecName(cm.Game) != g.Name() {
+		fmt.Fprintf(os.Stderr, "arena: checkpoint store %s was trained on %q, not %s (pass -game)\n", dir, cm.Game, g.Name())
+		os.Exit(1)
+	}
 	c, h, w := g.EncodedShape()
-	if current.Cfg.InC != c || current.Cfg.H != h || current.Cfg.W != w {
-		fmt.Fprintf(os.Stderr, "arena: checkpoint shape %dx%dx%d does not match board %d (pass -board)\n",
-			current.Cfg.InC, current.Cfg.H, current.Cfg.W, board)
+	if current.Cfg.InC != c || current.Cfg.H != h || current.Cfg.W != w || current.Cfg.NumActions != g.NumActions() {
+		fmt.Fprintf(os.Stderr, "arena: checkpoint shape %dx%dx%d/%d does not match %s (pass -game)\n",
+			current.Cfg.InC, current.Cfg.H, current.Cfg.W, current.Cfg.NumActions, g.Name())
 		os.Exit(1)
 	}
 	cfg := arena.DefaultGateConfig()
-	cfg.Games = games
+	cfg.Games = nGames
 	cfg.Playouts = playouts
 	promote, res := arena.GateCandidate(g, current, previous, cfg)
 	fmt.Printf("v%d vs v%d (trained to step %d): %s\n", curV, prevV, cm.Step, res)
@@ -149,7 +143,7 @@ func gateCheckpoints(dir string, board, games, playouts int) {
 	}
 }
 
-func gateModel(path string, board, games, playouts int) {
+func gateModel(path string, g game.Game, nGames, playouts int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arena:", err)
@@ -161,16 +155,15 @@ func gateModel(path string, board, games, playouts int) {
 		fmt.Fprintln(os.Stderr, "arena:", err)
 		os.Exit(1)
 	}
-	g := gomoku.NewSized(board)
 	c, h, w := g.EncodedShape()
-	if candidate.Cfg.InC != c || candidate.Cfg.H != h || candidate.Cfg.W != w {
-		fmt.Fprintf(os.Stderr, "arena: model shape %dx%dx%d does not match board %d\n",
-			candidate.Cfg.InC, candidate.Cfg.H, candidate.Cfg.W, board)
+	if candidate.Cfg.InC != c || candidate.Cfg.H != h || candidate.Cfg.W != w || candidate.Cfg.NumActions != g.NumActions() {
+		fmt.Fprintf(os.Stderr, "arena: model shape %dx%dx%d/%d does not match %s (pass -game)\n",
+			candidate.Cfg.InC, candidate.Cfg.H, candidate.Cfg.W, candidate.Cfg.NumActions, g.Name())
 		os.Exit(1)
 	}
 	fresh := nn.MustNew(candidate.Cfg, rng.New(99))
 	cfg := arena.DefaultGateConfig()
-	cfg.Games = games
+	cfg.Games = nGames
 	cfg.Playouts = playouts
 	promote, res := arena.GateCandidate(g, candidate, fresh, cfg)
 	fmt.Printf("candidate vs fresh network: %s\n", res)

@@ -8,7 +8,10 @@
 //
 // Usage:
 //
-//	batchsweep [-playouts 1600] [-ns 16,32,64] [-csv] [-host-profile]
+//	batchsweep [-playouts 1600] [-ns 16,32,64] [-csv] [-host-profile] [-game gomoku]
+//
+// -game selects the scenario whose fanout/depth shape the -host-profile
+// measurement uses (any registry spec).
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"strings"
 
 	"github.com/parmcts/parmcts/internal/experiments"
+	"github.com/parmcts/parmcts/internal/game/games"
 )
 
 func parseNs(s string) ([]int, error) {
@@ -39,6 +43,7 @@ func main() {
 		nsFlag      = flag.String("ns", "16,32,64", "comma-separated worker counts")
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		hostProfile = flag.Bool("host-profile", false, "profile this host instead of paper-shaped parameters")
+		gameSpec    = flag.String("game", "gomoku", games.FlagHelp()+" (shapes the -host-profile measurement)")
 	)
 	flag.Parse()
 	ns, err := parseNs(*nsFlag)
@@ -48,7 +53,7 @@ func main() {
 	}
 	p := experiments.PaperShapedParams(*playouts)
 	if *hostProfile {
-		p = experiments.HostMeasuredParams(*playouts, 15)
+		p = experiments.HostMeasuredParamsFor(*playouts, games.ResolveFlag("batchsweep", *gameSpec, "gomoku"))
 	}
 	sweep := experiments.Figure3BatchSweep(p, ns)
 	opt := experiments.OptimalBatch(p, ns)

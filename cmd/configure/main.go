@@ -1,13 +1,13 @@
 // Command configure runs the design configuration workflow of Section 4.2
 // end to end for a given worker count and platform: it profiles the host's
-// in-tree operations on a synthetic Gomoku-shaped tree, profiles (or
+// in-tree operations on a synthetic tree shaped like the -game scenario, profiles (or
 // models) the DNN latency, evaluates the performance models, searches the
 // accelerator batch size with Algorithm 4 where applicable, and prints the
 // chosen parallel scheme with the evidence behind it.
 //
 // Usage:
 //
-//	configure [-n 32] [-platform cpu|gpu] [-playouts 1600] [-explain]
+//	configure [-n 32] [-platform cpu|gpu] [-playouts 1600] [-game gomoku] [-explain]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/parmcts/parmcts/internal/experiments"
+	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/perfmodel"
 	"github.com/parmcts/parmcts/internal/simsched"
 	"github.com/parmcts/parmcts/internal/stats"
@@ -27,10 +28,12 @@ func main() {
 		platform = flag.String("platform", "gpu", "cpu or gpu")
 		playouts = flag.Int("playouts", 1600, "per-move playout budget")
 		explain  = flag.Bool("explain", false, "print every Algorithm 4 probe")
+		gameSpec = flag.String("game", "gomoku", games.FlagHelp())
 	)
 	flag.Parse()
 
-	lp := experiments.HostMeasuredParams(*playouts, 15)
+	g := games.ResolveFlag("configure", *gameSpec, "gomoku")
+	lp := experiments.HostMeasuredParamsFor(*playouts, g)
 	params := perfmodel.Params{
 		TSelect:       lp.Workload.TSelect,
 		TBackup:       lp.Workload.TBackup,

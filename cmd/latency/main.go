@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/parmcts/parmcts/internal/experiments"
+	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/stats"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		playouts    = flag.Int("playouts", 1600, "per-move playout budget")
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		hostProfile = flag.Bool("host-profile", false, "profile this host instead of paper-shaped parameters")
+		gameSpec    = flag.String("game", "gomoku", games.FlagHelp()+" (shapes the -host-profile measurement)")
 	)
 	flag.Parse()
 
@@ -43,7 +45,7 @@ func main() {
 
 	p := experiments.PaperShapedParams(*playouts)
 	if *hostProfile {
-		p = experiments.HostMeasuredParams(*playouts, 15)
+		p = experiments.HostMeasuredParamsFor(*playouts, games.ResolveFlag("latency", *gameSpec, "gomoku"))
 	}
 
 	emit := func(tb *stats.Table) {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	losscurve [-ns 1,2,4] [-board 9] [-playouts 48] [-episodes 4]
+//	losscurve [-ns 1,2,4] [-game gomoku:9] [-playouts 48] [-episodes 4]
 //	          [-platform cpu|gpu] [-full-net] [-csv]
 package main
 
@@ -19,12 +19,13 @@ import (
 	"strings"
 
 	"github.com/parmcts/parmcts/internal/experiments"
+	"github.com/parmcts/parmcts/internal/game/games"
 )
 
 func main() {
 	var (
 		nsFlag   = flag.String("ns", "1,2,4", "comma-separated worker counts")
-		board    = flag.Int("board", 9, "gomoku board size")
+		gameSpec = flag.String("game", "gomoku:9", games.FlagHelp())
 		playouts = flag.Int("playouts", 48, "per-move playout budget")
 		episodes = flag.Int("episodes", 4, "self-play episodes per worker count")
 		platform = flag.String("platform", "cpu", "cpu or gpu")
@@ -43,8 +44,9 @@ func main() {
 		ns = append(ns, n)
 	}
 
+	games.ResolveFlag("losscurve", *gameSpec, "") // validate the spec before the run starts
 	sc := experiments.DefaultTrainingScale()
-	sc.BoardSize = *board
+	sc.Game = *gameSpec
 	sc.Playouts = *playouts
 	sc.Episodes = *episodes
 	sc.TinyNet = !*fullNet

@@ -1,9 +1,9 @@
 // Command profilekit runs the design-time profiling of Section 4.2 on the
 // current host and prints the performance-model parameters: the amortized
 // in-tree operation latencies (T_select, T_backup) measured on a synthetic
-// tree with the benchmark's fanout and depth limit, and the single-threaded
-// DNN inference latency (T_DNN) of the paper's 5-conv + 3-FC Gomoku network
-// with random parameters.
+// tree with the -game scenario's fanout and depth limit, and the
+// single-threaded DNN inference latency (T_DNN) of a paper-shaped 5-conv +
+// 3-FC network sized for that scenario, with random parameters.
 //
 // With -phase-split it additionally reproduces the Section 2.1 claim that
 // the tree-based search stage accounts for >85% of serial DNN-MCTS runtime,
@@ -16,7 +16,7 @@ import (
 	"os"
 
 	"github.com/parmcts/parmcts/internal/evaluate"
-	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/nn"
 	"github.com/parmcts/parmcts/internal/perfmodel"
@@ -27,13 +27,13 @@ import (
 func main() {
 	var (
 		playouts   = flag.Int("playouts", 1600, "profiling playouts (per-move budget)")
-		board      = flag.Int("board", 15, "gomoku board size")
+		gameSpec   = flag.String("game", "gomoku", games.FlagHelp())
 		dnnIters   = flag.Int("dnn-iters", 20, "inference timing iterations")
 		phaseSplit = flag.Bool("phase-split", false, "also measure the serial search phase split (the >=85% claim)")
 	)
 	flag.Parse()
 
-	g := gomoku.NewSized(*board)
+	g := games.ResolveFlag("profilekit", *gameSpec, "gomoku")
 	fanout := g.NumActions()
 
 	prof := perfmodel.ProfileInTree(perfmodel.SyntheticSpec{
@@ -48,7 +48,8 @@ func main() {
 	tdnn := perfmodel.ProfileDNN(eval, c*h*w, fanout, *dnnIters)
 
 	tb := stats.NewTable("Design-time profile (Section 4.2)", "parameter", "value")
-	tb.AddRow("benchmark", fmt.Sprintf("gomoku %dx%d, fanout %d", *board, *board, fanout))
+	_, bh, bw := g.EncodedShape()
+	tb.AddRow("benchmark", fmt.Sprintf("%s %dx%d, fanout %d", g.Name(), bh, bw, fanout))
 	tb.AddRow("playouts profiled", *playouts)
 	tb.AddRow("T_select (per iteration)", prof.TSelect)
 	tb.AddRow("T_backup (per iteration)", prof.TBackup)

@@ -1,8 +1,9 @@
 // Command selfplay runs the complete adaptive DNN-MCTS training pipeline
-// (Algorithm 1) on Gomoku: the design configuration workflow picks the
-// parallel scheme for the requested worker count and platform, then
-// self-play episodes alternate with SGD updates, printing per-episode loss
-// and throughput. The trained network is optionally saved for later use.
+// (Algorithm 1) on any registered scenario: the design configuration
+// workflow picks the parallel scheme for the requested worker count and
+// platform, then self-play episodes alternate with SGD updates, printing
+// per-episode loss and throughput. The trained network is optionally saved
+// for later use.
 //
 // With -games G > 1 the pipeline switches to the multi-tenant driver: each
 // round plays G games concurrently, every game's search sharing ONE
@@ -11,8 +12,10 @@
 //
 // Usage:
 //
-//	selfplay [-n 4] [-games 1] [-board 9] [-playouts 100] [-episodes 8]
+//	selfplay [-n 4] [-games 1] [-game gomoku:9] [-playouts 100] [-episodes 8]
 //	         [-platform cpu|gpu] [-reuse] [-full-net] [-save model.bin]
+//
+// -game takes a registry spec: gomoku:9, othello, hex:11, connect4, ...
 package main
 
 import (
@@ -24,7 +27,7 @@ import (
 	"github.com/parmcts/parmcts/internal/adaptive"
 	"github.com/parmcts/parmcts/internal/evaluate"
 	"github.com/parmcts/parmcts/internal/experiments"
-	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/nn"
 	"github.com/parmcts/parmcts/internal/perfmodel"
@@ -36,8 +39,8 @@ import (
 func main() {
 	var (
 		n        = flag.Int("n", 4, "parallel workers")
-		games    = flag.Int("games", 1, "concurrent self-play games sharing one inference service")
-		board    = flag.Int("board", 9, "gomoku board size")
+		nGames   = flag.Int("games", 1, "concurrent self-play games sharing one inference service")
+		gameSpec = flag.String("game", "gomoku:9", games.FlagHelp())
 		playouts = flag.Int("playouts", 100, "per-move playout budget")
 		episodes = flag.Int("episodes", 8, "self-play episodes (rounds of -games each when -games > 1)")
 		platform = flag.String("platform", "cpu", "cpu or gpu")
@@ -48,12 +51,12 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "run seed")
 	)
 	flag.Parse()
-	if *games < 1 {
+	if *nGames < 1 {
 		fmt.Fprintln(os.Stderr, "selfplay: -games must be >= 1")
 		os.Exit(2)
 	}
 
-	g := gomoku.NewSized(*board)
+	g := games.ResolveFlag("selfplay", *gameSpec, "gomoku:9")
 	c, h, w := g.EncodedShape()
 	var net *nn.Network
 	if *fullNet {
@@ -94,7 +97,7 @@ func main() {
 		opts.DeviceCost = cost
 	} else {
 		opts.Platform = adaptive.PlatformCPU
-		if *games > 1 {
+		if *nGames > 1 {
 			// Concurrent tenants share one lock-striped transposition cache;
 			// it is cleared after every SGD update (see the round callback).
 			opts.Evaluator = evaluate.NewCached(evaluate.NewNN(net), 1<<16)
@@ -102,9 +105,9 @@ func main() {
 			opts.Evaluator = evaluate.NewNN(net)
 		}
 	}
-	augmenter := train.GomokuAugmenter{Size: *board, Planes: c}
-	if *games > 1 {
-		fleet, err := adaptive.ConfigureFleet(g, *games, opts)
+	augmenter := train.AugmenterFor(g)
+	if *nGames > 1 {
+		fleet, err := adaptive.ConfigureFleet(g, *nGames, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "selfplay:", err)
 			os.Exit(1)

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	throughput [-ns 1,2,4,8] [-board 9] [-playouts 48] [-episodes 2]
+//	throughput [-ns 1,2,4,8] [-game gomoku:9] [-playouts 48] [-episodes 2]
 //	           [-platform cpu|gpu|both] [-full-net] [-csv]
 package main
 
@@ -22,12 +22,13 @@ import (
 	"strings"
 
 	"github.com/parmcts/parmcts/internal/experiments"
+	"github.com/parmcts/parmcts/internal/game/games"
 )
 
 func main() {
 	var (
 		nsFlag   = flag.String("ns", "1,2,4,8", "comma-separated worker counts")
-		board    = flag.Int("board", 9, "gomoku board size")
+		gameSpec = flag.String("game", "gomoku:9", games.FlagHelp())
 		playouts = flag.Int("playouts", 48, "per-move playout budget")
 		episodes = flag.Int("episodes", 2, "self-play episodes per configuration")
 		platform = flag.String("platform", "both", "cpu, gpu, or both")
@@ -58,8 +59,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	games.ResolveFlag("throughput", *gameSpec, "") // validate the spec before the run starts
 	sc := experiments.DefaultTrainingScale()
-	sc.BoardSize = *board
+	sc.Game = *gameSpec
 	sc.Playouts = *playouts
 	sc.Episodes = *episodes
 	sc.TinyNet = !*fullNet

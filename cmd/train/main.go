@@ -1,5 +1,6 @@
-// Command train runs the continuous training service on Gomoku: G
-// concurrent self-play games generate through one shared inference service
+// Command train runs the continuous training service on any registered
+// scenario (-game gomoku:9, othello, hex:7, ...): G concurrent self-play
+// games generate through one shared inference service
 // while SGD updates a live parameter set, and every -gate-every rounds a
 // candidate snapshot must beat the serving incumbent in an arena match
 // (played through the same service, both versions live at once) before it
@@ -11,7 +12,7 @@
 //
 // Usage:
 //
-//	train [-board 9] [-games 8] [-workers 4] [-playouts 100] [-rounds 12]
+//	train [-game gomoku:9] [-games 8] [-workers 4] [-playouts 100] [-rounds 12]
 //	      [-gate-every 2] [-gate-games 12] [-win-rate 0.55]
 //	      [-ckpt checkpoints] [-reuse] [-full-net] [-seed 1]
 package main
@@ -25,7 +26,7 @@ import (
 	"github.com/parmcts/parmcts/internal/arena"
 	"github.com/parmcts/parmcts/internal/checkpoint"
 	"github.com/parmcts/parmcts/internal/evaluate"
-	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/nn"
 	"github.com/parmcts/parmcts/internal/rng"
@@ -75,8 +76,8 @@ func (p *servicePromoter) Retire(version int64) {
 
 func main() {
 	var (
-		board        = flag.Int("board", 9, "gomoku board size")
-		games        = flag.Int("games", 8, "concurrent self-play games (tenants of the shared service)")
+		gameSpec     = flag.String("game", "gomoku:9", games.FlagHelp())
+		nGames       = flag.Int("games", 8, "concurrent self-play games (tenants of the shared service)")
 		workers      = flag.Int("workers", 4, "inference threads of the shared service; also each game's in-flight bound")
 		playouts     = flag.Int("playouts", 100, "per-move playout budget of the self-play engines")
 		rounds       = flag.Int("rounds", 12, "generation rounds (each plays -games games concurrently)")
@@ -93,14 +94,14 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "run seed")
 	)
 	flag.Parse()
-	if *games < 1 || *workers < 1 || *rounds < 1 {
+	if *nGames < 1 || *workers < 1 || *rounds < 1 {
 		fmt.Fprintln(os.Stderr, "train: -games, -workers and -rounds must be >= 1")
 		os.Exit(2)
 	}
 
-	g := gomoku.NewSized(*board)
+	g := games.ResolveFlag("train", *gameSpec, "gomoku:9")
 	c, h, w := g.EncodedShape()
-	gameName := fmt.Sprintf("gomoku-%d", *board)
+	gameName := *gameSpec
 
 	store, err := checkpoint.NewStore(*ckptDir)
 	if err != nil {
@@ -116,6 +117,19 @@ func main() {
 	var baseRounds, baseSamples int
 	switch loaded, m, lerr := store.LoadLatest(); {
 	case lerr == nil:
+		if m.Game != "" && games.SpecName(m.Game) != games.SpecName(gameName) {
+			// Shape equality is not identity: hex:9 and gomoku:9 share the
+			// 4x9x9/81 network shape, so the manifest's game name is the
+			// authoritative resume guard.
+			fmt.Fprintf(os.Stderr, "train: checkpoint store %s was trained on %q, not -game %s; use a fresh -ckpt directory\n",
+				store.Dir(), m.Game, gameName)
+			os.Exit(1)
+		}
+		if loaded.Cfg.InC != c || loaded.Cfg.H != h || loaded.Cfg.W != w || loaded.Cfg.NumActions != g.NumActions() {
+			fmt.Fprintf(os.Stderr, "train: checkpoint store %s holds a %q network (%dx%dx%d/%d actions) that does not match -game %s; use a fresh -ckpt directory\n",
+				store.Dir(), m.Game, loaded.Cfg.InC, loaded.Cfg.H, loaded.Cfg.W, loaded.Cfg.NumActions, gameName)
+			os.Exit(1)
+		}
 		net = loaded
 		startVersion = m.Version
 		baseStep, baseRounds, baseSamples = m.Step, m.Rounds, m.Samples
@@ -147,14 +161,14 @@ func main() {
 	srv := evaluate.NewServer(mkBackend(incumbent, startVersion), evaluate.ServerConfig{
 		Batch:          1,
 		FlushDeadline:  evaluate.DefaultFlushDeadline,
-		MaxOutstanding: *games * *workers * 2,
+		MaxOutstanding: *nGames * *workers * 2,
 		LaunchWorkers:  *workers,
 		InitialVersion: startVersion,
 	})
 	defer srv.Close()
 
-	clients := make([]*evaluate.Client, *games)
-	engines := make([]mcts.Engine, *games)
+	clients := make([]*evaluate.Client, *nGames)
+	engines := make([]mcts.Engine, *nGames)
 	for i := range engines {
 		clients[i] = srv.NewClient(*workers * 2)
 		cfg := mcts.DefaultConfig()
@@ -173,7 +187,7 @@ func main() {
 	}()
 
 	replay := train.NewReplay(50000)
-	driver := selfplay.NewDriver(g, engines, replay, train.GomokuAugmenter{Size: *board, Planes: c}, selfplay.Config{
+	driver := selfplay.NewDriver(g, engines, replay, train.AugmenterFor(g), selfplay.Config{
 		TempMoves: 6,
 		Seed:      *seed,
 		// Pin each tenant to the serving version at game start: a game's
@@ -217,7 +231,7 @@ func main() {
 	})
 
 	fmt.Printf("training service: %s, %d games x %d playouts, gate every %d rounds (%d games, win-rate >= %.2f), checkpoints in %s\n",
-		gameName, *games, *playouts, *gateEvery, *gateGames, *winRate, store.Dir())
+		gameName, *nGames, *playouts, *gateEvery, *gateGames, *winRate, store.Dir())
 	report := loop.Run(func(s train.LoopRoundStats) {
 		line := fmt.Sprintf("round %2d: v%d moves=%4d samples=%4d", s.Round, s.Version, s.Moves, s.Samples)
 		if s.Trained {

@@ -9,8 +9,9 @@
 // design-time profiling workflow, the O(log N) accelerator batch-size
 // search (Algorithm 4), and the adaptive framework that selects among them.
 // Every substrate is built from scratch on the standard library: the
-// policy/value network (5 conv + 3 FC with training), the Gomoku/Connect-4/
-// tic-tac-toe environments, the arena-backed search tree, the FIFO and
+// policy/value network (5 conv + 3 FC with training), five game
+// environments behind one registry (Gomoku, Connect-4, tic-tac-toe,
+// Othello with pass moves, Hex), the arena-backed search tree, the FIFO and
 // accelerator-queue plumbing, a simulated accelerator with an explicit
 // latency model, and a discrete-event timeline simulator that regenerates
 // the paper's latency figures deterministically.
@@ -108,9 +109,47 @@
 //     reference it. G concurrent games keep running across the entire
 //     promotion.
 //
-// cmd/train runs this service on Gomoku (resuming from its checkpoint
-// store if one exists), and cmd/arena -ckpt re-audits a store's latest
-// promotion by replaying latest-vs-previous at equal budgets.
+// cmd/train runs this service on any registered scenario (resuming from
+// its checkpoint store if one exists), and cmd/arena -ckpt re-audits a
+// store's latest promotion by replaying latest-vs-previous at equal
+// budgets.
+//
+// # Scenarios
+//
+// Games register themselves in a catalogue (game.Register from each game
+// package's init; internal/game/games links the full set) and every
+// binary takes a shared -game flag whose spec is "name" or "name:size" —
+// game.NewFromSpec("gomoku:9"), "othello", "hex:7" — so the whole
+// pipeline (self-play fleet, arena gating, continuous training, the
+// profiling and figure generators) runs on every scenario. Five games
+// ship:
+//
+//   - gomoku (default 15x15, the paper's benchmark): pure placement,
+//     fanout size², 4-plane encoding (own / opponent / last move /
+//     side-to-move) — the plane convention all scenarios follow, always
+//     from the mover's perspective.
+//   - connect4 (7x6): small fanout, gravity placement.
+//   - tictactoe (3x3): exhaustively solvable correctness anchor.
+//   - othello (default 8x8, sizes 4-16): disc placement flips every
+//     bracketed line; a mover with no placement must play the explicit
+//     PASS action (index size², so NumActions is size²+1) and two
+//     consecutive passes end the game on disc count. Pass moves are the
+//     reason the session layer cannot assume placement dynamics: a
+//     forced-pass root has exactly one child, and reuse must promote
+//     through it (ReuseFraction stays positive across pass plies).
+//   - hex (default 11x11, sizes 2-19): connection game on a rhombus,
+//     union-find over stones plus virtual edge nodes, P1 joins
+//     top-bottom / P2 left-right; never draws. hex.NewSwap enables the
+//     pie-rule steal variant.
+//
+// internal/game/gametest exports the conformance harness — one table of
+// property checks (Clone independence, Legal↔LegalMoves agreement, strict
+// turn alternation, encode perspective flip, hash movement on every ply,
+// the MaxGameLength bound, terminal stability) that runs against every
+// registered game, plus the FuzzPlayout body behind each game package's
+// FuzzStatePlayout target; internal/mcts's FuzzRebaseRoot drives subtree
+// promotion against a rebuild-from-scratch reference on all scenario
+// families. BENCH_scenarios.json records the cross-game throughput table.
 //
 // Packages live under internal/; the runnable entry points are the
 // binaries under cmd/ and the programs under examples/. The benchmarks in

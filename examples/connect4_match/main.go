@@ -26,7 +26,7 @@ func playGame(g game.Game, first, second mcts.Engine, seed uint64) game.Player {
 	turn := 0
 	for !st.Terminal() {
 		engines[turn%2].Search(st, dist)
-		st.Play(train.SampleAction(r, dist, 0))
+		st.Play(train.SampleActionOrLegal(r, dist, 0, st))
 		turn++
 	}
 	return st.Winner()

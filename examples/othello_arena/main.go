@@ -1,0 +1,50 @@
+// Othello engine arena: the pass-move scenario end to end. Two parallel
+// schemes (shared tree vs local tree) play a reversi match with persistent
+// search sessions enabled, so every engine advances its warm subtree
+// through disc flips AND forced passes — the dynamics that distinguish
+// Othello from the placement games. The printout shows the match verdict
+// and the reuse fraction the sessions sustained despite pass plies.
+//
+//	go run ./examples/othello_arena
+package main
+
+import (
+	"fmt"
+
+	"github.com/parmcts/parmcts/internal/arena"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/games"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/train"
+)
+
+func main() {
+	// Any registered scenario works here; swap the spec for "hex:7" or
+	// "gomoku:9" to pit the same engines on a different game.
+	g := games.MustNew("othello")
+
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = 120
+	cfg.ReuseTree = true // persistent sessions: warm trees across moves
+	cfg.Seed = 17
+
+	eval := &evaluate.Random{}
+	shared := mcts.NewShared(cfg, 4, eval)
+	pool := evaluate.NewPool(eval, 4)
+	defer pool.Close()
+	local := mcts.NewLocal(cfg, pool, 4)
+
+	res := arena.Play(g, shared, local, arena.MatchConfig{
+		Games:       6,
+		Temperature: 0.3,
+		TempMoves:   8,
+		Seed:        5,
+	})
+	fmt.Printf("othello, shared (A) vs local (B), %d games: %s\n", res.Games, res)
+
+	// One self-play episode with the shared engine shows the session layer
+	// crediting retained subtrees move after move, passes included.
+	ep := train.SelfPlayEpisode(g, shared, train.EpisodeOptions{TempMoves: 10})
+	fmt.Printf("self-play episode: %d plies, winner %+d, reuse fraction %.2f\n",
+		ep.Moves, ep.Winner, ep.Search.ReuseFraction())
+}

@@ -128,7 +128,7 @@ func playOne(g game.Game, a, b mcts.Engine, aFirst bool, maxMoves int, cfg Match
 		if cfg.Temperature > 0 && (cfg.TempMoves == 0 || ply < cfg.TempMoves) {
 			temp = cfg.Temperature
 		}
-		action := train.SampleAction(r, dist, temp)
+		action := train.SampleActionOrLegal(r, dist, temp, st)
 		st.Play(action)
 		if !st.Terminal() {
 			// Warm both trees: the mover follows its own move, the other

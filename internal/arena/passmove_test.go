@@ -1,0 +1,58 @@
+package arena
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/game/othello"
+	"github.com/parmcts/parmcts/internal/mcts"
+)
+
+// zeroDistEngine returns an all-zero visit distribution; the match driver
+// must fall back to a random legal move instead of electing action 0.
+type zeroDistEngine struct{}
+
+func (zeroDistEngine) Name() string { return "zero-dist" }
+func (zeroDistEngine) Search(st game.State, dist []float32) mcts.Stats {
+	for i := range dist {
+		dist[i] = 0
+	}
+	return mcts.Stats{}
+}
+func (zeroDistEngine) Advance(int) {}
+func (zeroDistEngine) Close()      {}
+
+// TestPlaySurvivesZeroDistOnOthello is the regression for the action-0
+// fallback: before it, the first Othello ply panicked on an illegal move.
+func TestPlaySurvivesZeroDistOnOthello(t *testing.T) {
+	res := Play(othello.NewSized(4), zeroDistEngine{}, zeroDistEngine{}, MatchConfig{
+		Games: 4,
+		Seed:  11,
+	})
+	if res.Games != 4 || res.WinsA+res.WinsB+res.Draws != 4 {
+		t.Fatalf("match result inconsistent: %+v", res)
+	}
+}
+
+// TestMatchOthelloWithReuse runs a real engine match on the pass-move
+// scenario with persistent sessions: the match must complete with both
+// engines advancing through passes, and the engines' trees stay coherent
+// (no illegal-move panics, every game reaches a verdict).
+func TestMatchOthelloWithReuse(t *testing.T) {
+	g := othello.NewSized(4)
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = 40
+	cfg.ReuseTree = true
+	cfg.Seed = 5
+	a := mcts.NewSerial(cfg, &evaluate.Random{})
+	cfgB := cfg
+	cfgB.Seed = 6
+	b := mcts.NewSerial(cfgB, &evaluate.Random{})
+	defer a.Close()
+	defer b.Close()
+	res := Play(g, a, b, MatchConfig{Games: 4, Temperature: 0.3, TempMoves: 4, Seed: 3})
+	if res.WinsA+res.WinsB+res.Draws != 4 {
+		t.Fatalf("match result inconsistent: %+v", res)
+	}
+}

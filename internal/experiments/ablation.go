@@ -5,8 +5,7 @@ import (
 	"time"
 
 	"github.com/parmcts/parmcts/internal/evaluate"
-	"github.com/parmcts/parmcts/internal/game/gomoku"
-	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/game"
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/perfmodel"
 	"github.com/parmcts/parmcts/internal/simsched"
@@ -21,10 +20,9 @@ import (
 // and reports the duplicate-expansion count — rollouts whose DNN
 // evaluation was wasted because another worker expanded the same leaf —
 // which is precisely the waste virtual loss exists to reduce.
-func AblationVirtualLoss(magnitudes []float64, workers, playouts int) *stats.Table {
-	tb := stats.NewTable("Ablation: virtual-loss magnitude (shared tree, tictactoe)",
+func AblationVirtualLoss(g game.Game, magnitudes []float64, workers, playouts int) *stats.Table {
+	tb := stats.NewTable(fmt.Sprintf("Ablation: virtual-loss magnitude (shared tree, %s)", g.Name()),
 		"VL", "duplicate expansions", "nodes allocated", "avg depth")
-	g := tictactoe.New()
 	for _, vl := range magnitudes {
 		cfg := mcts.DefaultConfig()
 		cfg.Playouts = playouts
@@ -44,10 +42,9 @@ func AblationVirtualLoss(magnitudes []float64, workers, playouts int) *stats.Tab
 // budgets: none (workers collide freely), the constant penalty (Chaslot et
 // al.), and the WU-UCT unobserved-count variant that only inflates visit
 // counts.
-func AblationVLMode(workers, playouts int) *stats.Table {
-	tb := stats.NewTable("Ablation: virtual-loss semantics (shared tree, tictactoe)",
+func AblationVLMode(g game.Game, workers, playouts int) *stats.Table {
+	tb := stats.NewTable(fmt.Sprintf("Ablation: virtual-loss semantics (shared tree, %s)", g.Name()),
 		"mode", "duplicate expansions", "nodes allocated", "move time")
-	g := tictactoe.New()
 	for _, mode := range []struct {
 		name string
 		m    tree.VirtualLossMode
@@ -110,10 +107,9 @@ func AblationInterconnect(p LatencyParams, n int) *stats.Table {
 // evaluations on one leaf (identical with a deterministic DNN);
 // root-parallel re-explores the same states in every worker's private
 // tree.
-func AblationBaselines(workers, playouts int) *stats.Table {
-	tb := stats.NewTable("Ablation: tree-parallel vs related-work baselines",
+func AblationBaselines(g game.Game, workers, playouts int) *stats.Table {
+	tb := stats.NewTable(fmt.Sprintf("Ablation: tree-parallel vs related-work baselines (%s)", g.Name()),
 		"engine", "move time", "distinct tree nodes", "evaluations")
-	g := gomoku.NewSized(9)
 	eval := &evaluate.Random{Latency: 100 * time.Microsecond}
 	dist := make([]float32, g.NumActions())
 

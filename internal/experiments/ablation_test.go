@@ -3,13 +3,16 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
 )
 
 func TestAblationVirtualLossDiversity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real shared-tree searches")
 	}
-	tb := AblationVirtualLoss([]float64{0, 1, 4}, 4, 150)
+	tb := AblationVirtualLoss(tictactoe.New(), []float64{0, 1, 4}, 4, 150)
 	if tb.NumRows() != 3 {
 		t.Fatalf("rows = %d", tb.NumRows())
 	}
@@ -33,7 +36,7 @@ func TestAblationVLModeRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real shared-tree searches")
 	}
-	tb := AblationVLMode(4, 120)
+	tb := AblationVLMode(tictactoe.New(), 4, 120)
 	if tb.NumRows() != 3 {
 		t.Fatalf("rows = %d", tb.NumRows())
 	}
@@ -77,7 +80,7 @@ func TestAblationBaselinesRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all four engines")
 	}
-	tb := AblationBaselines(4, 80)
+	tb := AblationBaselines(gomoku.NewSized(9), 4, 80)
 	if tb.NumRows() != 4 {
 		t.Fatalf("rows = %d", tb.NumRows())
 	}

@@ -22,6 +22,7 @@ import (
 
 	"github.com/parmcts/parmcts/internal/accel"
 	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
 	"github.com/parmcts/parmcts/internal/game/gomoku"
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/nn"
@@ -69,13 +70,21 @@ func PaperShapedParams(playouts int) LatencyParams {
 // keeping the calibrated accelerator model (no accelerator exists to
 // measure).
 func HostMeasuredParams(playouts, boardSize int) LatencyParams {
-	if playouts <= 0 {
-		playouts = 1600
-	}
 	if boardSize <= 0 {
 		boardSize = 15
 	}
-	g := gomoku.NewSized(boardSize)
+	return HostMeasuredParamsFor(playouts, gomoku.NewSized(boardSize))
+}
+
+// HostMeasuredParamsFor is HostMeasuredParams for any registered scenario:
+// the synthetic in-tree profile takes the game's fanout and depth limit,
+// and T_DNN is measured on a paper-shaped network with the game's encoded
+// input and action space — so the performance model sees the workload the
+// -game flag selected, not Gomoku's.
+func HostMeasuredParamsFor(playouts int, g game.Game) LatencyParams {
+	if playouts <= 0 {
+		playouts = 1600
+	}
 	prof := perfmodel.ProfileInTree(perfmodel.SyntheticSpec{
 		Fanout:     g.NumActions(),
 		DepthLimit: g.MaxGameLength(),
@@ -249,7 +258,11 @@ func HeadlineSpeedups(p LatencyParams, ns []int) *stats.Table {
 // Gomoku network. Returns the table and the DNN-evaluation share of the
 // move time.
 func PhaseSplit(boardSize, playouts int) (*stats.Table, float64) {
-	g := gomoku.NewSized(boardSize)
+	return PhaseSplitFor(gomoku.NewSized(boardSize), playouts)
+}
+
+// PhaseSplitFor is PhaseSplit for any registered scenario.
+func PhaseSplitFor(g game.Game, playouts int) (*stats.Table, float64) {
 	c, h, w := g.EncodedShape()
 	net := nn.MustNew(nn.GomokuConfig(c, h, w, g.NumActions()), rng.New(1))
 	cfg := mcts.DefaultConfig()

@@ -243,7 +243,7 @@ func TestFigure6And7SmallScale(t *testing.T) {
 		t.Skip("real training run")
 	}
 	sc := DefaultTrainingScale()
-	sc.BoardSize = 7
+	sc.Game = "gomoku:7"
 	sc.Playouts = 16
 	sc.Episodes = 1
 	sc.SGDIterations = 1

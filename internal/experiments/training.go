@@ -6,7 +6,8 @@ import (
 	"github.com/parmcts/parmcts/internal/accel"
 	"github.com/parmcts/parmcts/internal/adaptive"
 	"github.com/parmcts/parmcts/internal/evaluate"
-	"github.com/parmcts/parmcts/internal/game/gomoku"
+	"github.com/parmcts/parmcts/internal/game"
+	_ "github.com/parmcts/parmcts/internal/game/games" // link the scenario catalogue
 	"github.com/parmcts/parmcts/internal/mcts"
 	"github.com/parmcts/parmcts/internal/nn"
 	"github.com/parmcts/parmcts/internal/rng"
@@ -18,14 +19,16 @@ import (
 // and 7). The paper trains Gomoku 15x15 with 1600 playouts/move on 64
 // cores; the defaults here are scaled so the experiments complete on a
 // laptop in minutes while exercising the identical pipeline. Pass larger
-// values to approach the paper's configuration.
+// values (and e.g. Game "gomoku:15") to approach the paper's
+// configuration, or any other registered scenario spec ("othello",
+// "hex:11") to measure a different workload.
 type TrainingScale struct {
-	BoardSize     int // Gomoku board edge (paper: 15)
-	Playouts      int // per-move budget (paper: 1600)
-	Episodes      int // self-play games per configuration
-	SGDIterations int // updates per episode
-	BatchSize     int // SGD mini-batch
-	TempMoves     int // exploration temperature horizon
+	Game          string // registered game spec (default "gomoku:9")
+	Playouts      int    // per-move budget (paper: 1600)
+	Episodes      int    // self-play games per configuration
+	SGDIterations int    // updates per episode
+	BatchSize     int    // SGD mini-batch
+	TempMoves     int    // exploration temperature horizon
 	TinyNet       bool
 	Seed          uint64
 }
@@ -33,7 +36,7 @@ type TrainingScale struct {
 // DefaultTrainingScale returns a configuration that runs in seconds.
 func DefaultTrainingScale() TrainingScale {
 	return TrainingScale{
-		BoardSize:     9,
+		Game:          "gomoku:9",
 		Playouts:      48,
 		Episodes:      2,
 		SGDIterations: 4,
@@ -44,7 +47,16 @@ func DefaultTrainingScale() TrainingScale {
 	}
 }
 
-func (sc TrainingScale) network(g *gomoku.Game) *nn.Network {
+// game instantiates the configured scenario.
+func (sc TrainingScale) game() (game.Game, error) {
+	spec := sc.Game
+	if spec == "" {
+		spec = "gomoku:9"
+	}
+	return game.NewFromSpec(spec)
+}
+
+func (sc TrainingScale) network(g game.Game) *nn.Network {
 	c, h, w := g.EncodedShape()
 	if sc.TinyNet {
 		return nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(sc.Seed))
@@ -52,7 +64,7 @@ func (sc TrainingScale) network(g *gomoku.Game) *nn.Network {
 	return nn.MustNew(nn.GomokuConfig(c, h, w, g.NumActions()), rng.New(sc.Seed))
 }
 
-func (sc TrainingScale) trainerConfig() train.TrainerConfig {
+func (sc TrainingScale) trainerConfig(g game.Game) train.TrainerConfig {
 	return train.TrainerConfig{
 		Episodes:      sc.Episodes,
 		SGDIterations: sc.SGDIterations,
@@ -61,13 +73,14 @@ func (sc TrainingScale) trainerConfig() train.TrainerConfig {
 		Momentum:      0.9,
 		WeightDecay:   1e-4,
 		TempMoves:     sc.TempMoves,
+		Augmenter:     train.AugmenterFor(g),
 		Seed:          sc.Seed,
 	}
 }
 
 // buildEngine assembles the adaptively-configured engine for N workers on
 // the requested platform, sharing the network for both search and training.
-func buildEngine(sc TrainingScale, g *gomoku.Game, net *nn.Network, n int, useAccel bool) (*adaptive.Engine, error) {
+func buildEngine(sc TrainingScale, g game.Game, net *nn.Network, n int, useAccel bool) (*adaptive.Engine, error) {
 	search := mcts.DefaultConfig()
 	search.Playouts = sc.Playouts
 	search.DirichletAlpha = 0.3
@@ -80,8 +93,9 @@ func buildEngine(sc TrainingScale, g *gomoku.Game, net *nn.Network, n int, useAc
 		DNNProfileIters: 5,
 	}
 	if useAccel {
+		c, h, w := g.EncodedShape()
 		cost := PaperShapedParams(sc.Playouts).Accel
-		cost.BytesPerSample = 4 * sc.BoardSize * sc.BoardSize * 4
+		cost.BytesPerSample = c * h * w * 4
 		opts.Platform = adaptive.PlatformAccel
 		opts.Device = accel.NewHosted(net, cost, 0)
 		opts.DeviceCost = cost
@@ -98,9 +112,12 @@ func buildEngine(sc TrainingScale, g *gomoku.Game, net *nn.Network, n int, useAc
 // configuration. One sample = one move's 1600-playout search, matching the
 // paper's metric.
 func Figure6Throughput(sc TrainingScale, ns []int, platforms []bool) *stats.Table {
-	tb := stats.NewTable("Figure 6: training throughput under optimal configurations",
+	g, err := sc.game()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	tb := stats.NewTable(fmt.Sprintf("Figure 6: training throughput under optimal configurations (%s)", sc.Game),
 		"platform", "N", "scheme", "samples/s", "search time", "train time")
-	g := gomoku.NewSized(sc.BoardSize)
 	for _, useAccel := range platforms {
 		platform := "cpu"
 		if useAccel {
@@ -113,7 +130,7 @@ func Figure6Throughput(sc TrainingScale, ns []int, platforms []bool) *stats.Tabl
 				tb.AddRow(platform, n, "error", err.Error(), "", "")
 				continue
 			}
-			tr := train.NewTrainer(g, eng, net, sc.trainerConfig())
+			tr := train.NewTrainer(g, eng, net, sc.trainerConfig(g))
 			all := tr.Run(nil)
 			eng.Close()
 			var samples int
@@ -139,9 +156,12 @@ func Figure6Throughput(sc TrainingScale, ns []int, platforms []bool) *stats.Tabl
 // time for several worker counts, each under its optimal configuration.
 // Rows carry (N, episode, elapsed, value loss, policy loss, total).
 func Figure7Loss(sc TrainingScale, ns []int, useAccel bool) *stats.Table {
-	tb := stats.NewTable("Figure 7: DNN loss over time under optimal parallel configurations",
+	g, err := sc.game()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	tb := stats.NewTable(fmt.Sprintf("Figure 7: DNN loss over time under optimal parallel configurations (%s)", sc.Game),
 		"N", "episode", "elapsed", "value loss", "policy loss", "total loss")
-	g := gomoku.NewSized(sc.BoardSize)
 	for _, n := range ns {
 		net := sc.network(g)
 		eng, err := buildEngine(sc, g, net, n, useAccel)
@@ -149,7 +169,7 @@ func Figure7Loss(sc TrainingScale, ns []int, useAccel bool) *stats.Table {
 			tb.AddRow(n, "error", err.Error(), "", "", "")
 			continue
 		}
-		tr := train.NewTrainer(g, eng, net, sc.trainerConfig())
+		tr := train.NewTrainer(g, eng, net, sc.trainerConfig(g))
 		for _, s := range tr.Run(nil) {
 			tb.AddRow(n, s.Episode, s.Elapsed.Round(1e6),
 				s.Loss.ValueLoss, s.Loss.PolicyLoss, s.Loss.TotalLoss())

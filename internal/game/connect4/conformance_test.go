@@ -1,0 +1,11 @@
+package connect4
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/game/gametest"
+)
+
+func TestConformance(t *testing.T) { gametest.Run(t, New()) }
+
+func FuzzStatePlayout(f *testing.F) { gametest.FuzzPlayout(f, New()) }

@@ -5,6 +5,7 @@
 package connect4
 
 import (
+	"fmt"
 	"strings"
 
 	"github.com/parmcts/parmcts/internal/game"
@@ -16,6 +17,15 @@ const (
 	Cols = 7
 	Rows = 6
 )
+
+func init() {
+	game.Register("connect4", func(size int) (game.Game, error) {
+		if size != 0 {
+			return nil, fmt.Errorf("board is fixed at %dx%d, cannot size to %d", Cols, Rows, size)
+		}
+		return New(), nil
+	})
+}
 
 // Planes is the number of encoding planes (mirrors gomoku's layout).
 const Planes = 4

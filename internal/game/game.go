@@ -1,8 +1,18 @@
 // Package game defines the environment interface consumed by the MCTS
 // engines, mirroring the paper's "high-level libraries for simulating
 // various benchmarks" integration point. Concrete games live in
-// sub-packages (gomoku is the paper's benchmark; connect4 and tictactoe
-// exercise the same interface at different fanouts/depths).
+// sub-packages and register themselves in the catalogue (Register /
+// New / NewFromSpec / Names): gomoku is the paper's benchmark; connect4
+// and tictactoe exercise the same interface at different fanouts/depths;
+// othello adds flip dynamics with explicit pass moves; hex adds a
+// draw-free connection topology. Importing internal/game/games links the
+// full set.
+//
+// Two contract points the engines rely on (enforced for every registered
+// game by internal/game/gametest): turns strictly alternate — a player
+// with nothing to place must expose an explicit pass ACTION rather than
+// an empty LegalMoves, because tree.Backup negates the value exactly once
+// per ply — and a non-terminal state always has at least one legal move.
 package game
 
 // Player identifies a side. Two-player zero-sum games use +1 and -1 so a

@@ -1,0 +1,157 @@
+package games
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/game/gametest"
+)
+
+// conformanceSpecs are the per-game instantiations the cross-game suite
+// runs at: every registered scenario appears, at a board size that keeps
+// one run in seconds. The CI matrix narrows the list to one game per leg
+// via the GAMETEST_GAMES environment variable (comma-separated specs).
+var conformanceSpecs = []string{
+	"tictactoe",
+	"connect4",
+	"gomoku:9",
+	"othello",
+	"hex:7",
+}
+
+func specsUnderTest(t *testing.T) []string {
+	if env := os.Getenv("GAMETEST_GAMES"); env != "" {
+		var specs []string
+		for _, s := range strings.Split(env, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				specs = append(specs, s)
+			}
+		}
+		if len(specs) == 0 {
+			t.Fatalf("GAMETEST_GAMES=%q selects no games", env)
+		}
+		return specs
+	}
+	return conformanceSpecs
+}
+
+// TestConformance runs the exported gametest property table against every
+// registered scenario.
+func TestConformance(t *testing.T) {
+	for _, spec := range specsUnderTest(t) {
+		g, err := game.NewFromSpec(spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		t.Run(spec, func(t *testing.T) { gametest.Run(t, g) })
+	}
+}
+
+// TestRegistryComplete pins the catalogue: every scenario this repository
+// ships is registered, and the default conformance list covers all of them.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"connect4", "gomoku", "hex", "othello", "tictactoe"}
+	got := game.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered games = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered games = %v, want %v", got, want)
+		}
+	}
+	covered := map[string]bool{}
+	for _, spec := range conformanceSpecs {
+		name, _, _ := strings.Cut(spec, ":")
+		covered[name] = true
+	}
+	for _, name := range want {
+		if !covered[name] {
+			t.Errorf("registered game %q missing from the conformance suite", name)
+		}
+	}
+}
+
+// TestRegistrySpecs exercises the spec grammar and the factory validation
+// behind the shared -game flag.
+func TestRegistrySpecs(t *testing.T) {
+	good := map[string]struct {
+		actions int
+	}{
+		"othello":    {65},
+		"othello:6":  {37},
+		"hex":        {121},
+		"hex:7":      {49},
+		"gomoku:9":   {81},
+		"gomoku":     {225},
+		"tictactoe":  {9},
+		"connect4":   {7},
+		" gomoku:9 ": {81}, // surrounding whitespace tolerated
+	}
+	for spec, want := range good {
+		g, err := game.NewFromSpec(spec)
+		if err != nil {
+			t.Errorf("spec %q: %v", spec, err)
+			continue
+		}
+		if g.NumActions() != want.actions {
+			t.Errorf("spec %q: NumActions = %d, want %d", spec, g.NumActions(), want.actions)
+		}
+	}
+	bad := []string{
+		"", "nosuchgame", "othello:7", "othello:2", "othello:18",
+		"hex:1", "hex:20", "gomoku:3", "connect4:8", "tictactoe:5",
+		"hex:", "hex:x", "hex:-3", "hex:0",
+	}
+	for _, spec := range bad {
+		if g, err := game.NewFromSpec(spec); err == nil {
+			t.Errorf("spec %q: expected error, got %T", spec, g)
+		}
+	}
+}
+
+// TestConcurrentFirstStates is the regression for the lazy Zobrist-table
+// race: a G-game fleet driver creates every tenant's first state on G
+// goroutines at once, so the per-size table memoisation must be
+// synchronized (game.ZobristTable). Before the shared helper, othello/hex/
+// gomoku each populated an unguarded package-level map here — a fatal
+// "concurrent map read and map write" on the first fleet round.
+func TestConcurrentFirstStates(t *testing.T) {
+	for _, spec := range conformanceSpecs {
+		g, err := game.NewFromSpec(spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		var wg sync.WaitGroup
+		hashes := make([]uint64, 16)
+		for i := range hashes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				hashes[i] = g.NewInitial().Hash()
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < len(hashes); i++ {
+			if hashes[i] != hashes[0] {
+				t.Fatalf("%s: concurrent initial states disagree on hash", spec)
+			}
+		}
+	}
+}
+
+// TestMustNew covers the panic path used by examples.
+func TestMustNew(t *testing.T) {
+	if g := MustNew("othello"); g.Name() != "othello" {
+		t.Fatalf("MustNew returned %q", g.Name())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on a bad spec did not panic")
+		}
+	}()
+	MustNew("nosuchgame")
+}

@@ -1,0 +1,15 @@
+package gomoku
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/game/gametest"
+)
+
+func TestConformance(t *testing.T) {
+	for _, g := range []*Game{New(), NewSized(7)} {
+		t.Run(g.Name(), func(t *testing.T) { gametest.Run(t, g) })
+	}
+}
+
+func FuzzStatePlayout(f *testing.F) { gametest.FuzzPlayout(f, NewSized(7)) }

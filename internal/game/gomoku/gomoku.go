@@ -5,14 +5,26 @@
 package gomoku
 
 import (
+	"fmt"
 	"strings"
 
 	"github.com/parmcts/parmcts/internal/game"
-	"github.com/parmcts/parmcts/internal/rng"
 )
 
 // DefaultSize is the board edge length used throughout the paper.
 const DefaultSize = 15
+
+func init() {
+	game.Register("gomoku", func(size int) (game.Game, error) {
+		if size == 0 {
+			size = DefaultSize
+		}
+		if size < WinLength {
+			return nil, fmt.Errorf("board %d smaller than win length %d", size, WinLength)
+		}
+		return &Game{Size: size}, nil
+	})
+}
 
 // WinLength is the number of aligned stones required to win.
 const WinLength = 5
@@ -22,20 +34,10 @@ const WinLength = 5
 const Planes = 4
 
 // zobrist tables are generated once per board size from a fixed seed so
-// hashes are stable across runs.
-var zobristBySize = map[int][]uint64{}
-
+// hashes are stable across runs; game.ZobristTable synchronizes the lazy
+// cache against concurrent fleet drivers.
 func zobrist(size int) []uint64 {
-	if tab, ok := zobristBySize[size]; ok {
-		return tab
-	}
-	r := rng.New(0x60AB0C0DE + uint64(size))
-	tab := make([]uint64, 2*size*size+1)
-	for i := range tab {
-		tab[i] = r.Uint64()
-	}
-	zobristBySize[size] = tab
-	return tab
+	return game.ZobristTable(0x60AB0C0DE+uint64(size), 2*size*size+1)
 }
 
 // Game is the Gomoku game factory.

@@ -1,0 +1,14 @@
+package hex
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/game/gametest"
+)
+
+// FuzzStatePlayout drives random legal playouts through the shared
+// gametest invariants; the swap variant gets its own target so the steal
+// ply is fuzzed too.
+func FuzzStatePlayout(f *testing.F) { gametest.FuzzPlayout(f, NewSized(5)) }
+
+func FuzzStatePlayoutSwap(f *testing.F) { gametest.FuzzPlayout(f, NewSwap(5)) }

@@ -1,0 +1,12 @@
+package othello
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/game/gametest"
+)
+
+// FuzzStatePlayout drives random legal playouts (pass chains included)
+// through the shared gametest invariants: no panics, Winner only at
+// Terminal, hashes move on every ply, MaxGameLength holds.
+func FuzzStatePlayout(f *testing.F) { gametest.FuzzPlayout(f, NewSized(6)) }

@@ -1,0 +1,87 @@
+package game
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Factory builds a Game instance. size is the caller-requested board edge
+// (0 selects the game's default); factories reject sizes the game does not
+// support so a bad -game flag fails loudly instead of mis-sizing a network.
+type Factory func(size int) (Game, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register installs a game factory under name. Game packages call it from
+// init(); importing internal/game/games (blank import is enough) links the
+// whole scenario catalogue into a binary. Registering an empty name, a nil
+// factory, or a duplicate name panics: all three are programmer errors that
+// must fail at init time, not at flag-parse time.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("game: Register with empty name")
+	}
+	if strings.ContainsAny(name, ": \t\n") {
+		panic(fmt.Sprintf("game: Register name %q contains a separator", name))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("game: Register(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("game: Register(%q) called twice", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered game. size 0 selects the game's default
+// board; games with a fixed board reject any other size.
+func New(name string, size int) (Game, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("game: unknown game %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	g, err := f(size)
+	if err != nil {
+		return nil, fmt.Errorf("game: %s: %w", name, err)
+	}
+	return g, nil
+}
+
+// NewFromSpec instantiates a game from a "name" or "name:size" spec — the
+// grammar of the shared -game command-line flag (e.g. "othello", "hex:11",
+// "gomoku:9").
+func NewFromSpec(spec string) (Game, error) {
+	name, sizeStr, hasSize := strings.Cut(strings.TrimSpace(spec), ":")
+	size := 0
+	if hasSize {
+		v, err := strconv.Atoi(sizeStr)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("game: bad size %q in spec %q", sizeStr, spec)
+		}
+		size = v
+	}
+	return New(name, size)
+}
+
+// Names returns the sorted names of all registered games.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

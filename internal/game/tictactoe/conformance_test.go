@@ -1,0 +1,11 @@
+package tictactoe
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/game/gametest"
+)
+
+func TestConformance(t *testing.T) { gametest.Run(t, New()) }
+
+func FuzzStatePlayout(f *testing.F) { gametest.FuzzPlayout(f, New()) }

@@ -5,6 +5,7 @@
 package tictactoe
 
 import (
+	"fmt"
 	"strings"
 
 	"github.com/parmcts/parmcts/internal/game"
@@ -12,6 +13,15 @@ import (
 )
 
 const size = 3
+
+func init() {
+	game.Register("tictactoe", func(sz int) (game.Game, error) {
+		if sz != 0 && sz != size {
+			return nil, fmt.Errorf("board is fixed at %dx%d, cannot size to %d", size, size, sz)
+		}
+		return New(), nil
+	})
+}
 
 // Planes is the number of encoding planes (mirrors gomoku's layout).
 const Planes = 4

@@ -1,0 +1,42 @@
+package game
+
+import (
+	"sync"
+
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// zobristCache memoises generated tables per (seed, length) so every state
+// of a given game+size shares one table. The mutex matters: concurrent
+// drivers (the G-game self-play fleet) create their first states on G
+// goroutines at once, and an unsynchronized lazy map here is a runtime
+// "concurrent map read and map write" crash.
+var (
+	zobristMu    sync.Mutex
+	zobristCache = map[zobristKey][]uint64{}
+)
+
+type zobristKey struct {
+	seed uint64
+	n    int
+}
+
+// ZobristTable returns a deterministic table of n hash keys derived from
+// seed, cached and safe for concurrent use. Game packages use it for their
+// per-board-size Zobrist tables; identical (seed, n) pairs always yield
+// the identical table, keeping hashes stable across runs and machines.
+func ZobristTable(seed uint64, n int) []uint64 {
+	zobristMu.Lock()
+	defer zobristMu.Unlock()
+	key := zobristKey{seed, n}
+	if tab, ok := zobristCache[key]; ok {
+		return tab
+	}
+	r := rng.New(seed)
+	tab := make([]uint64, n)
+	for i := range tab {
+		tab[i] = r.Uint64()
+	}
+	zobristCache[key] = tab
+	return tab
+}

@@ -1,0 +1,146 @@
+package mcts
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/game/connect4"
+	"github.com/parmcts/parmcts/internal/game/hex"
+	"github.com/parmcts/parmcts/internal/game/othello"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// refNode is one node of the rebuild-from-scratch reference: everything
+// RebaseRoot promises to preserve about a promoted node, keyed by its
+// action path from the (new) root.
+type refNode struct {
+	action    int
+	visits    int
+	w         float64
+	prior     float64
+	terminal  bool
+	termValue float64
+	children  int
+}
+
+// snapshotSubtree rebuilds the subtree rooted at idx as a path-keyed map —
+// the from-scratch reference a rebased tree must reproduce exactly.
+func snapshotSubtree(tr *tree.Tree, idx int32, path string, out map[string]refNode) {
+	nd := tr.Node(idx)
+	out[path] = refNode{
+		action:    nd.Action(),
+		visits:    nd.Visits(),
+		w:         nd.TotalValue(),
+		prior:     nd.Prior(),
+		terminal:  nd.Terminal(),
+		termValue: nd.TerminalValue(),
+		children:  childCount(tr, idx),
+	}
+	tr.Children(idx, func(child int32, c *tree.Node) {
+		snapshotSubtree(tr, child, fmt.Sprintf("%s/%d", path, c.Action()), out)
+	})
+}
+
+func childCount(tr *tree.Tree, idx int32) int {
+	n := 0
+	tr.Children(idx, func(int32, *tree.Node) { n++ })
+	return n
+}
+
+// rootChildFor returns the root child index reached by action, or -1.
+func rootChildFor(tr *tree.Tree, action int) int32 {
+	found := int32(-1)
+	tr.Children(tr.Root(), func(child int32, nd *tree.Node) {
+		if nd.Action() == action {
+			found = child
+		}
+	})
+	return found
+}
+
+// FuzzRebaseRoot drives tree.RebaseRoot through fuzz-chosen move sequences
+// on all four scenario families (placement, gravity, flip/pass, connection)
+// and compares every rebased tree against a reference subtree recorded
+// before the rebase: identical statistics node-for-node, the compacted
+// arena exactly the retained size, parents allocated before children, and
+// zero outstanding virtual loss. The 0xFF byte injects a DiscardTree to mix
+// cold restarts into the sequence.
+func FuzzRebaseRoot(f *testing.F) {
+	f.Add(uint8(0), []byte{1, 2, 3})
+	f.Add(uint8(2), []byte{0, 0xFF, 1, 4, 2})
+	f.Add(uint8(3), []byte{7, 7, 7, 7, 7, 7})
+	f.Add(uint8(1), []byte{250, 3, 0xFF, 0xFF, 9, 1})
+	f.Fuzz(func(t *testing.T, gameSel uint8, script []byte) {
+		var g game.Game
+		switch gameSel % 4 {
+		case 0:
+			g = tictactoe.New()
+		case 1:
+			g = connect4.New()
+		case 2:
+			g = othello.NewSized(4)
+		case 3:
+			g = hex.NewSized(4)
+		}
+		cfg := reuseCfg(48)
+		cfg.Seed = 7
+		e := NewSerial(cfg, &evaluate.Random{})
+		st := g.NewInitial()
+		dist := make([]float32, g.NumActions())
+		if len(script) > 12 {
+			script = script[:12]
+		}
+		for ply, b := range script {
+			if st.Terminal() {
+				break
+			}
+			e.Search(st, dist)
+			if b == 0xFF {
+				e.Advance(DiscardTree)
+				continue
+			}
+			legal := st.LegalMoves(nil)
+			action := legal[int(b)%len(legal)]
+			tr := e.Tree()
+			child := rootChildFor(tr, action)
+			if child < 0 {
+				t.Fatalf("ply %d: searched root has no child for legal action %d", ply, action)
+			}
+			ref := map[string]refNode{}
+			snapshotSubtree(tr, child, "", ref)
+
+			e.Advance(action)
+
+			got := map[string]refNode{}
+			snapshotSubtree(tr, tr.Root(), "", got)
+			if len(got) != len(ref) {
+				t.Fatalf("ply %d: rebased tree has %d nodes, reference %d", ply, len(got), len(ref))
+			}
+			for path, want := range ref {
+				if have, ok := got[path]; !ok || have != want {
+					t.Fatalf("ply %d: node %q = %+v, reference %+v", ply, path, got[path], want)
+				}
+			}
+			if alloc := tr.Allocated(); alloc != len(ref) {
+				t.Fatalf("ply %d: arena holds %d nodes after compaction, reference %d", ply, alloc, len(ref))
+			}
+			for i := int32(0); i < int32(tr.Allocated()); i++ {
+				if p := tr.Node(i).Parent(); p >= i {
+					t.Fatalf("ply %d: node %d has parent %d (parents must precede children)", ply, i, p)
+				}
+			}
+			if vl := tr.OutstandingVirtualLoss(); vl != 0 {
+				t.Fatalf("ply %d: outstanding virtual loss %d after rebase", ply, vl)
+			}
+			st.Play(action)
+		}
+		// The surviving session must still search cleanly.
+		if !st.Terminal() {
+			e.Search(st, dist)
+			checkDistribution(t, st, dist)
+		}
+	})
+}

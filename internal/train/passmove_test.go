@@ -1,0 +1,105 @@
+package train
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/game/othello"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// zeroDistEngine is a degenerate engine that returns an all-zero visit
+// distribution — what a real engine emits when its arena rejects even the
+// root expansion. The driver must stay legal regardless.
+type zeroDistEngine struct{}
+
+func (zeroDistEngine) Name() string { return "zero-dist" }
+func (zeroDistEngine) Search(st game.State, dist []float32) mcts.Stats {
+	for i := range dist {
+		dist[i] = 0
+	}
+	return mcts.Stats{}
+}
+func (zeroDistEngine) Advance(int) {}
+func (zeroDistEngine) Close()      {}
+
+// TestSampleActionEmptyDistribution pins the -1 contract: a distribution
+// with no positive mass must not silently elect action 0 (which is illegal
+// almost everywhere in Othello), at any temperature.
+func TestSampleActionEmptyDistribution(t *testing.T) {
+	r := rng.New(1)
+	zero := make([]float32, 65)
+	for _, temp := range []float64{0, 0.5, 1} {
+		if got := SampleAction(r, zero, temp); got != -1 {
+			t.Errorf("temp %v: SampleAction on all-zero dist = %d, want -1", temp, got)
+		}
+	}
+	// A normal distribution still samples normally.
+	dist := make([]float32, 65)
+	dist[37] = 1
+	for _, temp := range []float64{0, 0.5, 1} {
+		if got := SampleAction(r, dist, temp); got != 37 {
+			t.Errorf("temp %v: SampleAction on one-hot dist = %d, want 37", temp, got)
+		}
+	}
+}
+
+// TestSelfPlayEpisodeSurvivesZeroDist runs a full Othello episode against
+// the degenerate engine: before the legal-move fallback this panicked with
+// "othello: illegal move" on the very first ply (cell 0 is not playable
+// from the initial position).
+func TestSelfPlayEpisodeSurvivesZeroDist(t *testing.T) {
+	g := othello.NewSized(4)
+	res := SelfPlayEpisode(g, zeroDistEngine{}, EpisodeOptions{
+		TempMoves: 2,
+		Rand:      rng.New(5),
+	})
+	if res.Moves == 0 {
+		t.Fatal("episode played no moves")
+	}
+	if res.Moves > g.MaxGameLength() {
+		t.Fatalf("episode ran %d moves, MaxGameLength %d", res.Moves, g.MaxGameLength())
+	}
+	if len(res.Samples) != res.Moves {
+		t.Fatalf("%d samples for %d moves", len(res.Samples), res.Moves)
+	}
+}
+
+// TestSelfPlayEpisodeOthelloReuse is the driver-level form of the pass-move
+// acceptance: a real warm engine plays a complete Othello episode and the
+// aggregated stats report a positive reuse fraction — pass plies do not
+// break the Advance chain.
+func TestSelfPlayEpisodeOthelloReuse(t *testing.T) {
+	g := othello.NewSized(4)
+	cfg := mcts.DefaultConfig()
+	cfg.Playouts = 60
+	cfg.ReuseTree = true
+	cfg.Seed = 3
+	e := mcts.NewSerial(cfg, stubEval{})
+	res := SelfPlayEpisode(g, e, EpisodeOptions{Rand: rng.New(9)})
+	if !lastStateTerminal(g, res) {
+		t.Fatalf("episode did not finish: %d moves", res.Moves)
+	}
+	if res.Search.ReusedVisits == 0 || res.Search.ReuseFraction() <= 0 {
+		t.Fatalf("no reuse across an Othello episode: %+v", res.Search)
+	}
+}
+
+// lastStateTerminal replays the episode's move count bound: an Othello
+// game on 4x4 always terminates well inside MaxGameLength, so a
+// full-length episode means truncation (a bug), not a long game.
+func lastStateTerminal(g game.Game, res EpisodeResult) bool {
+	return res.Moves < g.MaxGameLength()
+}
+
+// stubEval is a deterministic uniform evaluator.
+type stubEval struct{}
+
+func (stubEval) Evaluate(input []float32, policy []float32) float64 {
+	u := 1 / float32(len(policy))
+	for i := range policy {
+		policy[i] = u
+	}
+	return 0
+}

@@ -31,6 +31,20 @@ type GomokuAugmenter struct {
 	Planes int // encoding planes
 }
 
+// AugmenterFor returns the symmetry augmenter appropriate for g, or nil
+// when the game has none wired up. Only Gomoku gets the 8-fold dihedral
+// expansion: its policy is a pure cell grid. Othello's action space carries
+// a pass index outside the grid and Hex's rhombus admits only a 180°
+// symmetry, so both train unaugmented rather than with a silently wrong
+// policy permutation.
+func AugmenterFor(g game.Game) Augmenter {
+	if gg, ok := g.(*gomoku.Game); ok {
+		c, _, _ := gg.EncodedShape()
+		return GomokuAugmenter{Size: gg.Size, Planes: c}
+	}
+	return nil
+}
+
 // Augment implements Augmenter.
 func (a GomokuAugmenter) Augment(s nn.Sample) []nn.Sample {
 	out := make([]nn.Sample, 0, gomoku.NumSymmetries)
@@ -111,9 +125,16 @@ func (r *Replay) Sample(rnd *rng.Rand, n int) []nn.Sample {
 // temperature: 1 reproduces the distribution (early-game exploration),
 // values near 0 sharpen towards argmax (competitive play). A temperature
 // of exactly 0 is a deterministic argmax.
+//
+// A distribution with no positive mass returns -1 instead of defaulting to
+// action 0: in placement games action 0 happens to be legal from the empty
+// board, but in scenarios like Othello cell 0 is illegal almost everywhere,
+// so silently returning it turned a degenerate search result (e.g. a full
+// arena rejecting the root expansion) into an illegal-move panic two layers
+// away. Callers fall back to an explicit legal move.
 func SampleAction(rnd *rng.Rand, dist []float32, temperature float64) int {
 	if temperature <= 0 {
-		best, bestV := -1, float32(-1)
+		best, bestV := -1, float32(0)
 		for a, p := range dist {
 			if p > bestV {
 				best, bestV = a, p
@@ -143,6 +164,20 @@ func SampleAction(rnd *rng.Rand, dist []float32, temperature float64) int {
 		}
 	}
 	return SampleAction(rnd, dist, 0)
+}
+
+// SampleActionOrLegal is SampleAction with the degenerate case resolved:
+// when the distribution has no positive mass (SampleAction returns -1), it
+// falls back to a uniformly random legal move of st instead of letting the
+// caller assume action 0 exists — which only placement games guarantee.
+// Every driver that feeds a sampled action into State.Play should use this
+// form.
+func SampleActionOrLegal(rnd *rng.Rand, dist []float32, temperature float64, st game.State) int {
+	if a := SampleAction(rnd, dist, temperature); a >= 0 {
+		return a
+	}
+	legal := st.LegalMoves(nil)
+	return legal[rnd.Intn(len(legal))]
 }
 
 // EpisodeOptions configures one self-play episode.
@@ -210,7 +245,7 @@ func SelfPlayEpisode(g game.Game, engine mcts.Engine, opts EpisodeOptions) Episo
 		if res.Moves < opts.TempMoves {
 			temp = 1.0
 		}
-		action := SampleAction(opts.Rand, dist, temp)
+		action := SampleActionOrLegal(opts.Rand, dist, temp, st)
 		st.Play(action)
 		res.Moves++
 		if !st.Terminal() && res.Moves < maxMoves {

@@ -482,8 +482,17 @@ func (t *Tree) SelectChild(idx int32) int32 {
 	if first == nilNode {
 		return nilNode
 	}
-	// Parent visit total Σ_b N(s,b) including in-flight traversals.
-	parentVisits := float64(nd.n.Load() + nd.vl.Load())
+	// Parent visit total Σ_b N(s,b) including in-flight traversals —
+	// except under VLNone, whose contract is that in-flight traversals do
+	// not influence selection AT ALL: with the virtual-loss term disabled,
+	// counting them here would still perturb every child's exploration
+	// bonus, so a one-worker engine could never reproduce the serial
+	// search exactly (the cross-engine equivalence tests pin this).
+	pv := nd.n.Load()
+	if t.cfg.VLMode != VLNone {
+		pv += nd.vl.Load()
+	}
+	parentVisits := float64(pv)
 	if parentVisits < 1 {
 		parentVisits = 1
 	}

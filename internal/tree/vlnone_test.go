@@ -18,6 +18,49 @@ func TestVLNoneDoesNotDivert(t *testing.T) {
 	}
 }
 
+// TestVLNoneParentVisitsExcludeInFlight pins the second half of the VLNone
+// contract: in-flight traversals must not leak into the parent visit total
+// either, or they would scale every child's exploration bonus and a
+// one-worker parallel engine could not reproduce the serial search. The
+// scenario gives two children different Q values so a sqrt(parent) change
+// flips the PUCT winner.
+func TestVLNoneParentVisitsExcludeInFlight(t *testing.T) {
+	build := func(mode VirtualLossMode) *Tree {
+		cfg := DefaultConfig()
+		cfg.VLMode = mode
+		tr := New(cfg, 16)
+		tr.Expand(tr.Root(), []int{0, 1}, []float32{0.9, 0.1})
+		// Child 0: popular but losing. Child 1: rarely tried, winning.
+		c0 := tr.Node(tr.Root()).firstChild.Load()
+		for i := 0; i < 8; i++ {
+			tr.Backup(c0, 1, false) // leaf value +1 backs up as -1 to the edge
+		}
+		tr.Backup(c0+1, -1, false)
+		return tr
+	}
+	tr := build(VLNone)
+	baseline := tr.SelectChild(tr.Root())
+	// Pile virtual loss onto the ROOT (as an in-flight rollout would).
+	for i := 0; i < 64; i++ {
+		tr.ApplyVirtualLoss(tr.Root(), false)
+	}
+	if got := tr.SelectChild(tr.Root()); got != baseline {
+		t.Fatal("VLNone selection changed when root virtual loss inflated parent visits")
+	}
+	// Sanity: under VLConstant the same pressure IS visible (the mode
+	// difference is real, not vacuous).
+	trC := build(VLConstant)
+	beforeC := trC.score(float64(trC.Node(trC.Root()).n.Load()), trC.Node(trC.Node(trC.Root()).firstChild.Load()))
+	for i := 0; i < 64; i++ {
+		trC.ApplyVirtualLoss(trC.Root(), false)
+	}
+	root := trC.Node(trC.Root())
+	afterC := trC.score(float64(root.n.Load()+root.vl.Load()), trC.Node(root.firstChild.Load()))
+	if beforeC == afterC {
+		t.Fatal("VLConstant scoring ignored parent virtual loss entirely")
+	}
+}
+
 func TestDoubleExpansionsCounter(t *testing.T) {
 	tr := New(DefaultConfig(), 64)
 	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5})
