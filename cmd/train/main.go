@@ -10,11 +10,20 @@
 // If the checkpoint directory already holds committed versions, training
 // resumes from the latest one and version numbering continues.
 //
+// With -replay-dir set, every finished self-play game is also committed to
+// a durable trajectory store (internal/trajstore): append-only checksummed
+// segment files with atomic commits, so a killed run resumes with BOTH its
+// model (checkpoints) and its data (the newest stored games are re-ingested
+// into the replay ring at startup). A replay-store write error never stops
+// training: the store degrades to read-only and the run continues on the
+// in-memory ring alone.
+//
 // Usage:
 //
 //	train [-game gomoku:9] [-games 8] [-workers 4] [-playouts 100] [-rounds 12]
 //	      [-gate-every 2] [-gate-games 12] [-win-rate 0.55]
-//	      [-ckpt checkpoints] [-reuse] [-full-net] [-seed 1]
+//	      [-ckpt checkpoints] [-replay-dir traj] [-replay-retain 100000]
+//	      [-reuse] [-full-net] [-seed 1]
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"github.com/parmcts/parmcts/internal/rng"
 	"github.com/parmcts/parmcts/internal/selfplay"
 	"github.com/parmcts/parmcts/internal/train"
+	"github.com/parmcts/parmcts/internal/trajstore"
 )
 
 // servicePromoter applies accepted promotions to the serving stack:
@@ -89,6 +99,9 @@ func main() {
 		minSamples   = flag.Int("min-samples", 256, "replay samples required before SGD and gating start")
 		cacheSize    = flag.Int("cache", 1<<16, "shared transposition cache capacity (positions, all versions)")
 		ckptDir      = flag.String("ckpt", "checkpoints", "checkpoint store directory")
+		replayDir    = flag.String("replay-dir", "", "durable trajectory store directory (empty = in-memory replay only)")
+		replaySeg    = flag.Int("replay-segment", 64, "games per trajectory-store segment before an atomic seal")
+		replayRetain = flag.Int("replay-retain", 100000, "games kept in the trajectory store (0 = unbounded)")
 		reuse        = flag.Bool("reuse", false, "persistent search sessions across moves")
 		fullNet      = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
 		seed         = flag.Uint64("seed", 1, "run seed")
@@ -186,7 +199,32 @@ func main() {
 		}
 	}()
 
-	replay := train.NewReplay(50000)
+	// Durable replay: every finished game is committed to the trajectory
+	// store before its samples enter the in-memory ring, and a restarted
+	// run re-ingests the newest stored games below. Graceful degradation:
+	// the first storage error flips the store read-only, gets logged once,
+	// and training continues on the ring alone.
+	var tstore *trajstore.Store
+	if *replayDir != "" {
+		tstore, err = trajstore.Open(*replayDir, trajstore.Config{
+			SegmentGames: *replaySeg,
+			Retain:       trajstore.Retention{MaxGames: *replayRetain},
+			Game:         games.SpecName(gameName),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "train:", err)
+			os.Exit(1)
+		}
+		defer tstore.Close()
+		if rec := tstore.Recovery(); rec.TornBytes > 0 || rec.AdoptedSegments > 0 || rec.DroppedSegments > 0 || rec.ManifestRebuilt {
+			fmt.Printf("replay store recovery: %d torn bytes truncated, %d segments adopted, %d dropped, manifest rebuilt=%v\n",
+				rec.TornBytes, rec.AdoptedSegments, rec.DroppedSegments, rec.ManifestRebuilt)
+		}
+		fmt.Printf("replay store: %d games (%d samples) in %s\n", tstore.Games(), tstore.Samples(), *replayDir)
+	}
+
+	const replayCap = 50000
+	replay := train.NewReplay(replayCap)
 	driver := selfplay.NewDriver(g, engines, replay, train.AugmenterFor(g), selfplay.Config{
 		TempMoves: 6,
 		Seed:      *seed,
@@ -194,7 +232,45 @@ func main() {
 		// evaluations never mix models across a mid-round promotion.
 		OnGameStart: func(tenant int) { clients[tenant].Pin(srv.Version()) },
 		OnGameEnd:   func(tenant int) { clients[tenant].Unpin() },
+		// Commit each finished game durably at the round's ingest barrier.
+		OnEpisode: func(tenant int, ep *train.EpisodeResult) {
+			if tstore == nil || tstore.ReadOnly() {
+				return
+			}
+			if aerr := tstore.Append(trajstore.Episode{Moves: ep.Moves, Winner: ep.Winner, Samples: ep.Samples}); aerr != nil {
+				fmt.Fprintf(os.Stderr, "train: replay store degraded to read-only, continuing on the in-memory ring: %v\n", aerr)
+			}
+		},
 	})
+
+	// Resume the DATA half: re-ingest the newest stored games (enough raw
+	// samples to cover the ring) through the driver's augmentation path,
+	// oldest first so ring eviction keeps the most recent.
+	if tstore != nil && tstore.Games() > 0 {
+		startEp := tstore.Games()
+		restoredRaw := 0
+		for startEp > 0 && restoredRaw < replayCap {
+			ep, gerr := tstore.Get(startEp - 1)
+			if gerr != nil {
+				fmt.Fprintln(os.Stderr, "train: replay restore:", gerr)
+				break
+			}
+			restoredRaw += len(ep.Samples)
+			startEp--
+		}
+		restoredGames := 0
+		for i := startEp; i < tstore.Games(); i++ {
+			ep, gerr := tstore.Get(i)
+			if gerr != nil {
+				fmt.Fprintln(os.Stderr, "train: replay restore:", gerr)
+				break
+			}
+			driver.Ingest(ep.Samples)
+			restoredGames++
+		}
+		fmt.Printf("replay restored: %d games, %d samples into the ring (fill %d)\n",
+			restoredGames, restoredRaw, replay.Len())
+	}
 
 	gate := &arena.ServerGate{
 		Game:      g,
@@ -254,6 +330,13 @@ func main() {
 		fmt.Println(line)
 	})
 
+	if tstore != nil {
+		if tstore.ReadOnly() {
+			fmt.Printf("replay store: DEGRADED read-only (%v); run continued on the in-memory ring\n", tstore.Err())
+		} else {
+			fmt.Printf("replay store: %d games (%d samples) committed in %s\n", tstore.Games(), tstore.Samples(), *replayDir)
+		}
+	}
 	hits, misses := cache.Stats()
 	fmt.Printf("done: %d rounds, %d SGD steps, %d samples, %d promotions, final version v%d, elapsed %v\n",
 		report.Rounds, report.Steps, report.Samples, len(report.Promotions), report.FinalVersion, report.Elapsed.Round(1e6))

@@ -114,6 +114,50 @@
 // store's latest promotion by replaying latest-vs-previous at equal
 // budgets.
 //
+// # Durable replay
+//
+// Self-play games are the expensive product of the whole pipeline — at
+// production playout budgets a single game costs orders of magnitude more
+// compute than the SGD steps that consume it — so internal/trajstore
+// persists them: an append-only, disk-backed trajectory store of encoded
+// episodes. Each episode is one length-prefixed, FNV-64a-checksummed
+// frame in a segment file; the active segment rotates at a configured
+// game count and seals via the same atomic commit discipline as
+// internal/checkpoint (fsync, close, rename .open -> .traj, manifest
+// rewritten last as the commit point). Append acknowledges only after
+// write+fsync, so an acked episode survives SIGKILL. On Open the store
+// re-scans and re-checksums every frame — the manifest is an accelerator,
+// not trusted truth — truncating torn tails, adopting sealed segments a
+// crash left out of the manifest, and rebuilding the manifest outright if
+// it is corrupt; recovery can never resurrect a torn record or lose a
+// committed segment. The rebuilt in-memory index serves uniform and
+// recency-weighted (truncated-geometric) sampling at one ReadAt per draw,
+// and retention drops whole segments by age or game count
+// (manifest-first, so a crash mid-retention leaves garbage to delete, not
+// data to lose).
+//
+// The crash-consistency claims are property-tested rather than asserted:
+// internal/faultfs wraps the filesystem the store writes through and
+// injects scripted faults — fail or drop a write, tear it mid-buffer,
+// fail an fsync or rename at the Nth call — and CrashAt(n) simulates a
+// SIGKILL at every mutating operation in turn. The trajstore crash-matrix
+// test replays a workload against each crash point and requires every
+// acknowledged episode back, byte-identical, after reopen (see
+// EXPERIMENTS.md for the matrix; FuzzSegmentRead additionally feeds the
+// recovery-path scanner arbitrary bytes). checkpoint shares faultfs's
+// Checksum/WriteAtomic helpers and the same hardening posture: LoadLatest
+// skips a corrupt newest version and falls back to the most recent
+// checkpoint that still verifies.
+//
+// cmd/train -replay-dir wires the store into the training service: every
+// finished episode is appended at the fleet's deterministic ingest
+// barrier (selfplay.Config.OnEpisode), and on restart the newest stored
+// games are re-ingested through the driver's augmentation path to warm
+// the replay ring before generation resumes. The in-memory ring remains
+// the SGD sampling source and the default without the flag; a storage
+// error never stops training — the store degrades to read-only, the run
+// continues on the ring, and the degradation is reported at exit.
+//
 // # Scenarios
 //
 // Games register themselves in a catalogue (game.Register from each game

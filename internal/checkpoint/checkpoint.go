@@ -18,13 +18,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"os"
+	"log"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/parmcts/parmcts/internal/faultfs"
 	"github.com/parmcts/parmcts/internal/nn"
 )
 
@@ -65,19 +65,27 @@ type Manifest struct {
 // while loads only ever observe committed (manifest-renamed) checkpoints.
 type Store struct {
 	dir string
+	fs  faultfs.FS
 
 	mu sync.Mutex // serialises Save's version assignment + commit
 }
 
 // NewStore opens (creating if needed) a checkpoint directory.
-func NewStore(dir string) (*Store, error) {
+func NewStore(dir string) (*Store, error) { return NewStoreFS(dir, faultfs.OS) }
+
+// NewStoreFS is NewStore writing through an explicit filesystem seam —
+// fault-injection tests pass a faultfs.Injected here.
+func NewStoreFS(dir string, fsys faultfs.FS) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("checkpoint: empty store directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store directory.
@@ -86,12 +94,10 @@ func (s *Store) Dir() string { return s.dir }
 func manifestName(version int64) string { return fmt.Sprintf("v%06d.json", version) }
 func weightsName(version int64) string  { return fmt.Sprintf("v%06d.net", version) }
 
-// checksum digests raw weight bytes (FNV-64a, hex).
-func checksum(b []byte) string {
-	h := fnv.New64a()
-	h.Write(b)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// checksum digests raw weight bytes (FNV-64a, hex) — the shared digest of
+// the durable stores (faultfs.ChecksumHex, also stamped into trajstore
+// frames).
+func checksum(b []byte) string { return faultfs.ChecksumHex(b) }
 
 // Save commits one snapshot and returns the completed manifest. If
 // m.Version is 0 the next version after the latest committed one is
@@ -115,7 +121,7 @@ func (s *Store) Save(net *nn.Network, m Manifest) (Manifest, error) {
 	if m.Version < 0 {
 		return Manifest{}, fmt.Errorf("checkpoint: negative version %d", m.Version)
 	}
-	if _, err := os.Stat(filepath.Join(s.dir, manifestName(m.Version))); err == nil {
+	if _, err := s.fs.Stat(filepath.Join(s.dir, manifestName(m.Version))); err == nil {
 		return Manifest{}, fmt.Errorf("checkpoint: version %d already committed", m.Version)
 	}
 
@@ -142,26 +148,10 @@ func (s *Store) Save(net *nn.Network, m Manifest) (Manifest, error) {
 }
 
 // writeAtomic writes name via a temp file + rename so readers never observe
-// a partially written checkpoint file.
+// a partially written checkpoint file. The discipline lives in
+// faultfs.WriteAtomic, shared with internal/trajstore's manifest commits.
 func (s *Store) writeAtomic(name string, data []byte) error {
-	tmp, err := os.CreateTemp(s.dir, name+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	tmpName := tmp.Name()
-	_, werr := tmp.Write(data)
-	if serr := tmp.Sync(); werr == nil {
-		werr = serr
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: write %s: %w", name, werr)
-	}
-	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
-		os.Remove(tmpName)
+	if err := faultfs.WriteAtomic(s.fs, filepath.Join(s.dir, name), data); err != nil {
 		return fmt.Errorf("checkpoint: commit %s: %w", name, err)
 	}
 	return nil
@@ -171,7 +161,7 @@ func (s *Store) writeAtomic(name string, data []byte) error {
 // with a parseable manifest count — orphaned weights from an interrupted
 // Save are invisible.
 func (s *Store) Versions() ([]int64, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -200,7 +190,7 @@ func (s *Store) Latest() (int64, error) {
 
 // LoadManifest reads and validates one version's manifest.
 func (s *Store) LoadManifest(version int64) (Manifest, error) {
-	raw, err := os.ReadFile(filepath.Join(s.dir, manifestName(version)))
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, manifestName(version)))
 	if err != nil {
 		return Manifest{}, fmt.Errorf("checkpoint: version %d: %w", version, err)
 	}
@@ -224,7 +214,7 @@ func (s *Store) LoadVersion(version int64) (*nn.Network, Manifest, error) {
 	if err != nil {
 		return nil, Manifest{}, err
 	}
-	raw, err := os.ReadFile(filepath.Join(s.dir, m.WeightsFile))
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, m.WeightsFile))
 	if err != nil {
 		return nil, Manifest{}, fmt.Errorf("checkpoint: version %d: %w", version, err)
 	}
@@ -239,11 +229,31 @@ func (s *Store) LoadVersion(version int64) (*nn.Network, Manifest, error) {
 	return net, m, nil
 }
 
-// LoadLatest restores the highest committed version, or ErrEmpty.
+// LoadLatest restores the newest committed version that actually loads:
+// when the latest checkpoint's manifest or weights are corrupt or
+// truncated (a disk fault after commit — the commit protocol itself never
+// leaves one), it logs the skip and falls back to the next most recent
+// valid version rather than failing the whole resume. Only when every
+// committed version is unloadable does it return the newest version's
+// error; a store with no committed versions returns ErrEmpty.
 func (s *Store) LoadLatest() (*nn.Network, Manifest, error) {
-	latest, err := s.Latest()
+	vs, err := s.Versions()
 	if err != nil {
 		return nil, Manifest{}, err
 	}
-	return s.LoadVersion(latest)
+	if len(vs) == 0 {
+		return nil, Manifest{}, ErrEmpty
+	}
+	var firstErr error
+	for i := len(vs) - 1; i >= 0; i-- {
+		net, m, err := s.LoadVersion(vs[i])
+		if err == nil {
+			return net, m, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		log.Printf("checkpoint: skipping unloadable version %d: %v", vs[i], err)
+	}
+	return nil, Manifest{}, firstErr
 }

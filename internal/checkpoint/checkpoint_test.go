@@ -286,3 +286,60 @@ func TestCheckpointConcurrentSaves(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadLatestSkipsCorruptLatest is the hardening regression: a store
+// whose NEWEST checkpoint is corrupt (torn weights file, half-finished
+// writer death) must fall back to the most recent checkpoint that still
+// verifies instead of failing the whole restart. Only when every version
+// is unloadable does LoadLatest report an error.
+func TestLoadLatestSkipsCorruptLatest(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testNet(t, 11)
+	if _, err := store.Save(good, Manifest{Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := store.Save(testNet(t, 12), Manifest{Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the latest version's weights to simulate a torn write that
+	// happened after the manifest committed.
+	wpath := filepath.Join(dir, weightsName(m2.Version))
+	data, err := os.ReadFile(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wpath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, lm, err := store.LoadLatest()
+	if err != nil {
+		t.Fatalf("LoadLatest with corrupt newest failed instead of falling back: %v", err)
+	}
+	if lm.Version != 1 || lm.Step != 1 {
+		t.Fatalf("fell back to %+v, want version 1", lm)
+	}
+	wantP, wantV := forwardAll(good, 4)
+	gotP, gotV := forwardAll(loaded, 4)
+	if math.Float64bits(wantV[0]) != math.Float64bits(gotV[0]) ||
+		math.Float32bits(wantP[0][0]) != math.Float32bits(gotP[0][0]) {
+		t.Fatal("fallback did not restore the valid older network")
+	}
+
+	// Corrupt version 1 as well: now there is nothing valid left and the
+	// error must surface (the newest failure, not ErrEmpty).
+	w1 := filepath.Join(dir, weightsName(1))
+	if err := os.WriteFile(w1, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.LoadLatest(); err == nil {
+		t.Fatal("LoadLatest succeeded with every version corrupt")
+	} else if errors.Is(err, ErrEmpty) {
+		t.Fatal("all-corrupt store reported ErrEmpty; should surface the load failure")
+	}
+}

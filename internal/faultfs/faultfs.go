@@ -1,0 +1,119 @@
+// Package faultfs is the filesystem seam under the durable stores
+// (internal/checkpoint, internal/trajstore). It has two halves:
+//
+// The production half is the FS interface plus the OS implementation and
+// the shared durability helpers — WriteAtomic (tmp file + fsync + rename,
+// the commit discipline both stores follow) and the FNV-64a Checksum both
+// stores stamp into their manifests and frames.
+//
+// The testing half is Injected, a wrapping FS that misbehaves on a script:
+// it can drop a write (report success, persist nothing), tear a write
+// mid-buffer, fail an fsync, or error a rename at an exact call count, and
+// it can simulate a process kill — every operation from the N-th onward
+// fails — so crash consistency is property-tested across every injection
+// point rather than assumed.
+package faultfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is a writable file handle: the subset of *os.File the durable
+// stores append and commit through.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// ReadAtCloser is a random-access read handle over one file.
+type ReadAtCloser interface {
+	io.ReaderAt
+	io.Closer
+}
+
+// FS is the filesystem surface the durable stores write through. Paths are
+// ordinary OS paths; implementations do not virtualise a namespace, they
+// interpose on the operations (which is what fault injection needs).
+type FS interface {
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if missing.
+	OpenAppend(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// Truncate shortens name to size bytes (crash recovery cuts a torn
+	// frame's bytes off a segment tail).
+	Truncate(name string, size int64) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	OpenRead(name string) (ReadAtCloser, error)
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the passthrough FS backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error)  { return os.ReadDir(dir) }
+func (osFS) OpenRead(name string) (ReadAtCloser, error) { return os.Open(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+// Checksum digests b with FNV-64a — the frame and manifest checksum shared
+// by the durable stores.
+func Checksum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// ChecksumHex is Checksum rendered as the 16-digit hex form the JSON
+// manifests record.
+func ChecksumHex(b []byte) string {
+	return fmt.Sprintf("%016x", Checksum(b))
+}
+
+// WriteAtomic commits data to path via the tmp+fsync+rename discipline:
+// readers either see the old file or the complete new one, never a
+// partial write. The temp file lives next to path (same directory, so the
+// rename cannot cross filesystems) and is removed on any failure.
+func WriteAtomic(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fsys.Remove(tmp)
+		return werr
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return nil
+}

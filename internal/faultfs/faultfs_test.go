@@ -1,0 +1,151 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAtomicCommitsAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "file.json")
+	if err := WriteAtomic(OS, path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp file left behind: %v", entries)
+	}
+	// Overwrite is atomic too.
+	if err := WriteAtomic(OS, path, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "world" {
+		t.Fatalf("overwrite read back %q", got)
+	}
+}
+
+func TestWriteAtomicFailedSyncLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "file.json")
+	if err := WriteAtomic(OS, path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjected(OS).Script(Fault{Op: OpSync, At: 1, Mode: Fail})
+	if err := WriteAtomic(inj, path, []byte("new")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp file left behind after failure: %v", entries)
+	}
+}
+
+func TestChecksumStableAndHex(t *testing.T) {
+	a, b := Checksum([]byte("abc")), Checksum([]byte("abc"))
+	if a != b {
+		t.Fatal("checksum not deterministic")
+	}
+	if Checksum([]byte("abd")) == a {
+		t.Fatal("checksum ignores content")
+	}
+	if h := ChecksumHex([]byte("abc")); len(h) != 16 {
+		t.Fatalf("hex form %q not 16 digits", h)
+	}
+}
+
+func TestInjectedScriptedFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+
+	// Fail the 2nd write; drop the 3rd.
+	inj := NewInjected(OS).Script(
+		Fault{Op: OpWrite, At: 2, Mode: Fail},
+		Fault{Op: OpWrite, At: 3, Mode: Drop},
+		Fault{Op: OpWrite, At: 4, Mode: Tear},
+	)
+	f, err := inj.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1 should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("bbbb")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 should fail, got %v", err)
+	}
+	if n, err := f.Write([]byte("cccc")); err != nil || n != 4 {
+		t.Fatalf("dropped write must claim success, got n=%d err=%v", n, err)
+	}
+	if _, err := f.Write([]byte("dddd")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write should report failure, got %v", err)
+	}
+	f.Close()
+
+	got, _ := os.ReadFile(path)
+	// write1 full, write2 failed entirely, write3 dropped, write4 torn in half.
+	if string(got) != "aaaadd" {
+		t.Fatalf("file content %q, want %q", got, "aaaadd")
+	}
+}
+
+func TestInjectedCrashAtKillsEverything(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjected(OS).CrashAt(3) // mkdir=1, create=2, write=3 crashes
+	if err := inj.MkdirAll(filepath.Join(dir, "d")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := inj.Create(filepath.Join(dir, "d", "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("xxxx")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash-point write should fail, got %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	// Everything after the crash fails, reads included.
+	if err := inj.Rename("a", "b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash rename should fail, got %v", err)
+	}
+	if _, err := inj.ReadFile(filepath.Join(dir, "d", "f")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash read should fail, got %v", err)
+	}
+	// The crash-point write tore: half the buffer landed.
+	got, _ := os.ReadFile(filepath.Join(dir, "d", "f"))
+	if string(got) != "xx" {
+		t.Fatalf("torn crash write left %q, want %q", got, "xx")
+	}
+}
+
+func TestInjectedOpsCountsMutations(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjected(OS)
+	path := filepath.Join(dir, "f")
+	f, _ := inj.OpenAppend(path)
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	inj.Rename(path, path+"2")
+	// append + write + sync + close + rename = 5
+	if got := inj.Ops(); got != 5 {
+		t.Fatalf("ops = %d, want 5", got)
+	}
+	if _, err := inj.ReadFile(path + "2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Ops(); got != 5 {
+		t.Fatalf("reads must not count as mutations: ops = %d", got)
+	}
+}

@@ -1,0 +1,294 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+)
+
+// ErrInjected is the error every scripted fault and every post-crash
+// operation returns. Stores must treat it like any other disk error.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op names one interposed operation kind for fault scripting.
+type Op int
+
+const (
+	OpWrite Op = iota
+	OpSync
+	OpClose
+	OpCreate
+	OpAppend
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdir
+	numOps
+)
+
+// Mode is what a scripted fault does to its operation.
+type Mode int
+
+const (
+	// Fail returns ErrInjected without applying the operation.
+	Fail Mode = iota
+	// Tear applies only the first half of a write's buffer, then returns
+	// ErrInjected — a torn frame. On non-write operations Tear acts as Fail.
+	Tear
+	// Drop reports success without applying the operation — the lying-disk
+	// case. Only meaningful for writes.
+	Drop
+)
+
+// Fault schedules one misbehaviour: the At-th call (1-based) of the given
+// Op kind runs in the given Mode.
+type Fault struct {
+	Op   Op
+	At   int
+	Mode Mode
+}
+
+// Injected wraps an FS with scripted faults and an optional crash point.
+// It is safe for concurrent use.
+type Injected struct {
+	inner FS
+
+	mu      sync.Mutex
+	counts  [numOps]int
+	total   int // all counted mutating ops, for CrashAt
+	faults  []Fault
+	crashAt int // 1-based total-op index; 0 = never
+	crashed bool
+}
+
+// NewInjected wraps inner (nil = OS) with an empty script.
+func NewInjected(inner FS) *Injected {
+	if inner == nil {
+		inner = OS
+	}
+	return &Injected{inner: inner}
+}
+
+// Script replaces the fault list.
+func (i *Injected) Script(faults ...Fault) *Injected {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faults = append(i.faults[:0], faults...)
+	return i
+}
+
+// CrashAt simulates a process kill at the n-th mutating operation
+// (1-based): that operation fails (a write tears first), and every
+// operation after it — reads included — returns ErrInjected.
+func (i *Injected) CrashAt(n int) *Injected {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.crashAt = n
+	return i
+}
+
+// Ops returns the number of mutating operations counted so far. Run a
+// workload fault-free first, then sweep CrashAt over [1, Ops()].
+func (i *Injected) Ops() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.total
+}
+
+// Crashed reports whether the crash point has been reached.
+func (i *Injected) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// step counts one mutating operation and resolves its fate: the mode to
+// apply (or -1 for "run normally").
+func (i *Injected) step(op Op) (Mode, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return Fail, true
+	}
+	i.counts[op]++
+	i.total++
+	if i.crashAt > 0 && i.total >= i.crashAt {
+		i.crashed = true
+		if op == OpWrite {
+			return Tear, true
+		}
+		return Fail, true
+	}
+	for _, f := range i.faults {
+		if f.Op == op && f.At == i.counts[op] {
+			return f.Mode, true
+		}
+	}
+	return 0, false
+}
+
+// dead reports post-crash state for read operations.
+func (i *Injected) dead() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+func (i *Injected) MkdirAll(dir string) error {
+	if mode, hit := i.step(OpMkdir); hit {
+		if mode == Drop {
+			return nil
+		}
+		return ErrInjected
+	}
+	return i.inner.MkdirAll(dir)
+}
+
+func (i *Injected) Create(name string) (File, error) {
+	if mode, hit := i.step(OpCreate); hit {
+		if mode == Drop {
+			return discardFile{i}, nil
+		}
+		return nil, ErrInjected
+	}
+	f, err := i.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{fs: i, f: f}, nil
+}
+
+func (i *Injected) OpenAppend(name string) (File, error) {
+	if mode, hit := i.step(OpAppend); hit {
+		if mode == Drop {
+			return discardFile{i}, nil
+		}
+		return nil, ErrInjected
+	}
+	f, err := i.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{fs: i, f: f}, nil
+}
+
+func (i *Injected) Rename(oldpath, newpath string) error {
+	if mode, hit := i.step(OpRename); hit {
+		if mode == Drop {
+			return nil
+		}
+		return ErrInjected
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *Injected) Remove(name string) error {
+	if mode, hit := i.step(OpRemove); hit {
+		if mode == Drop {
+			return nil
+		}
+		return ErrInjected
+	}
+	return i.inner.Remove(name)
+}
+
+func (i *Injected) Truncate(name string, size int64) error {
+	if mode, hit := i.step(OpTruncate); hit {
+		if mode == Drop {
+			return nil
+		}
+		return ErrInjected
+	}
+	return i.inner.Truncate(name, size)
+}
+
+func (i *Injected) ReadFile(name string) ([]byte, error) {
+	if i.dead() {
+		return nil, ErrInjected
+	}
+	return i.inner.ReadFile(name)
+}
+
+func (i *Injected) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if i.dead() {
+		return nil, ErrInjected
+	}
+	return i.inner.ReadDir(dir)
+}
+
+func (i *Injected) OpenRead(name string) (ReadAtCloser, error) {
+	if i.dead() {
+		return nil, ErrInjected
+	}
+	return i.inner.OpenRead(name)
+}
+
+func (i *Injected) Stat(name string) (fs.FileInfo, error) {
+	if i.dead() {
+		return nil, ErrInjected
+	}
+	return i.inner.Stat(name)
+}
+
+// injectedFile routes Write/Sync/Close through the script.
+type injectedFile struct {
+	fs *Injected
+	f  File
+}
+
+func (f *injectedFile) Write(p []byte) (int, error) {
+	if mode, hit := f.fs.step(OpWrite); hit {
+		switch mode {
+		case Drop:
+			return len(p), nil // lies: reports success, persists nothing
+		case Tear:
+			n, _ := f.f.Write(p[:len(p)/2])
+			return n, ErrInjected
+		default:
+			return 0, ErrInjected
+		}
+	}
+	return f.f.Write(p)
+}
+
+func (f *injectedFile) Sync() error {
+	if mode, hit := f.fs.step(OpSync); hit {
+		if mode == Drop {
+			return nil
+		}
+		return ErrInjected
+	}
+	return f.f.Sync()
+}
+
+func (f *injectedFile) Close() error {
+	if mode, hit := f.fs.step(OpClose); hit {
+		// Close the real handle regardless so tests do not leak FDs; the
+		// scripted error is what the store sees.
+		f.f.Close()
+		if mode == Drop {
+			return nil
+		}
+		return ErrInjected
+	}
+	return f.f.Close()
+}
+
+// discardFile is the handle a Dropped Create/OpenAppend returns: it
+// persists nothing while claiming success, except that post-crash all
+// operations fail.
+type discardFile struct{ fs *Injected }
+
+func (d discardFile) Write(p []byte) (int, error) {
+	if d.fs.dead() {
+		return 0, ErrInjected
+	}
+	return len(p), nil
+}
+func (d discardFile) Sync() error {
+	if d.fs.dead() {
+		return ErrInjected
+	}
+	return nil
+}
+func (d discardFile) Close() error { return nil }

@@ -45,6 +45,12 @@ type Config struct {
 	// finishes (typically Client.Unpin, so the next game re-pins to
 	// whatever version is current by then).
 	OnGameEnd func(tenant int)
+	// OnEpisode, when non-nil, receives every finished episode at the
+	// round's ingest barrier — on the driver goroutine, in tenant order, so
+	// the delivery sequence is deterministic for a fixed seed. This is the
+	// durable-replay hook: cmd/train appends each episode to a
+	// trajstore.Store here, before its samples enter the in-memory ring.
+	OnEpisode func(tenant int, ep *train.EpisodeResult)
 }
 
 // Round reports one batch of G concurrent games.
@@ -105,6 +111,12 @@ func (d *Driver) Games() int { return len(d.engines) }
 // Replay returns the shared replay buffer. Safe to use between rounds.
 func (d *Driver) Replay() *train.Replay { return d.replay }
 
+// Ingest feeds samples through the driver's augmentation path into the
+// shared replay buffer — the same path PlayRound uses at the round
+// barrier. Restoring a durable store's episodes into a fresh run goes
+// through here so restored data is augmented exactly like live data.
+func (d *Driver) Ingest(samples []nn.Sample) { d.ingest(samples) }
+
 // ingest adds one game's samples to the shared replay buffer. The mutex
 // serializes ingestion for any future caller that streams mid-round; the
 // driver itself ingests at the round barrier in game order, so the replay
@@ -157,6 +169,9 @@ func (d *Driver) PlayRound() Round {
 	// Ingest at the barrier in game order: games race in wall-clock but the
 	// replay sequence stays deterministic for a fixed seed.
 	for i := 0; i < g; i++ {
+		if d.cfg.OnEpisode != nil {
+			d.cfg.OnEpisode(i, &episodes[i])
+		}
 		d.ingest(episodes[i].Samples)
 	}
 

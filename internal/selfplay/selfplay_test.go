@@ -293,3 +293,62 @@ func TestDriverGenerateAdaptsRound(t *testing.T) {
 		t.Fatalf("replay holds %d samples, round reported %d", d.Replay().Len(), gr.Samples)
 	}
 }
+
+// TestDriverOnEpisodeHookOrderAndIngest pins the durable-replay seam: the
+// OnEpisode hook fires exactly once per tenant, in tenant order, on the
+// driver goroutine at the ingest barrier (so a trajectory store sees the
+// same deterministic episode sequence the replay ring does), and
+// Driver.Ingest routes restored samples through the same augmentation
+// path live episodes take.
+func TestDriverOnEpisodeHookOrderAndIngest(t *testing.T) {
+	const g, n = 4, 2
+	engines, _, closeAll := testFleet(g, n, 16)
+	defer closeAll()
+
+	replay := train.NewReplay(10000)
+	var gotTenants []int
+	var gotSamples int
+	d := NewDriver(tictactoe.New(), engines, replay, nil, Config{
+		TempMoves: 2,
+		Seed:      21,
+		OnEpisode: func(tenant int, ep *train.EpisodeResult) {
+			// Appending without a lock is the point: the hook contract is
+			// single-goroutine, and the -race runs of this test enforce it.
+			gotTenants = append(gotTenants, tenant)
+			gotSamples += len(ep.Samples)
+			if ep.Moves != len(ep.Samples) {
+				t.Errorf("tenant %d: hook saw %d moves but %d samples", tenant, ep.Moves, len(ep.Samples))
+			}
+		},
+	})
+	round := d.PlayRound()
+
+	if len(gotTenants) != g {
+		t.Fatalf("hook fired %d times, want once per tenant (%d)", len(gotTenants), g)
+	}
+	for i, tn := range gotTenants {
+		if tn != i {
+			t.Fatalf("hook order %v, want tenants in order", gotTenants)
+		}
+	}
+	if gotSamples != round.Samples {
+		t.Fatalf("hook saw %d samples, round ingested %d", gotSamples, round.Samples)
+	}
+	if replay.Len() != round.Samples {
+		t.Fatalf("replay holds %d, want %d", replay.Len(), round.Samples)
+	}
+
+	// Ingest must go through the same path as live episodes: with an
+	// augmenter configured, restored samples multiply like fresh ones.
+	aug := doubler{}
+	d2 := NewDriver(tictactoe.New(), engines, train.NewReplay(10000), aug, Config{Seed: 22})
+	d2.Ingest([]nn.Sample{{Value: 1}, {Value: 2}, {Value: 3}})
+	if got := d2.Replay().Len(); got != 6 {
+		t.Fatalf("Ingest bypassed augmentation: replay has %d samples, want 6", got)
+	}
+}
+
+// doubler is a trivial augmenter returning each sample twice.
+type doubler struct{}
+
+func (doubler) Augment(s nn.Sample) []nn.Sample { return []nn.Sample{s, s} }

@@ -104,15 +104,27 @@ func (r *Replay) Len() int {
 // Cap returns the buffer capacity.
 func (r *Replay) Cap() int { return cap(r.buf) }
 
-// Sample draws n samples uniformly with replacement (standard for
-// AlphaZero-style training; mini-batches may overlap). The returned slice
-// holds copies of the sample headers, so a concurrent Add that overwrites a
-// ring slot cannot mutate a drawn mini-batch.
+// Sample draws a mini-batch of up to n samples. Contract: when the buffer
+// holds at least n samples, the batch is n draws uniform WITH replacement
+// (standard for AlphaZero-style training; mini-batches may overlap). When
+// n exceeds the current fill, the batch is the distinct fill — every
+// stored sample exactly once, in random order — never padded by repeating
+// entries: an undersized warmup buffer must not silently weight early
+// games multiple times within one SGD step. Callers see the true batch
+// size in len(result). The returned slice holds copies of the sample
+// headers, so a concurrent Add that overwrites a ring slot cannot mutate a
+// drawn mini-batch.
 func (r *Replay) Sample(rnd *rng.Rand, n int) []nn.Sample {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.buf) == 0 {
+	if len(r.buf) == 0 || n <= 0 {
 		return nil
+	}
+	if n >= len(r.buf) {
+		out := make([]nn.Sample, len(r.buf))
+		copy(out, r.buf)
+		rnd.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
 	}
 	out := make([]nn.Sample, n)
 	for i := range out {

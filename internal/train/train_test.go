@@ -39,14 +39,46 @@ func TestReplaySample(t *testing.T) {
 		t.Fatal("sampling empty replay should return nil")
 	}
 	r.Add(nn.Sample{Value: 7})
+	// Batch larger than the fill returns the distinct fill, not repeats.
 	batch := r.Sample(rng.New(1), 5)
-	if len(batch) != 5 {
-		t.Fatalf("batch len = %d", len(batch))
+	if len(batch) != 1 {
+		t.Fatalf("batch len = %d, want the distinct fill 1", len(batch))
 	}
+	if batch[0].Value != 7 {
+		t.Fatal("sampled wrong element")
+	}
+}
+
+func TestReplaySampleBatchLargerThanFillIsDistinct(t *testing.T) {
+	// Regression for the silent with-replacement padding: a batch larger
+	// than the current fill must return every stored sample exactly once —
+	// an undersized warmup buffer must not weight early games multiple
+	// times inside one SGD step.
+	r := NewReplay(100)
+	const fill = 7
+	for i := 0; i < fill; i++ {
+		r.Add(nn.Sample{Value: float64(i)})
+	}
+	batch := r.Sample(rng.New(3), 64)
+	if len(batch) != fill {
+		t.Fatalf("batch len = %d, want the distinct fill %d", len(batch), fill)
+	}
+	seen := map[float64]bool{}
 	for _, s := range batch {
-		if s.Value != 7 {
-			t.Fatal("sampled wrong element")
+		if seen[s.Value] {
+			t.Fatalf("sample %v repeated in an over-fill batch", s.Value)
 		}
+		seen[s.Value] = true
+	}
+	for i := 0; i < fill; i++ {
+		if !seen[float64(i)] {
+			t.Fatalf("sample %d missing from the distinct fill", i)
+		}
+	}
+	// At or below the fill the batch stays exactly n, drawn with
+	// replacement.
+	if got := r.Sample(rng.New(4), fill-2); len(got) != fill-2 {
+		t.Fatalf("under-fill batch len = %d, want %d", len(got), fill-2)
 	}
 }
 

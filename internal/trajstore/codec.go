@@ -1,0 +1,212 @@
+package trajstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/parmcts/parmcts/internal/faultfs"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/nn"
+)
+
+// Episode is one finished self-play game: the unit of append, sampling and
+// retention. Samples are the unaugmented (state, visit-distribution,
+// outcome) triples — augmentation is a training-time concern, so the store
+// keeps the canonical data and a restored run re-augments.
+type Episode struct {
+	Moves   int
+	Winner  game.Player
+	Samples []nn.Sample
+}
+
+// Frame layout inside a segment:
+//
+//	[4B LE payload length][8B LE FNV-64a(payload)][payload]
+//
+// The checksum covers exactly the payload bytes, so a torn or bit-flipped
+// frame is detected before a single float reaches training. Segments open
+// with an 8-byte magic so a scanner can reject foreign files outright.
+const (
+	segMagic    = "TRJSEG01"
+	frameHeader = 4 + 8
+	// maxFramePayload bounds one episode's encoding (64 MiB). A length
+	// prefix beyond it is treated as corruption, not an allocation request —
+	// the scanner must never trust four arbitrary bytes with memory.
+	maxFramePayload = 64 << 20
+
+	codecVersion = 1
+)
+
+// ErrCorrupt reports a frame or payload that failed structural validation
+// or its checksum.
+var ErrCorrupt = errors.New("trajstore: corrupt frame")
+
+// appendUvarint/appendF32/appendF64 build the payload without reflection —
+// the append path runs once per finished game but on multi-KB buffers.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendF32s(b []byte, vs []float32) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+	}
+	return b
+}
+
+// encodeEpisode renders ep as one frame payload.
+func encodeEpisode(ep Episode) []byte {
+	inputLen, policyLen := 0, 0
+	if len(ep.Samples) > 0 {
+		inputLen = len(ep.Samples[0].Input)
+		policyLen = len(ep.Samples[0].Policy)
+	}
+	size := 5 * binary.MaxVarintLen64
+	size += len(ep.Samples) * ((inputLen+policyLen)*4 + 8)
+	b := make([]byte, 0, size)
+	b = appendUvarint(b, codecVersion)
+	b = appendUvarint(b, uint64(ep.Moves))
+	b = appendUvarint(b, uint64(int64(ep.Winner)+2)) // Player is small and may be negative
+	b = appendUvarint(b, uint64(inputLen))
+	b = appendUvarint(b, uint64(policyLen))
+	b = appendUvarint(b, uint64(len(ep.Samples)))
+	for _, s := range ep.Samples {
+		b = appendF32s(b, s.Input)
+		b = appendF32s(b, s.Policy)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Value))
+	}
+	return b
+}
+
+// decodeEpisode parses one frame payload. It validates every count before
+// allocating, so arbitrary bytes fail with ErrCorrupt instead of panicking
+// or ballooning memory — the FuzzSegmentRead contract.
+func decodeEpisode(b []byte) (Episode, error) {
+	var ep Episode
+	u := func() (uint64, bool) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, false
+		}
+		b = b[n:]
+		return v, true
+	}
+	ver, ok := u()
+	if !ok || ver != codecVersion {
+		return ep, fmt.Errorf("%w: bad codec version", ErrCorrupt)
+	}
+	moves, ok1 := u()
+	winner, ok2 := u()
+	inputLen, ok3 := u()
+	policyLen, ok4 := u()
+	count, ok5 := u()
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		return ep, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if moves > 1<<20 || winner > 4 || inputLen > 1<<20 || policyLen > 1<<20 || count > 1<<20 {
+		return ep, fmt.Errorf("%w: implausible header", ErrCorrupt)
+	}
+	perSample := (inputLen+policyLen)*4 + 8
+	if uint64(len(b)) != count*perSample {
+		return ep, fmt.Errorf("%w: payload size mismatch", ErrCorrupt)
+	}
+	ep.Moves = int(moves)
+	ep.Winner = game.Player(int64(winner) - 2)
+	ep.Samples = make([]nn.Sample, count)
+	for i := range ep.Samples {
+		in := make([]float32, inputLen)
+		for j := range in {
+			in[j] = math.Float32frombits(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+		}
+		pol := make([]float32, policyLen)
+		for j := range pol {
+			pol[j] = math.Float32frombits(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+		}
+		ep.Samples[i] = nn.Sample{
+			Input:  in,
+			Policy: pol,
+			Value:  math.Float64frombits(binary.LittleEndian.Uint64(b)),
+		}
+		b = b[8:]
+	}
+	return ep, nil
+}
+
+// encodeFrame wraps a payload with its length prefix and checksum.
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, 0, frameHeader+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint64(out, faultfs.Checksum(payload))
+	return append(out, payload...)
+}
+
+// frameRef locates one committed episode inside a segment.
+type frameRef struct {
+	seg     int64 // segment id
+	off     int64 // payload offset within the segment file
+	size    int32 // payload length
+	samples int32 // sample count (decoded once at scan, reused by restore sizing)
+}
+
+// scanResult is one segment's validated content.
+type scanResult struct {
+	frames []frameRef
+	// valid is the byte length of the longest prefix made of whole, valid
+	// frames (magic included). Everything past it is torn and must be
+	// truncated, never served.
+	valid int64
+}
+
+// scanSegment walks a segment image frame by frame, verifying every
+// checksum, and returns the valid prefix. It never fails hard: corruption
+// at any point simply ends the valid prefix, which is exactly the recovery
+// semantic (truncate to the last valid frame). A missing or wrong magic
+// yields an empty result.
+func scanSegment(r io.ReaderAt, size int64, seg int64) scanResult {
+	res := scanResult{}
+	magic := make([]byte, len(segMagic))
+	if size < int64(len(segMagic)) {
+		return res
+	}
+	if _, err := r.ReadAt(magic, 0); err != nil || string(magic) != segMagic {
+		return res
+	}
+	off := int64(len(segMagic))
+	res.valid = off
+	hdr := make([]byte, frameHeader)
+	for off+frameHeader <= size {
+		if _, err := r.ReadAt(hdr, off); err != nil {
+			return res
+		}
+		plen := int64(binary.LittleEndian.Uint32(hdr))
+		sum := binary.LittleEndian.Uint64(hdr[4:])
+		if plen > maxFramePayload || off+frameHeader+plen > size {
+			return res
+		}
+		payload := make([]byte, plen)
+		if _, err := r.ReadAt(payload, off+frameHeader); err != nil {
+			return res
+		}
+		if faultfs.Checksum(payload) != sum {
+			return res
+		}
+		ep, err := decodeEpisode(payload)
+		if err != nil {
+			return res
+		}
+		res.frames = append(res.frames, frameRef{
+			seg:     seg,
+			off:     off + frameHeader,
+			size:    int32(plen),
+			samples: int32(len(ep.Samples)),
+		})
+		off += frameHeader + plen
+		res.valid = off
+	}
+	return res
+}

@@ -1,0 +1,178 @@
+package trajstore
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/faultfs"
+)
+
+// crashWorkload runs the reference append workload against dir through
+// fsys: open, 10 appends across 3-game segments (so seals, rotations and
+// manifest commits all happen), an explicit Seal, then Close. Episode
+// content continues from the store's recovered fill, so across any number
+// of crash/recover cycles the store always holds testEpisode(0..n-1).
+// It returns how many appends were acknowledged (Append returned nil).
+// Any error just stops the workload the way a dying process would.
+const crashWorkloadEpisodes = 10
+
+func crashWorkload(dir string, fsys faultfs.FS) (acked int) {
+	s, err := Open(dir, Config{SegmentGames: 3, FS: fsys})
+	if err != nil {
+		return 0
+	}
+	start := s.Games()
+	for i := 0; i < crashWorkloadEpisodes; i++ {
+		if err := s.Append(testEpisode(start + i)); err != nil {
+			break
+		}
+		acked++
+	}
+	s.Seal()
+	s.Close()
+	return acked
+}
+
+// TestCrashMatrix is the acceptance property: the writer is killed at
+// EVERY mutating filesystem operation the workload performs (the op that
+// is hit fails — a write tears mid-buffer — and everything after it
+// errors, exactly a SIGKILL's view), and after each crash a clean reopen
+// must find:
+//
+//   - every acknowledged episode (append fsync'd before returning nil):
+//     committed games are never lost;
+//   - no torn frame: every recovered episode decodes and matches the
+//     exact content appended (recovery truncated, never resurrected);
+//   - recovered episodes form a prefix-with-no-reordering of the appended
+//     sequence.
+//
+// Run under -race in CI (the store is sampled concurrently in production).
+func TestCrashMatrix(t *testing.T) {
+	// Fault-free calibration run to size the matrix.
+	calib := faultfs.NewInjected(faultfs.OS)
+	ackedClean := crashWorkload(t.TempDir(), calib)
+	if ackedClean != crashWorkloadEpisodes {
+		t.Fatalf("calibration run acked %d/%d", ackedClean, crashWorkloadEpisodes)
+	}
+	totalOps := calib.Ops()
+	if totalOps < 20 {
+		t.Fatalf("workload only performed %d mutating ops; matrix too small to mean anything", totalOps)
+	}
+
+	for i := 1; i <= totalOps; i++ {
+		dir := t.TempDir()
+		inj := faultfs.NewInjected(faultfs.OS).CrashAt(i)
+		acked := crashWorkload(dir, inj)
+
+		re, err := Open(dir, Config{SegmentGames: 3})
+		if err != nil {
+			t.Fatalf("crash at op %d: reopen failed: %v", i, err)
+		}
+		got := re.Games()
+		if got < acked {
+			t.Fatalf("crash at op %d: %d acknowledged games, only %d recovered — committed data lost", i, acked, got)
+		}
+		if got > crashWorkloadEpisodes {
+			t.Fatalf("crash at op %d: recovered %d games, more than ever appended", i, got)
+		}
+		for j := 0; j < got; j++ {
+			ep, err := re.Get(j)
+			if err != nil {
+				t.Fatalf("crash at op %d: episode %d unreadable after recovery: %v", i, j, err)
+			}
+			if !sameEpisode(ep, testEpisode(j)) {
+				t.Fatalf("crash at op %d: episode %d content mangled after recovery", i, j)
+			}
+		}
+		// The recovered store must be fully writable again: recovery ends
+		// in a serviceable state, not a one-shot read-only salvage.
+		if err := re.Append(testEpisode(got)); err != nil {
+			t.Fatalf("crash at op %d: append after recovery: %v", i, err)
+		}
+		re.Close()
+	}
+}
+
+// TestCrashMatrixSecondCrash drives a double-fault: crash once, recover,
+// crash again at every op of the RECOVERY-plus-append run, then verify a
+// final clean recovery. Crash consistency has to be idempotent — a repair
+// pass interrupted halfway is the nastiest real-world restart.
+func TestCrashMatrixSecondCrash(t *testing.T) {
+	// First crash somewhere mid-workload (op 25 lands inside appends after
+	// at least one seal for the 3-game segments; verified below).
+	mk := func() (string, int) {
+		dir := t.TempDir()
+		inj := faultfs.NewInjected(faultfs.OS).CrashAt(25)
+		acked := crashWorkload(dir, inj)
+		if !inj.Crashed() {
+			t.Fatal("first crash point never reached; workload shrank, re-pick the op index")
+		}
+		return dir, acked
+	}
+
+	dir0, _ := mk()
+	calib := faultfs.NewInjected(faultfs.OS)
+	crashWorkload(dir0, calib) // recovery + remaining appends, fault-free
+	totalOps := calib.Ops()
+
+	for i := 1; i <= totalOps; i++ {
+		dir, acked1 := mk()
+		inj := faultfs.NewInjected(faultfs.OS).CrashAt(i)
+		acked2 := crashWorkload(dir, inj) // recover-and-continue run, crashed again
+
+		re, err := Open(dir, Config{SegmentGames: 3})
+		if err != nil {
+			t.Fatalf("second crash at op %d: final reopen failed: %v", i, err)
+		}
+		if re.Games() < acked1 {
+			t.Fatalf("second crash at op %d: lost games committed before the FIRST crash (%d < %d)", i, re.Games(), acked1)
+		}
+		_ = acked2 // the second run's acks are a subset of what we verify below
+		for j := 0; j < re.Games(); j++ {
+			if ep, err := re.Get(j); err != nil || !sameEpisode(ep, testEpisode(j)) {
+				t.Fatalf("second crash at op %d: episode %d bad after double-fault recovery (%v)", i, j, err)
+			}
+		}
+		re.Close()
+	}
+}
+
+// TestDegradedStoreNeverPoisonsAcks pins the graceful-degradation side of
+// the crash story: once ANY storage error occurs, no later Append may
+// claim success (an ack after a failed seal would be a durability lie).
+func TestDegradedStoreNeverPoisonsAcks(t *testing.T) {
+	for _, fault := range []faultfs.Fault{
+		{Op: faultfs.OpWrite, At: 3, Mode: faultfs.Tear},
+		{Op: faultfs.OpSync, At: 2, Mode: faultfs.Fail},
+		{Op: faultfs.OpRename, At: 1, Mode: faultfs.Fail},
+		{Op: faultfs.OpCreate, At: 2, Mode: faultfs.Fail},
+	} {
+		dir := t.TempDir()
+		inj := faultfs.NewInjected(faultfs.OS).Script(fault)
+		s, err := Open(dir, Config{SegmentGames: 2, FS: inj})
+		if err != nil {
+			continue // fault hit during open; nothing acked, nothing to check
+		}
+		sawError := false
+		for i := 0; i < 8; i++ {
+			err := s.Append(testEpisode(i))
+			if err != nil {
+				sawError = true
+				if !errors.Is(err, ErrReadOnly) && !errors.Is(err, faultfs.ErrInjected) {
+					t.Fatalf("fault %+v: unexpected error class %v", fault, err)
+				}
+				continue
+			}
+			if sawError {
+				t.Fatalf("fault %+v: Append acked AFTER a storage error — degradation must be sticky", fault)
+			}
+		}
+		if !sawError {
+			t.Fatalf("fault %+v never fired in the workload", fault)
+		}
+		if !s.ReadOnly() {
+			t.Fatalf("fault %+v: store not read-only after error", fault)
+		}
+		s.Close()
+	}
+}

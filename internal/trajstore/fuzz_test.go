@@ -1,0 +1,77 @@
+package trajstore
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/faultfs"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/nn"
+)
+
+// FuzzSegmentRead feeds arbitrary bytes to the segment scanner. The
+// scanner sits on the recovery path, so it runs against whatever a torn,
+// bit-flipped, or hostile disk hands back. Invariants:
+//
+//   - never panics (allocation sizes come from attacker-controlled
+//     headers and must be validated before make());
+//   - never reports a valid prefix longer than the input;
+//   - every frame it does return re-verifies: stored checksum matches the
+//     payload AND the payload decodes as an episode. A checksum-failing
+//     frame escaping the scanner would poison training data silently.
+func FuzzSegmentRead(f *testing.F) {
+	// Seed 1: a well-formed two-episode segment.
+	var good bytes.Buffer
+	good.WriteString(segMagic)
+	for i := 0; i < 2; i++ {
+		ep := Episode{
+			Moves:  3,
+			Winner: game.P1,
+			Samples: []nn.Sample{
+				{Input: []float32{1, 2}, Policy: []float32{0.5, 0.5}, Value: 0.25},
+			},
+		}
+		good.Write(encodeFrame(encodeEpisode(ep)))
+	}
+	f.Add(good.Bytes())
+	// Seed 2: truncated mid-frame.
+	f.Add(good.Bytes()[:good.Len()-5])
+	// Seed 3: one bit flipped inside the first payload.
+	flipped := append([]byte(nil), good.Bytes()...)
+	flipped[len(segMagic)+frameHeader+2] ^= 0x40
+	f.Add(flipped)
+	// Seed 4: header promising an absurd payload length.
+	huge := []byte(segMagic + "\xff\xff\xff\x7f\x00\x00\x00\x00\x00\x00\x00\x00")
+	f.Add(huge)
+	// Seed 5: empty and magic-only inputs.
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := scanSegment(bytes.NewReader(data), int64(len(data)), 1)
+		if res.valid < 0 || res.valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0, %d]", res.valid, len(data))
+		}
+		for _, fr := range res.frames {
+			if fr.off < int64(frameHeader) || fr.off+int64(fr.size) > int64(len(data)) {
+				t.Fatalf("frame ref [%d,+%d) outside input of %d bytes", fr.off, fr.size, len(data))
+			}
+			payload := data[fr.off : fr.off+int64(fr.size)]
+			wantSum := leU64at(data, fr.off-8)
+			if faultfs.Checksum(payload) != wantSum {
+				t.Fatal("scanner returned a checksum-failing frame")
+			}
+			if _, err := decodeEpisode(payload); err != nil {
+				t.Fatalf("scanner returned an undecodable frame: %v", err)
+			}
+		}
+	})
+}
+
+func leU64at(b []byte, off int64) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[off+int64(i)]) << (8 * i)
+	}
+	return v
+}
