@@ -9,6 +9,7 @@
 // Usage:
 //
 //	batchsweep [-playouts 1600] [-ns 16,32,64] [-csv] [-host-profile] [-game gomoku]
+//	           [-kernel generic|sse|avx2]
 //
 // -game selects the scenario whose fanout/depth shape the -host-profile
 // measurement uses (any registry spec).
@@ -23,6 +24,7 @@ import (
 
 	"github.com/parmcts/parmcts/internal/experiments"
 	"github.com/parmcts/parmcts/internal/game/games"
+	"github.com/parmcts/parmcts/internal/tensor"
 )
 
 func parseNs(s string) ([]int, error) {
@@ -44,8 +46,15 @@ func main() {
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		hostProfile = flag.Bool("host-profile", false, "profile this host instead of paper-shaped parameters")
 		gameSpec    = flag.String("game", "gomoku", games.FlagHelp()+" (shapes the -host-profile measurement)")
+		kernel      = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available; TENSOR_KERNEL env also works)")
 	)
 	flag.Parse()
+	if *kernel != "" {
+		if _, kerr := tensor.SetKernel(*kernel); kerr != nil {
+			fmt.Fprintln(os.Stderr, "batchsweep:", kerr)
+			os.Exit(2)
+		}
+	}
 	ns, err := parseNs(*nsFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batchsweep:", err)

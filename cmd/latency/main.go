@@ -6,7 +6,7 @@
 // Usage:
 //
 //	latency [-platform cpu|gpu|both] [-speedup] [-ns 1,2,4,...]
-//	        [-playouts 1600] [-csv] [-host-profile]
+//	        [-playouts 1600] [-csv] [-host-profile] [-kernel generic|sse|avx2]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"github.com/parmcts/parmcts/internal/experiments"
 	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/stats"
+	"github.com/parmcts/parmcts/internal/tensor"
 )
 
 func main() {
@@ -30,8 +31,15 @@ func main() {
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		hostProfile = flag.Bool("host-profile", false, "profile this host instead of paper-shaped parameters")
 		gameSpec    = flag.String("game", "gomoku", games.FlagHelp()+" (shapes the -host-profile measurement)")
+		kernel      = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available; TENSOR_KERNEL env also works)")
 	)
 	flag.Parse()
+	if *kernel != "" {
+		if _, err := tensor.SetKernel(*kernel); err != nil {
+			fmt.Fprintln(os.Stderr, "latency:", err)
+			os.Exit(2)
+		}
+	}
 
 	var ns []int
 	for _, part := range strings.Split(*nsFlag, ",") {

@@ -13,7 +13,8 @@
 // Usage:
 //
 //	selfplay [-n 4] [-games 1] [-game gomoku:9] [-playouts 100] [-episodes 8]
-//	         [-platform cpu|gpu] [-reuse] [-full-net] [-save model.bin]
+//	         [-platform cpu|gpu] [-backend hosted|hosted-quantized|model]
+//	         [-kernel generic|sse|avx2] [-reuse] [-full-net] [-save model.bin]
 //
 // -game takes a registry spec: gomoku:9, othello, hex:11, connect4, ...
 package main
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/parmcts/parmcts/internal/accel"
 	"github.com/parmcts/parmcts/internal/adaptive"
@@ -33,6 +35,7 @@ import (
 	"github.com/parmcts/parmcts/internal/perfmodel"
 	"github.com/parmcts/parmcts/internal/rng"
 	"github.com/parmcts/parmcts/internal/selfplay"
+	"github.com/parmcts/parmcts/internal/tensor"
 	"github.com/parmcts/parmcts/internal/train"
 )
 
@@ -47,6 +50,8 @@ func main() {
 		scheme   = flag.String("scheme", "auto", "auto, shared, or local: force a parallel scheme instead of the model decision")
 		reuse    = flag.Bool("reuse", false, "persistent search sessions: retain the played subtree across moves instead of rebuilding the tree")
 		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
+		backend  = flag.String("backend", "", "accel backend for -platform gpu: "+strings.Join(accel.BackendNames(), ", ")+" (default hosted)")
+		kernel   = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available; TENSOR_KERNEL env also works)")
 		savePath = flag.String("save", "", "write the trained network here")
 		seed     = flag.Uint64("seed", 1, "run seed")
 	)
@@ -54,6 +59,12 @@ func main() {
 	if *nGames < 1 {
 		fmt.Fprintln(os.Stderr, "selfplay: -games must be >= 1")
 		os.Exit(2)
+	}
+	if *kernel != "" {
+		if _, err := tensor.SetKernel(*kernel); err != nil {
+			fmt.Fprintln(os.Stderr, "selfplay:", err)
+			os.Exit(2)
+		}
 	}
 
 	g := games.ResolveFlag("selfplay", *gameSpec, "gomoku:9")
@@ -92,8 +103,28 @@ func main() {
 	if *platform == "gpu" {
 		cost := experiments.PaperShapedParams(*playouts).Accel
 		cost.BytesPerSample = c * h * w * 4
+		name := *backend
+		if name == "" {
+			name = "hosted"
+		}
+		spec := accel.BackendSpec{Net: net, Cost: cost}
+		if name == "hosted-quantized" {
+			// No replay buffer exists yet: calibrate the int8 activation
+			// scales on random-playout positions of the scenario.
+			qnet, err := nn.Quantize(net, experiments.CalibrationInputs(g, 64, *seed))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "selfplay:", err)
+				os.Exit(1)
+			}
+			spec.Quant = qnet
+		}
+		dev, err := accel.NewBackend(name, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfplay:", err)
+			os.Exit(2)
+		}
 		opts.Platform = adaptive.PlatformAccel
-		opts.Device = accel.NewHosted(net, cost, 0)
+		opts.Device = dev
 		opts.DeviceCost = cost
 	} else {
 		opts.Platform = adaptive.PlatformCPU

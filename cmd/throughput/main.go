@@ -11,7 +11,8 @@
 // Usage:
 //
 //	throughput [-ns 1,2,4,8] [-game gomoku:9] [-playouts 48] [-episodes 2]
-//	           [-platform cpu|gpu|both] [-full-net] [-csv]
+//	           [-platform cpu|gpu|both] [-backend hosted|hosted-quantized|model]
+//	           [-kernel generic|sse|avx2] [-full-net] [-csv]
 package main
 
 import (
@@ -21,8 +22,10 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/parmcts/parmcts/internal/accel"
 	"github.com/parmcts/parmcts/internal/experiments"
 	"github.com/parmcts/parmcts/internal/game/games"
+	"github.com/parmcts/parmcts/internal/tensor"
 )
 
 func main() {
@@ -32,10 +35,18 @@ func main() {
 		playouts = flag.Int("playouts", 48, "per-move playout budget")
 		episodes = flag.Int("episodes", 2, "self-play episodes per configuration")
 		platform = flag.String("platform", "both", "cpu, gpu, or both")
+		backend  = flag.String("backend", "", "accel backend for the gpu platform: "+strings.Join(accel.BackendNames(), ", ")+" (default hosted)")
+		kernel   = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available; TENSOR_KERNEL env also works)")
 		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
 		csv      = flag.Bool("csv", false, "emit CSV")
 	)
 	flag.Parse()
+	if *kernel != "" {
+		if _, err := tensor.SetKernel(*kernel); err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(2)
+		}
+	}
 
 	var ns []int
 	for _, part := range strings.Split(*nsFlag, ",") {
@@ -65,6 +76,7 @@ func main() {
 	sc.Playouts = *playouts
 	sc.Episodes = *episodes
 	sc.TinyNet = !*fullNet
+	sc.Backend = *backend
 
 	tb := experiments.Figure6Throughput(sc, ns, platforms)
 	if *csv {

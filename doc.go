@@ -16,6 +16,35 @@
 // latency model, and a discrete-event timeline simulator that regenerates
 // the paper's latency figures deterministically.
 //
+// # Kernel dispatch & quantized inference
+//
+// The numeric floor of every playout is internal/tensor: im2col + blocked
+// GEMM (MatMul/MatMulTransB) over hand-written amd64 micro-kernels. The
+// kernel class is selected once at init by CPUID feature detection —
+// "avx2" (8-wide FMA kernels, including an 8x8 register tile that computes
+// eight output columns per pass and an int8 VPMADDWD tile), "sse" (the
+// 4-wide baseline), or "generic" (pure Go, any GOARCH) — and every
+// implementation is dispatched through the same function variables, so the
+// TENSOR_KERNEL env var (or tensor.SetKernel, or the binaries' -kernel
+// flag) can force any class the host supports: equivalence tests and the
+// FuzzDotKernels target hold all compiled-in classes to the same results.
+//
+// For serving, nn.Quantize derives an int8 QuantizedNetwork from an fp32
+// network: per-output-channel symmetric weight scales, activation scales
+// calibrated from replay positions, exact int32 accumulation through an
+// int8 GEMM (ForwardBatchQuantized), and fp32 dequantization at the heads.
+// Quantized inference is a distinct model artifact, so it goes through the
+// same trust machinery as any new network version: cmd/train
+// -quantize-gate plays the int8 twin against its fp32 source through the
+// live inference service (arena.ServerGate.GateBackend) and only declares
+// int8 serving safe at near-parity win rate. The accelerator seam is
+// accel.Backend (Name/Capabilities/Infer/Close): Model, Hosted and
+// HostedQuantized register themselves by name, binaries select one with
+// -backend, and a real BLAS/GPU backend can later slot in behind
+// evaluate.Server without touching callers. BENCH_batched_inference.json
+// and BENCH_quantized.json record the recorded speedups and the quantized
+// arena gate.
+//
 // # Multi-tenant inference service
 //
 // Node evaluation is organised as a service: evaluate.Server multiplexes

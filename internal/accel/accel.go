@@ -162,45 +162,24 @@ type Hosted struct {
 	net     *nn.Network
 	model   CostModel
 	workers int
-	// pools maps a power-of-two batch capacity to a sync.Pool of
-	// *nn.BatchWorkspace with that capacity, so recurring batch sizes reuse
-	// their buffers instead of reallocating the (large) activation matrices
-	// on every Infer call.
-	pools     sync.Map
+	// pool reuses BatchWorkspaces across Infer calls, bucketed by
+	// power-of-two batch capacity with deterministic high-water trimming
+	// (see wsPool): recurring batch sizes stay allocation-free while a
+	// one-off large batch cannot pin its multi-megabyte workspace forever.
+	pool      *wsPool[*nn.BatchWorkspace]
 	computeMu sync.Mutex
 }
 
 // NewHosted creates a hosted device that splits each batch across up to
 // workers sub-batches evaluated concurrently (0 = GOMAXPROCS).
 func NewHosted(net *nn.Network, model CostModel, workers int) *Hosted {
-	return &Hosted{net: net, model: model, workers: workers}
+	d := &Hosted{net: net, model: model, workers: workers}
+	d.pool = newWSPool(func(capB int) *nn.BatchWorkspace { return nn.NewBatchWorkspace(net, capB) })
+	return d
 }
 
 // Name implements Device.
 func (d *Hosted) Name() string { return "sim-gpu(hosted)" }
-
-// getWorkspace returns a pooled BatchWorkspace with capacity >= batch.
-// Capacities are rounded up to the next power of two so the number of
-// distinct pools stays logarithmic in the largest batch ever seen.
-func (d *Hosted) getWorkspace(batch int) *nn.BatchWorkspace {
-	capB := 1
-	for capB < batch {
-		capB <<= 1
-	}
-	p, ok := d.pools.Load(capB)
-	if !ok {
-		p, _ = d.pools.LoadOrStore(capB, &sync.Pool{New: func() interface{} {
-			return nn.NewBatchWorkspace(d.net, capB)
-		}})
-	}
-	return p.(*sync.Pool).Get().(*nn.BatchWorkspace)
-}
-
-func (d *Hosted) putWorkspace(ws *nn.BatchWorkspace) {
-	if p, ok := d.pools.Load(ws.Cap()); ok {
-		p.(*sync.Pool).Put(ws)
-	}
-}
 
 // Infer implements Device: the batch is split into contiguous per-worker
 // sub-batches, each evaluated with one batched forward pass. As on the real
@@ -222,9 +201,9 @@ func (d *Hosted) Infer(inputs [][]float32, policies [][]float32, values []float6
 		workers = n
 	}
 	if workers == 1 {
-		ws := d.getWorkspace(n)
+		ws := d.pool.get(n)
 		d.net.ForwardBatch(ws, inputs, policies, values)
-		d.putWorkspace(ws)
+		d.pool.put(ws)
 		return
 	}
 	chunk := (n + workers - 1) / workers
@@ -237,8 +216,8 @@ func (d *Hosted) Infer(inputs [][]float32, policies [][]float32, values []float6
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			ws := d.getWorkspace(hi - lo)
-			defer d.putWorkspace(ws)
+			ws := d.pool.get(hi - lo)
+			defer d.pool.put(ws)
 			d.net.ForwardBatch(ws, inputs[lo:hi], policies[lo:hi], values[lo:hi])
 		}(lo, hi)
 	}

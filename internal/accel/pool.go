@@ -1,0 +1,119 @@
+package accel
+
+import "sync"
+
+// wsPool pools forward-pass workspaces by power-of-two batch capacity.
+//
+// It replaces the earlier sync.Pool-per-bucket scheme, whose release policy
+// was left to the garbage collector: one oversized Infer call (say a 512
+// batch during a throughput sweep) left a multi-megabyte workspace pinned in
+// its bucket until the next GC cycle that happened to drop it — or
+// indefinitely under steady allocation-free load, exactly when the pool sees
+// the most reuse and the least GC.
+//
+// The policy here is deterministic: acquisitions are counted, and every
+// `window` acquisitions the pool rolls over, recording the largest capacity
+// the finished window actually requested. Buckets larger than the high-water
+// mark of the last TWO windows are dropped on the roll (two windows of
+// hysteresis so an in-flight pattern straddling a boundary does not thrash).
+// Steady-state traffic therefore stays allocation-free, while a one-off
+// large batch is released within at most three window rolls (its own
+// window's high-water mark, plus one window of hysteresis).
+type wsPool[W interface{ Cap() int }] struct {
+	newWS  func(capB int) W
+	window int
+
+	mu      sync.Mutex
+	buckets map[int][]W
+	calls   int
+	hi      int // largest capacity requested in the current window
+	prevHi  int // largest capacity requested in the previous window
+	created int // total workspaces constructed (test accounting)
+}
+
+// poolWindow is the default acquisition-count window for high-water
+// trimming. Small enough that an abandoned batch size is dropped promptly,
+// large enough that the roll bookkeeping is free relative to a forward pass.
+const poolWindow = 256
+
+func newWSPool[W interface{ Cap() int }](newWS func(capB int) W) *wsPool[W] {
+	return &wsPool[W]{newWS: newWS, window: poolWindow, buckets: make(map[int][]W)}
+}
+
+// get returns a workspace with capacity >= batch, rounding capacities up to
+// powers of two so the number of distinct buckets stays logarithmic.
+func (p *wsPool[W]) get(batch int) W {
+	capB := 1
+	for capB < batch {
+		capB <<= 1
+	}
+	p.mu.Lock()
+	if capB > p.hi {
+		p.hi = capB
+	}
+	p.calls++
+	if p.calls >= p.window {
+		p.trimLocked()
+	}
+	if l := p.buckets[capB]; len(l) > 0 {
+		ws := l[len(l)-1]
+		p.buckets[capB] = l[:len(l)-1]
+		p.mu.Unlock()
+		return ws
+	}
+	p.created++
+	p.mu.Unlock()
+	return p.newWS(capB)
+}
+
+func (p *wsPool[W]) put(ws W) {
+	p.mu.Lock()
+	capB := ws.Cap()
+	p.buckets[capB] = append(p.buckets[capB], ws)
+	p.mu.Unlock()
+}
+
+// trimLocked rolls the window: buckets above the high-water mark of the two
+// most recent windows are released to the allocator.
+func (p *wsPool[W]) trimLocked() {
+	keep := p.hi
+	if p.prevHi > keep {
+		keep = p.prevHi
+	}
+	for capB := range p.buckets {
+		if capB > keep {
+			delete(p.buckets, capB)
+		}
+	}
+	p.prevHi = p.hi
+	p.hi = 0
+	p.calls = 0
+}
+
+// drain empties every bucket (backend Close).
+func (p *wsPool[W]) drain() {
+	p.mu.Lock()
+	p.buckets = make(map[int][]W)
+	p.mu.Unlock()
+}
+
+// pooledCaps reports the capacities currently held, for tests.
+func (p *wsPool[W]) pooledCaps() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var caps []int
+	for capB, l := range p.buckets {
+		for range l {
+			caps = append(caps, capB)
+		}
+	}
+	return caps
+}
+
+// createdCount reports how many workspaces were ever constructed, for
+// steady-state allocation regression tests.
+func (p *wsPool[W]) createdCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created
+}

@@ -1,0 +1,113 @@
+package accel
+
+import (
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+type fakeWS struct{ capB int }
+
+func (f *fakeWS) Cap() int { return f.capB }
+
+func newFakePool() *wsPool[*fakeWS] {
+	return newWSPool(func(capB int) *fakeWS { return &fakeWS{capB: capB} })
+}
+
+// TestPoolSteadyStateReuse: a recurring batch size constructs exactly one
+// workspace, forever — the pool's whole point is that steady-state serving
+// is allocation-free.
+func TestPoolSteadyStateReuse(t *testing.T) {
+	p := newFakePool()
+	for i := 0; i < 10*poolWindow; i++ {
+		ws := p.get(4)
+		if ws.Cap() != 4 {
+			t.Fatalf("got cap %d, want 4", ws.Cap())
+		}
+		p.put(ws)
+	}
+	if c := p.createdCount(); c != 1 {
+		t.Fatalf("steady-state traffic constructed %d workspaces, want 1", c)
+	}
+}
+
+// TestPoolReleasesOversizedWorkspace is the regression test for the
+// memory-pinning bug: a single oversized Infer must not pin its workspace
+// once steady-state traffic shows the capacity is no longer needed. Within
+// two trim windows the big bucket must be gone, deterministically — no GC
+// cycle involved.
+func TestPoolReleasesOversizedWorkspace(t *testing.T) {
+	p := newFakePool()
+	// Steady state at batch 4, then one 512 burst.
+	for i := 0; i < 8; i++ {
+		p.put(p.get(4))
+	}
+	p.put(p.get(512))
+	hasCap := func(c int) bool {
+		for _, v := range p.pooledCaps() {
+			if v == c {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCap(512) {
+		t.Fatal("big workspace should be pooled immediately after the burst")
+	}
+	// Three full windows of small traffic: the burst capacity is the
+	// high-water mark of its own window, survives one more window through
+	// prevHi hysteresis, and must be dropped by the third roll.
+	for i := 0; i < 3*poolWindow; i++ {
+		p.put(p.get(4))
+	}
+	if hasCap(512) {
+		t.Fatalf("oversized workspace still pooled after three trim windows; pooled caps = %v", p.pooledCaps())
+	}
+	if !hasCap(4) {
+		t.Fatal("steady-state bucket must survive trimming")
+	}
+}
+
+// TestPoolHysteresisKeepsRecurrentLarge: a batch size that recurs every
+// window must NOT be dropped — trimming keys on the high-water mark of the
+// last two windows, not on per-bucket idleness.
+func TestPoolHysteresisKeepsRecurrentLarge(t *testing.T) {
+	p := newFakePool()
+	for w := 0; w < 4; w++ {
+		for i := 0; i < poolWindow-1; i++ {
+			p.put(p.get(4))
+		}
+		p.put(p.get(256)) // one large call per window
+	}
+	if c := p.createdCount(); c != 2 {
+		t.Fatalf("recurrent large batch was evicted and reconstructed: created %d workspaces, want 2", c)
+	}
+}
+
+// TestHostedSteadyStateAllocations drives the real Hosted device end to end:
+// after the first call warms the pool, repeated same-size Infers construct
+// no further BatchWorkspaces.
+func TestHostedSteadyStateAllocations(t *testing.T) {
+	net := nn.MustNew(nn.TinyConfig(2, 5, 5, 25), rng.New(1))
+	d := NewHosted(net, CostModel{LinkBytesPerSec: 1e12}, 1)
+	defer d.Close()
+
+	const batch = 8
+	inputs := make([][]float32, batch)
+	policies := make([][]float32, batch)
+	for i := range inputs {
+		inputs[i] = make([]float32, net.InputLen())
+		policies[i] = make([]float32, net.Cfg.NumActions)
+	}
+	values := make([]float64, batch)
+
+	d.Infer(inputs, policies, values)
+	after := d.pool.createdCount()
+	for i := 0; i < 64; i++ {
+		d.Infer(inputs, policies, values)
+	}
+	if c := d.pool.createdCount(); c != after {
+		t.Fatalf("steady-state Infer constructed %d extra workspaces", c-after)
+	}
+}

@@ -83,3 +83,45 @@ func TestServerGatePromotionLeavesRegistration(t *testing.T) {
 	}
 	srv.Retire(2)
 }
+
+// TestServerGateQuantizedBackend gates an int8-quantized variant of the
+// incumbent against its own fp32 source through GateBackend — the
+// quantization acceptance path. Since the two sides compute (numerically)
+// the same network, the quantized candidate must clear a near-parity
+// threshold, and both cleanup behaviours must match the fp32 gate's.
+func TestServerGateQuantizedBackend(t *testing.T) {
+	srv, sg, incumbent, closeSrv := gateFixture(t, 0.45)
+	defer closeSrv()
+	sg.OnReject = func(v int64) { t.Errorf("OnReject(%d): quantized twin lost to its own fp32 source", v) }
+
+	// Calibrate on random boards — for TicTacToe's 18-float encoding any
+	// on-distribution inputs pin the activation ranges well enough.
+	r := rng.New(7)
+	calib := make([][]float32, 32)
+	for i := range calib {
+		in := make([]float32, incumbent.InputLen())
+		for j := range in {
+			if r.Float32() < 0.3 {
+				in[j] = 1
+			}
+		}
+		calib[i] = in
+	}
+	qnet, err := nn.Quantize(incumbent, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qb := &evaluate.EvaluatorBackend{Eval: evaluate.NewQuantized(qnet), Workers: 2}
+	res := sg.GateBackend(qb, 2, 1)
+	if !res.Promote {
+		t.Fatalf("quantized twin scored %.2f vs its fp32 source, below 0.45", res.Score)
+	}
+	if res.Games != sg.Cfg.Games {
+		t.Fatalf("played %d games, want %d", res.Games, sg.Cfg.Games)
+	}
+	if vs := srv.Versions(); len(vs) != 2 {
+		t.Fatalf("versions after quantized promotion = %v, want candidate still registered", vs)
+	}
+	srv.Retire(2)
+}

@@ -104,6 +104,45 @@ func (e *NN) Evaluate(input []float32, policy []float32) float64 {
 	return val
 }
 
+// Quantized evaluates with an int8-quantized network — the synchronous
+// counterpart of NN for a calibrated nn.QuantizedNetwork. Like NN it shares
+// one immutable parameter set across goroutines via pooled workspaces; each
+// Evaluate runs a batch-of-one int8 forward pass. It exists so a quantized
+// model version can serve behind the exact same EvaluatorBackend/cache-view
+// plumbing as its fp32 source — in particular so an arena gate can race the
+// two through one live server before the int8 path is trusted.
+type Quantized struct {
+	qnet *nn.QuantizedNetwork
+	ws   sync.Pool
+}
+
+// quantScratch bundles a workspace with batch-of-one slice headers so
+// Evaluate allocates nothing per call.
+type quantScratch struct {
+	ws       *nn.QuantWorkspace
+	inputs   [1][]float32
+	policies [1][]float32
+	values   [1]float64
+}
+
+// NewQuantized creates a synchronous evaluator over a calibrated quantized
+// network.
+func NewQuantized(qnet *nn.QuantizedNetwork) *Quantized {
+	e := &Quantized{qnet: qnet}
+	e.ws.New = func() interface{} { return &quantScratch{ws: qnet.NewWorkspace(1)} }
+	return e
+}
+
+// Evaluate implements Evaluator.
+func (e *Quantized) Evaluate(input []float32, policy []float32) float64 {
+	s := e.ws.Get().(*quantScratch)
+	defer e.ws.Put(s)
+	s.inputs[0], s.policies[0] = input, policy
+	e.qnet.ForwardBatchQuantized(s.ws, s.inputs[:], s.policies[:], s.values[:])
+	s.inputs[0], s.policies[0] = nil, nil
+	return s.values[0]
+}
+
 // Random produces deterministic pseudo-random priors and near-zero values,
 // burning a configurable synthetic latency. It stands in for the DNN during
 // design-time profiling (T_DNN is then fully controlled) and in engine

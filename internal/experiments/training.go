@@ -31,6 +31,10 @@ type TrainingScale struct {
 	TempMoves     int    // exploration temperature horizon
 	TinyNet       bool
 	Seed          uint64
+	// Backend names the registered accel backend serving the accelerator
+	// platform ("" = "hosted"). "hosted-quantized" quantizes the network
+	// on the fly, calibrated on random-playout positions of the scenario.
+	Backend string
 }
 
 // DefaultTrainingScale returns a configuration that runs in seconds.
@@ -78,6 +82,29 @@ func (sc TrainingScale) trainerConfig(g game.Game) train.TrainerConfig {
 	}
 }
 
+// CalibrationInputs generates n encoded positions from seeded
+// uniform-random playouts of g — on-distribution activations for int8
+// calibration when no replay buffer exists yet (experiment drivers quantize
+// a freshly initialised network before any self-play has run).
+func CalibrationInputs(g game.Game, n int, seed uint64) [][]float32 {
+	r := rng.New(seed)
+	c, h, w := g.EncodedShape()
+	ln := c * h * w
+	out := make([][]float32, 0, n)
+	var legal []int
+	for len(out) < n {
+		st := g.NewInitial()
+		for !st.Terminal() && len(out) < n {
+			in := make([]float32, ln)
+			st.Encode(in)
+			out = append(out, in)
+			legal = st.LegalMoves(legal[:0])
+			st.Play(legal[r.Intn(len(legal))])
+		}
+	}
+	return out
+}
+
 // buildEngine assembles the adaptively-configured engine for N workers on
 // the requested platform, sharing the network for both search and training.
 func buildEngine(sc TrainingScale, g game.Game, net *nn.Network, n int, useAccel bool) (*adaptive.Engine, error) {
@@ -96,8 +123,24 @@ func buildEngine(sc TrainingScale, g game.Game, net *nn.Network, n int, useAccel
 		c, h, w := g.EncodedShape()
 		cost := PaperShapedParams(sc.Playouts).Accel
 		cost.BytesPerSample = c * h * w * 4
+		name := sc.Backend
+		if name == "" {
+			name = "hosted"
+		}
+		spec := accel.BackendSpec{Net: net, Cost: cost}
+		if name == "hosted-quantized" {
+			qnet, err := nn.Quantize(net, CalibrationInputs(g, 64, sc.Seed))
+			if err != nil {
+				return nil, err
+			}
+			spec.Quant = qnet
+		}
+		dev, err := accel.NewBackend(name, spec)
+		if err != nil {
+			return nil, err
+		}
 		opts.Platform = adaptive.PlatformAccel
-		opts.Device = accel.NewHosted(net, cost, 0)
+		opts.Device = dev
 		opts.DeviceCost = cost
 	} else {
 		opts.Platform = adaptive.PlatformCPU

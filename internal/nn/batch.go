@@ -139,9 +139,5 @@ func (net *Network) ForwardBatch(ws *BatchWorkspace, inputs [][]float32, policie
 }
 
 func reluInPlace(x []float32) {
-	for i, v := range x {
-		if v < 0 {
-			x[i] = 0
-		}
-	}
+	tensor.ReLUInPlace(x)
 }

@@ -1,0 +1,347 @@
+package nn
+
+import (
+	"errors"
+	"math"
+
+	"github.com/parmcts/parmcts/internal/tensor"
+)
+
+// Quantized inference. A QuantizedNetwork is derived from a trained fp32
+// Network: weights are quantized per output channel with symmetric int8
+// scales (q = round(w/scale), scale = maxabs(row)/127, no zero point), and
+// each GEMM's input activation gets one symmetric scale calibrated from the
+// max absolute activation observed while running the fp32 network over
+// calibration samples (replay positions, in the training pipeline). Every
+// convolution and the two big head FCs then run as int8 x int8 -> int32
+// GEMMs (tensor.MatMulTransBQ8); accumulators dequantize with
+// actScale*wScale[channel], add the fp32 bias, apply ReLU and requantize
+// for the next layer in one fused pass. The tiny final value FC (1 x
+// ValueHide) stays fp32: it costs nothing and keeps the scalar value output
+// at full precision ahead of tanh.
+//
+// Because activation scales are calibrated, inputs outside the calibration
+// distribution saturate at +-127 rather than overflowing — the error-bound
+// tests pin how far quantized policy/value outputs may drift from fp32 on
+// held-out replay positions.
+
+// qLayer is one quantized GEMM operand: int8 weights with per-output-channel
+// scales and the layer's fp32 bias.
+type qLayer struct {
+	w      []int8    // outC x k, row-major
+	wScale []float32 // len outC: dequant scale of each weight row
+	bias   []float32 // len outC, fp32
+	outC   int
+	k      int
+}
+
+func quantizeLayer(w, bias []float32, outC, k int) qLayer {
+	l := qLayer{
+		w:      make([]int8, outC*k),
+		wScale: make([]float32, outC),
+		bias:   make([]float32, outC),
+		outC:   outC,
+		k:      k,
+	}
+	copy(l.bias, bias)
+	for oc := 0; oc < outC; oc++ {
+		row := w[oc*k : (oc+1)*k]
+		scale := tensor.MaxAbs(row) / 127
+		l.wScale[oc] = scale
+		tensor.QuantizeSymmetric(l.w[oc*k:(oc+1)*k], row, scale)
+	}
+	return l
+}
+
+// Activation-scale slots, one per quantized GEMM input. Conv3 (policy) and
+// conv4 (value) share the trunk output, so they share slot actTrunkOut.
+const (
+	actInput    = iota // network input planes -> conv0
+	actTrunk1          // conv0 output -> conv1
+	actTrunk2          // conv1 output -> conv2
+	actTrunkOut        // conv2 output -> conv3 and conv4
+	actPolicy          // policy 1x1 output -> policy FC
+	actValue           // value 1x1 output -> value FC1
+	numActScales
+)
+
+// QuantizedNetwork is the int8 serving form of a Network. It is immutable
+// after construction and safe for concurrent ForwardBatchQuantized calls
+// with distinct workspaces.
+type QuantizedNetwork struct {
+	Cfg    Config
+	shapes [5]tensor.Conv2DShape
+
+	conv [5]qLayer
+	pol  qLayer
+	val1 qLayer
+
+	val2W []float32
+	val2B float32
+
+	actScale [numActScales]float32
+}
+
+// ErrNoCalibration is returned by Quantize when no calibration samples are
+// supplied: activation scales cannot be derived without observing real
+// activations.
+var ErrNoCalibration = errors.New("nn: quantization requires calibration samples")
+
+// Quantize derives a QuantizedNetwork from net, calibrating activation
+// scales by running the fp32 network over the supplied samples (each of
+// length net.InputLen()). A few hundred replay positions are plenty; the
+// scales are simple max-abs statistics.
+func Quantize(net *Network, calib [][]float32) (*QuantizedNetwork, error) {
+	if len(calib) == 0 {
+		return nil, ErrNoCalibration
+	}
+	cfg := net.Cfg
+	q := &QuantizedNetwork{Cfg: cfg, shapes: cfg.convShapes()}
+	for i, s := range q.shapes {
+		q.conv[i] = quantizeLayer(net.ConvW[i].Data, net.ConvB[i].Data, s.OutC, s.ColCols())
+	}
+	hw := cfg.H * cfg.W
+	q.pol = quantizeLayer(net.PolW.Data, net.PolB.Data, cfg.NumActions, cfg.PolicyC*hw)
+	q.val1 = quantizeLayer(net.Val1W.Data, net.Val1B.Data, cfg.ValueHide, cfg.ValueC*hw)
+	q.val2W = append([]float32(nil), net.Val2W.Data...)
+	q.val2B = net.Val2B.Data[0]
+
+	// Calibration: run fp32 forwards in chunks and track the max absolute
+	// value of every quantized GEMM's input activation.
+	const chunk = 32
+	b := min(chunk, len(calib))
+	ws := NewBatchWorkspace(net, b)
+	policies := make([][]float32, b)
+	for i := range policies {
+		policies[i] = make([]float32, cfg.NumActions)
+	}
+	values := make([]float64, b)
+	var amax [numActScales]float32
+	track := func(slot int, x []float32) {
+		if m := tensor.MaxAbs(x); m > amax[slot] {
+			amax[slot] = m
+		}
+	}
+	for start := 0; start < len(calib); start += chunk {
+		batch := calib[start:min(start+chunk, len(calib))]
+		nb := len(batch)
+		net.ForwardBatch(ws, batch, policies[:nb], values[:nb])
+		track(actInput, ws.xIn[:cfg.InC*nb*hw])
+		for i := 0; i < 3; i++ {
+			track(actTrunk1+i, ws.convAct[i][:q.shapes[i].OutC*nb*hw])
+		}
+		track(actPolicy, ws.convAct[3][:cfg.PolicyC*nb*hw])
+		track(actValue, ws.convAct[4][:cfg.ValueC*nb*hw])
+	}
+	for i, m := range amax {
+		q.actScale[i] = m / 127
+	}
+	return q, nil
+}
+
+// QuantWorkspace holds the buffers of one quantized batched forward pass.
+// Not safe for concurrent use; pool per worker like BatchWorkspace.
+type QuantWorkspace struct {
+	cfg    Config
+	shapes [5]tensor.Conv2DShape
+	capB   int
+
+	xIn  []float32 // packed fp32 input before quantization
+	qA   []int8    // ping-pong int8 activation buffers, batch-major
+	qB   []int8
+	qCol []int8  // int8 im2col scratch, widest layer
+	i32  []int32 // int32 GEMM accumulator, widest product
+
+	qPolIn []int8 // B rows of PolicyC*H*W
+	qValIn []int8 // B rows of ValueC*H*W
+	logits []float32
+	vHide  []float32
+	vOut   []float32
+}
+
+// NewWorkspace allocates a quantized workspace for up to maxBatch samples.
+func (q *QuantizedNetwork) NewWorkspace(maxBatch int) *QuantWorkspace {
+	if maxBatch < 1 {
+		panic("nn: quant workspace capacity must be >= 1")
+	}
+	cfg := q.Cfg
+	hw := cfg.H * cfg.W
+	ws := &QuantWorkspace{cfg: cfg, shapes: q.shapes, capB: maxBatch}
+	ws.xIn = make([]float32, cfg.InC*maxBatch*hw)
+	maxC := cfg.InC
+	maxCol := 0
+	maxI32 := maxBatch * cfg.NumActions
+	if v := maxBatch * cfg.ValueHide; v > maxI32 {
+		maxI32 = v
+	}
+	for _, s := range q.shapes {
+		if s.OutC > maxC {
+			maxC = s.OutC
+		}
+		if c := s.ColRows() * s.ColCols(); c > maxCol {
+			maxCol = c
+		}
+		if v := s.OutC * maxBatch * s.ColRows(); v > maxI32 {
+			maxI32 = v
+		}
+	}
+	ws.qA = make([]int8, maxC*maxBatch*hw)
+	ws.qB = make([]int8, maxC*maxBatch*hw)
+	ws.qCol = make([]int8, maxBatch*maxCol)
+	ws.i32 = make([]int32, maxI32)
+	ws.qPolIn = make([]int8, maxBatch*cfg.PolicyC*hw)
+	ws.qValIn = make([]int8, maxBatch*cfg.ValueC*hw)
+	ws.logits = make([]float32, maxBatch*cfg.NumActions)
+	ws.vHide = make([]float32, maxBatch*cfg.ValueHide)
+	ws.vOut = make([]float32, maxBatch)
+	return ws
+}
+
+// Cap returns the maximum batch size the workspace can process.
+func (ws *QuantWorkspace) Cap() int { return ws.capB }
+
+// quantizeInto writes q = clamp(round(x/scale)) into dst.
+func quantizeInto(dst []int8, src []float32, scale float32) {
+	tensor.QuantizeSymmetric(dst[:len(src)], src, scale)
+}
+
+// convQ8 runs one quantized convolution over the batch: int8 im2col gather,
+// int8 GEMM into ws.i32. Output stays int32 in ws.i32, OutC x (b*pix)
+// batch-major; the caller fuses dequant+bias with whatever comes next.
+func convQ8(ws *QuantWorkspace, l *qLayer, s tensor.Conv2DShape, in []int8, b int) {
+	pix := s.ColRows()
+	kk := s.ColCols()
+	imgLen := s.InH * s.InW
+	for bb := 0; bb < b; bb++ {
+		tensor.Im2ColStridedQ8(ws.qCol[bb*pix*kk:], in, s, bb*imgLen, b*imgLen)
+	}
+	n := b * pix
+	tensor.MatMulTransBQ8(ws.i32[:l.outC*n], l.w, ws.qCol, l.outC, kk, n)
+}
+
+// requantRows fuses dequant + bias + ReLU + requant over the int32 conv
+// output: out int8 rows get scale outScale. factor[oc] = inScale*wScale[oc].
+func requantRows(out []int8, acc []int32, l *qLayer, inScale, outScale float32, n int) {
+	invOut := float32(0)
+	if outScale > 0 {
+		invOut = 1 / outScale
+	}
+	for oc := 0; oc < l.outC; oc++ {
+		f := inScale * l.wScale[oc]
+		bias := l.bias[oc]
+		src := acc[oc*n : (oc+1)*n]
+		dst := out[oc*n : (oc+1)*n]
+		for x, v := range src {
+			fv := float32(v)*f + bias
+			if fv <= 0 {
+				dst[x] = 0
+				continue
+			}
+			qv := fv*invOut + 0.5 // fv > 0: round half up == half away from zero
+			if qv > 127 {
+				qv = 127
+			}
+			dst[x] = int8(qv)
+		}
+	}
+}
+
+// ForwardBatchQuantized evaluates len(inputs) samples through the int8
+// path. The contract matches Network.ForwardBatch: policies[i] preallocated
+// with NumActions elements, values[i] receives the tanh value.
+func (q *QuantizedNetwork) ForwardBatchQuantized(ws *QuantWorkspace, inputs [][]float32, policies [][]float32, values []float64) {
+	b := len(inputs)
+	if b == 0 {
+		return
+	}
+	if b > ws.capB {
+		panic("nn: ForwardBatchQuantized batch exceeds workspace capacity")
+	}
+	if len(policies) < b || len(values) < b {
+		panic("nn: ForwardBatchQuantized output slices shorter than batch")
+	}
+	inLen := q.Cfg.InC * q.Cfg.H * q.Cfg.W
+	for i, in := range inputs {
+		if len(in) != inLen {
+			panic("nn: ForwardBatchQuantized input length mismatch")
+		}
+		if len(policies[i]) < q.Cfg.NumActions {
+			panic("nn: ForwardBatchQuantized policy slice shorter than NumActions")
+		}
+	}
+	cfg := q.Cfg
+	hw := cfg.H * cfg.W
+
+	// Input: pack fp32 batch-major, quantize once with the input scale.
+	tensor.PackBatch(ws.xIn[:cfg.InC*b*hw], inputs, cfg.InC, hw)
+	cur := ws.qA[:cfg.InC*b*hw]
+	quantizeInto(cur, ws.xIn[:cfg.InC*b*hw], q.actScale[actInput])
+	next := ws.qB
+
+	// Trunk: three int8 convolutions, each fusing dequant+bias+ReLU+requant
+	// into the next layer's input scale.
+	for i := 0; i < 3; i++ {
+		s := q.shapes[i]
+		l := &q.conv[i]
+		convQ8(ws, l, s, cur, b)
+		n := b * s.ColRows()
+		outScale := q.actScale[actTrunk1+i] // conv2's output slot is actTrunkOut
+		out := next[:l.outC*n]
+		requantRows(out, ws.i32, l, q.actScale[actInput+i], outScale, n)
+		cur, next = out, cur[:cap(cur)]
+	}
+
+	// Policy head: int8 1x1 conv -> requant -> int8 FC -> fp32 logits.
+	lp := &q.conv[3]
+	convQ8(ws, lp, q.shapes[3], cur, b)
+	n := b * hw
+	pAct := next[:lp.outC*n]
+	requantRows(pAct, ws.i32, lp, q.actScale[actTrunkOut], q.actScale[actPolicy], n)
+	pD := cfg.PolicyC * hw
+	qPolIn := ws.qPolIn[:b*pD]
+	tensor.UnpackBatchQ8(qPolIn, pAct, cfg.PolicyC, hw, b)
+	acc := ws.i32[:b*cfg.NumActions]
+	tensor.MatMulTransBQ8(acc, qPolIn, q.pol.w, b, pD, cfg.NumActions)
+	logits := ws.logits[:b*cfg.NumActions]
+	aPol := q.actScale[actPolicy]
+	for r := 0; r < b; r++ {
+		row := acc[r*cfg.NumActions : (r+1)*cfg.NumActions]
+		dst := logits[r*cfg.NumActions : (r+1)*cfg.NumActions]
+		for j, v := range row {
+			dst[j] = float32(v)*(aPol*q.pol.wScale[j]) + q.pol.bias[j]
+		}
+	}
+	for i := 0; i < b; i++ {
+		softmax(policies[i], logits[i*cfg.NumActions:(i+1)*cfg.NumActions])
+	}
+
+	// Value head: int8 1x1 conv -> requant -> int8 FC -> fp32 hidden ReLU ->
+	// fp32 final FC -> tanh.
+	lv := &q.conv[4]
+	convQ8(ws, lv, q.shapes[4], cur, b)
+	vAct := next[:lv.outC*n]
+	requantRows(vAct, ws.i32, lv, q.actScale[actTrunkOut], q.actScale[actValue], n)
+	vD := cfg.ValueC * hw
+	qValIn := ws.qValIn[:b*vD]
+	tensor.UnpackBatchQ8(qValIn, vAct, cfg.ValueC, hw, b)
+	accV := ws.i32[:b*cfg.ValueHide]
+	tensor.MatMulTransBQ8(accV, qValIn, q.val1.w, b, vD, cfg.ValueHide)
+	vHide := ws.vHide[:b*cfg.ValueHide]
+	aVal := q.actScale[actValue]
+	for r := 0; r < b; r++ {
+		row := accV[r*cfg.ValueHide : (r+1)*cfg.ValueHide]
+		dst := vHide[r*cfg.ValueHide : (r+1)*cfg.ValueHide]
+		for j, v := range row {
+			fv := float32(v)*(aVal*q.val1.wScale[j]) + q.val1.bias[j]
+			if fv < 0 {
+				fv = 0
+			}
+			dst[j] = fv
+		}
+	}
+	vOut := ws.vOut[:b]
+	tensor.MatMulTransB(vOut, vHide, q.val2W, b, cfg.ValueHide, 1)
+	for i := 0; i < b; i++ {
+		values[i] = math.Tanh(float64(vOut[i] + q.val2B))
+	}
+}

@@ -1,0 +1,263 @@
+package nn_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/game"
+	_ "github.com/parmcts/parmcts/internal/game/games"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// quantGameSpecs covers every registered game at its test size: the error
+// bounds below must hold across all board geometries and plane counts, not
+// just Gomoku's.
+var quantGameSpecs = []string{"tictactoe", "connect4", "gomoku:9", "othello", "hex:7"}
+
+// replayPositions generates encoded positions from random playouts — a
+// stand-in for replay-buffer samples with the same support: every position
+// is reachable and encoded exactly as the training pipeline would.
+func replayPositions(tb testing.TB, g game.Game, n int, seed uint64) [][]float32 {
+	tb.Helper()
+	r := rng.New(seed)
+	c, h, w := g.EncodedShape()
+	ln := c * h * w
+	out := make([][]float32, 0, n)
+	var legal []int
+	for len(out) < n {
+		st := g.NewInitial()
+		for !st.Terminal() && len(out) < n {
+			in := make([]float32, ln)
+			st.Encode(in)
+			out = append(out, in)
+			legal = st.LegalMoves(legal[:0])
+			st.Play(legal[r.Intn(len(legal))])
+		}
+	}
+	return out
+}
+
+// quantizedPair builds an fp32 network for g plus its quantized derivation,
+// calibrated on calib replay positions.
+func quantizedPair(tb testing.TB, g game.Game, calib [][]float32, seed uint64) (*nn.Network, *nn.QuantizedNetwork) {
+	tb.Helper()
+	c, h, w := g.EncodedShape()
+	net := nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(seed))
+	q, err := nn.Quantize(net, calib)
+	if err != nil {
+		tb.Fatalf("Quantize: %v", err)
+	}
+	return net, q
+}
+
+// TestQuantizeNoCalibration pins the explicit error: activation scales
+// cannot be invented without samples.
+func TestQuantizeNoCalibration(t *testing.T) {
+	g, err := game.NewFromSpec("tictactoe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, h, w := g.EncodedShape()
+	net := nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(1))
+	if _, qerr := nn.Quantize(net, nil); qerr != nn.ErrNoCalibration {
+		t.Fatalf("Quantize(nil calib) error = %v, want ErrNoCalibration", qerr)
+	}
+}
+
+// TestQuantizedErrorBounds is the quantization acceptance property: on
+// replay-sampled positions NOT in the calibration set, the quantized
+// network's policy stays within an L-infinity and KL budget of the fp32
+// policy, and the value agrees in sign whenever fp32 is confident. The
+// bounds are pinned at roughly 3x the worst drift observed empirically
+// across all five games (L-inf ~5e-3, KL ~1.1e-3, |dv| ~3e-2), so a
+// regression that meaningfully degrades int8 fidelity trips them while
+// rounding jitter does not.
+func TestQuantizedErrorBounds(t *testing.T) {
+	const (
+		nCalib    = 96
+		nEval     = 64
+		maxLinf   = 0.02
+		maxKL     = 0.004
+		maxDV     = 0.09
+		confident = 0.25
+	)
+	for _, spec := range quantGameSpecs {
+		t.Run(spec, func(t *testing.T) {
+			g, err := game.NewFromSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all := replayPositions(t, g, nCalib+nEval, 7)
+			calib, eval := all[:nCalib], all[nCalib:]
+			net, q := quantizedPair(t, g, calib, 42)
+
+			acts := g.NumActions()
+			fpPol := allocPolicies(nEval, acts)
+			qPol := allocPolicies(nEval, acts)
+			fpVal := make([]float64, nEval)
+			qVal := make([]float64, nEval)
+			ws := nn.NewBatchWorkspace(net, nEval)
+			qws := q.NewWorkspace(nEval)
+			net.ForwardBatch(ws, eval, fpPol, fpVal)
+			q.ForwardBatchQuantized(qws, eval, qPol, qVal)
+
+			var worstLinf, worstKL, worstDV float64
+			for i := 0; i < nEval; i++ {
+				var linf, kl float64
+				for a := 0; a < acts; a++ {
+					p, pq := float64(fpPol[i][a]), float64(qPol[i][a])
+					if d := math.Abs(p - pq); d > linf {
+						linf = d
+					}
+					if p > 1e-9 && pq > 1e-9 {
+						kl += p * math.Log(p/pq)
+					}
+				}
+				if linf > worstLinf {
+					worstLinf = linf
+				}
+				if kl > worstKL {
+					worstKL = kl
+				}
+				dv := math.Abs(fpVal[i] - qVal[i])
+				if dv > worstDV {
+					worstDV = dv
+				}
+				if math.Abs(fpVal[i]) > confident && sign(fpVal[i]) != sign(qVal[i]) {
+					t.Errorf("position %d: value sign flip fp32=%.4f quant=%.4f", i, fpVal[i], qVal[i])
+				}
+			}
+			t.Logf("%s: worst Linf=%.2e KL=%.2e |dv|=%.2e", spec, worstLinf, worstKL, worstDV)
+			if worstLinf > maxLinf {
+				t.Errorf("policy L-inf drift %.3e exceeds %.3e", worstLinf, maxLinf)
+			}
+			if worstKL > maxKL {
+				t.Errorf("policy KL drift %.3e exceeds %.3e", worstKL, maxKL)
+			}
+			if worstDV > maxDV {
+				t.Errorf("value drift %.3e exceeds %.3e", worstDV, maxDV)
+			}
+		})
+	}
+}
+
+// TestQuantizedBatchInvariant: the int8 GEMM accumulates exactly in int32
+// and all dequantization is elementwise, so unlike the fp32 path the
+// quantized forward is bitwise independent of batch size.
+func TestQuantizedBatchInvariant(t *testing.T) {
+	g, err := game.NewFromSpec("gomoku:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	all := replayPositions(t, g, 64+n, 11)
+	_, q := quantizedPair(t, g, all[:64], 5)
+	eval := all[64:]
+
+	acts := g.NumActions()
+	batchPol := allocPolicies(n, acts)
+	batchVal := make([]float64, n)
+	qws := q.NewWorkspace(n)
+	q.ForwardBatchQuantized(qws, eval, batchPol, batchVal)
+
+	onePol := allocPolicies(1, acts)
+	oneVal := make([]float64, 1)
+	for i := 0; i < n; i++ {
+		q.ForwardBatchQuantized(qws, eval[i:i+1], onePol, oneVal)
+		if oneVal[0] != batchVal[i] {
+			t.Fatalf("sample %d: value %v (single) != %v (batch)", i, oneVal[0], batchVal[i])
+		}
+		for a := 0; a < acts; a++ {
+			if onePol[0][a] != batchPol[i][a] {
+				t.Fatalf("sample %d action %d: policy %v (single) != %v (batch)", i, a, onePol[0][a], batchPol[i][a])
+			}
+		}
+	}
+}
+
+func allocPolicies(n, actions int) [][]float32 {
+	p := make([][]float32, n)
+	for i := range p {
+		p[i] = make([]float32, actions)
+	}
+	return p
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func BenchmarkForwardBatchQuantized(b *testing.B) {
+	g, err := game.NewFromSpec("gomoku:15")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, h, w := g.EncodedShape()
+	net := nn.MustNew(nn.GomokuConfig(c, h, w, g.NumActions()), rng.New(3))
+	all := replayPositions(b, g, 96, 9)
+	q, err := nn.Quantize(net, all[:64])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 8, 16, 32} {
+		inputs := make([][]float32, batch)
+		for i := range inputs {
+			inputs[i] = all[64+i%32]
+		}
+		pol := allocPolicies(batch, g.NumActions())
+		val := make([]float64, batch)
+		b.Run(benchName("batch", batch), func(b *testing.B) {
+			qws := q.NewWorkspace(batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.ForwardBatchQuantized(qws, inputs, pol, val)
+			}
+		})
+	}
+}
+
+func BenchmarkForwardBatchFP32(b *testing.B) {
+	g, err := game.NewFromSpec("gomoku:15")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, h, w := g.EncodedShape()
+	net := nn.MustNew(nn.GomokuConfig(c, h, w, g.NumActions()), rng.New(3))
+	all := replayPositions(b, g, 96, 9)
+	for _, batch := range []int{1, 8, 16, 32} {
+		inputs := make([][]float32, batch)
+		for i := range inputs {
+			inputs[i] = all[64+i%32]
+		}
+		pol := allocPolicies(batch, g.NumActions())
+		val := make([]float64, batch)
+		b.Run(benchName("batch", batch), func(b *testing.B) {
+			ws := nn.NewBatchWorkspace(net, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ForwardBatch(ws, inputs, pol, val)
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return prefix + "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return prefix + string(buf[i:])
+}

@@ -38,33 +38,75 @@ func Im2Col(col, img []float32, s Conv2DShape) {
 // one sample from the batch-major activation layout used by
 // Conv2DForwardBatch; Im2Col is the base = 0, planeStride = InH*InW case.
 func Im2ColStrided(col, img []float32, s Conv2DShape, base, planeStride int) {
+	im2colStrided(col, img, s, base, planeStride)
+}
+
+// Im2ColStridedQ8 is Im2ColStrided over int8 activations — the gather step
+// of the quantized convolution path (zero padding is exact in any
+// symmetric quantization, so the int8 patch matrix is the elementwise
+// quantization of the fp32 one).
+func Im2ColStridedQ8(col, img []int8, s Conv2DShape, base, planeStride int) {
+	im2colStrided(col, img, s, base, planeStride)
+}
+
+func im2colStrided[T float32 | int8](col, img []T, s Conv2DShape, base, planeStride int) {
 	outH, outW := s.OutH(), s.OutW()
 	cols := s.ColCols()
+	if s.KH == 1 && s.KW == 1 && s.PadH == 0 && s.PadW == 0 {
+		// 1x1 convolution: the patch matrix is just a channel transpose.
+		pix := outH * outW
+		for c := 0; c < s.InC; c++ {
+			plane := img[base+c*planeStride:]
+			d := c
+			for p := 0; p < pix; p++ {
+				col[d] = plane[p]
+				d += cols
+			}
+		}
+		return
+	}
+	// General case, structured so the iy bounds check runs once per
+	// (oy, c, ky) row instead of once per output pixel. The kernel-row
+	// widths here are tiny (3 for the trunk convs), so in-bounds rows use a
+	// short explicit loop — a memmove call would cost more than it copies.
 	for oy := 0; oy < outH; oy++ {
-		for ox := 0; ox < outW; ox++ {
-			dst := col[(oy*outW+ox)*cols:]
-			idx := 0
-			for c := 0; c < s.InC; c++ {
-				plane := img[base+c*planeStride:]
-				for ky := 0; ky < s.KH; ky++ {
-					iy := oy + ky - s.PadH
-					if iy < 0 || iy >= s.InH {
-						for kx := 0; kx < s.KW; kx++ {
-							dst[idx] = 0
-							idx++
+		rowDst := col[oy*outW*cols:]
+		for c := 0; c < s.InC; c++ {
+			plane := img[base+c*planeStride:]
+			cOff := c * s.KH * s.KW
+			for ky := 0; ky < s.KH; ky++ {
+				iy := oy + ky - s.PadH
+				off := cOff + ky*s.KW
+				if iy < 0 || iy >= s.InH {
+					for ox := 0; ox < outW; ox++ {
+						d := rowDst[off : off+s.KW]
+						for kx := range d {
+							d[kx] = 0
 						}
-						continue
+						off += cols
 					}
-					rowBase := iy * s.InW
-					for kx := 0; kx < s.KW; kx++ {
-						ix := ox + kx - s.PadW
-						if ix < 0 || ix >= s.InW {
-							dst[idx] = 0
-						} else {
-							dst[idx] = plane[rowBase+ix]
+					continue
+				}
+				row := plane[iy*s.InW : iy*s.InW+s.InW]
+				for ox := 0; ox < outW; ox++ {
+					d := rowDst[off : off+s.KW]
+					ix0 := ox - s.PadW
+					if ix0 >= 0 && ix0+s.KW <= s.InW {
+						src := row[ix0 : ix0+s.KW]
+						for kx := range d {
+							d[kx] = src[kx]
 						}
-						idx++
+					} else {
+						for kx := range d {
+							ix := ix0 + kx
+							if ix < 0 || ix >= s.InW {
+								d[kx] = 0
+							} else {
+								d[kx] = row[ix]
+							}
+						}
 					}
+					off += cols
 				}
 			}
 		}
@@ -167,6 +209,16 @@ func PackBatch(dst []float32, imgs [][]float32, c, hw int) {
 // row vectors (one c*hw channel-major row per sample), the layout dense
 // heads expect: dst[b*c*hw + ch*hw + p] = src[(ch*batch+b)*hw + p].
 func UnpackBatch(dst, src []float32, c, hw, batch int) {
+	unpackBatch(dst, src, c, hw, batch)
+}
+
+// UnpackBatchQ8 is UnpackBatch over int8 activations (the quantized path's
+// handoff from batch-major conv activations to per-sample FC rows).
+func UnpackBatchQ8(dst, src []int8, c, hw, batch int) {
+	unpackBatch(dst, src, c, hw, batch)
+}
+
+func unpackBatch[T float32 | int8](dst, src []T, c, hw, batch int) {
 	for ch := 0; ch < c; ch++ {
 		for b := 0; b < batch; b++ {
 			copy(dst[(b*c+ch)*hw:(b*c+ch+1)*hw], src[(ch*batch+b)*hw:(ch*batch+b+1)*hw])

@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Kernel names accepted by SetKernel and the TENSOR_KERNEL environment
+// variable. Each names one implementation of the register-tile micro-kernels
+// (fp32 dot4 / AXPY and the int8 quantized dot): "generic" is portable Go,
+// "sse" the baseline 4-wide SSE assembly (amd64 only), "avx2" the 8-wide
+// AVX2+FMA assembly (amd64 with AVX2+FMA+OS support only).
+const (
+	KernelGeneric = "generic"
+	KernelSSE     = "sse"
+	KernelAVX2    = "avx2"
+)
+
+// The dispatched micro-kernels. They are selected once — at package init
+// from TENSOR_KERNEL, or explicitly via SetKernel — and read (never written)
+// by every GEMM call, so selection must happen before concurrent kernel use.
+var (
+	// dot4 computes the four dot products of a against b0..b3, which must
+	// all share a's length — the register tile of MatMulTransB: four C
+	// columns per pass over one A row.
+	dot4 func(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32)
+	// axpy4 computes ci[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] +
+	// a[3]*b3[j] — the register tile of MatMul: four B rows streamed into
+	// one pass over a C row segment.
+	axpy4 func(ci []float32, a *[4]float32, b0, b1, b2, b3 []float32)
+	// dotQ8 is dot4 over int8 operands with exact int32 accumulation — the
+	// register tile of the quantized GEMM MatMulTransBQ8.
+	dotQ8 func(a, b0, b1, b2, b3 []int8) (s0, s1, s2, s3 int32)
+	// reluVec clamps every element of x to [0, inf) in place — dispatched
+	// alongside the GEMM tiles because ReLU runs over every activation matrix
+	// between layers and is pure bandwidth.
+	reluVec func(x []float32)
+	// dotTile8 is the optional widened MatMulTransB tile: out[j] =
+	// dot(a, b[j*stride:]) for j in 0..7, nil when the selected kernel class
+	// has no 8-column tile (generic, sse). When set, matMulTransBRange
+	// produces eight C columns per pass instead of four, halving tile
+	// bookkeeping.
+	// The tiles are returned by value so the indirect call cannot force a
+	// heap allocation per row inside the GEMM inner loops.
+	dotTile8 func(a, b []float32, stride int) [8]float32
+	// dotQ8Tile8 is the int8 counterpart of dotTile8 (exact int32
+	// accumulation), nil when unavailable.
+	dotQ8Tile8 func(a, b []int8, stride int) [8]int32
+
+	kernelName string
+)
+
+// ReLUInPlace sets x[i] = max(x[i], 0) using the dispatched kernel class.
+func ReLUInPlace(x []float32) { reluVec(x) }
+
+func init() {
+	// TENSOR_KERNEL forces a kernel class at process start; an unavailable
+	// or unknown value degrades to the best available kernel rather than
+	// failing, so a binary built for avx2 still starts on an SSE-only host.
+	if _, err := SetKernel(os.Getenv("TENSOR_KERNEL")); err != nil {
+		selectKernel(bestKernel())
+	}
+}
+
+// SetKernel selects the micro-kernel implementation by name ("" selects the
+// best available). A known-but-unavailable name (e.g. "avx2" on a host
+// without AVX2) degrades to the best available kernel and returns the name
+// actually selected; an unknown name is an error. SetKernel is NOT safe to
+// call concurrently with running kernels — it is for process start and test
+// setup.
+func SetKernel(name string) (selected string, err error) {
+	switch name {
+	case "":
+		selectKernel(bestKernel())
+	case KernelGeneric, KernelSSE, KernelAVX2:
+		if !kernelAvailable(name) {
+			selectKernel(bestKernel())
+			return kernelName, nil
+		}
+		selectKernel(name)
+	default:
+		return kernelName, fmt.Errorf("tensor: unknown kernel %q (have %v)", name, Kernels())
+	}
+	return kernelName, nil
+}
+
+// KernelName reports the micro-kernel implementation currently dispatched.
+func KernelName() string { return kernelName }
+
+// Kernels returns the kernel names available on this host, best last.
+func Kernels() []string {
+	ks := availableKernels()
+	sort.Slice(ks, func(i, j int) bool { return kernelRank(ks[i]) < kernelRank(ks[j]) })
+	return ks
+}
+
+func kernelRank(name string) int {
+	switch name {
+	case KernelSSE:
+		return 1
+	case KernelAVX2:
+		return 2
+	}
+	return 0
+}
+
+func bestKernel() string {
+	best := KernelGeneric
+	for _, k := range availableKernels() {
+		if kernelRank(k) > kernelRank(best) {
+			best = k
+		}
+	}
+	return best
+}
+
+func kernelAvailable(name string) bool {
+	for _, k := range availableKernels() {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// dot4Generic is the portable register tile: the four accumulators form
+// independent dependency chains, so even scalar hardware overlaps the adds.
+func dot4Generic(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	for p, av := range a {
+		s0 += av * b0[p]
+		s1 += av * b1[p]
+		s2 += av * b2[p]
+		s3 += av * b3[p]
+	}
+	return
+}
+
+// axpy4Generic is the portable MatMul register tile.
+func axpy4Generic(ci []float32, a *[4]float32, b0, b1, b2, b3 []float32) {
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	for j := range ci {
+		ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// reluGeneric is the portable ReLU.
+func reluGeneric(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// dotQ8Generic is the portable int8 register tile. Accumulation is exact
+// (int32), so unlike the fp32 kernels every implementation must agree
+// bitwise — the equivalence tests pin that.
+func dotQ8Generic(a, b0, b1, b2, b3 []int8) (s0, s1, s2, s3 int32) {
+	for p, av := range a {
+		s0 += int32(av) * int32(b0[p])
+		s1 += int32(av) * int32(b1[p])
+		s2 += int32(av) * int32(b2[p])
+		s3 += int32(av) * int32(b3[p])
+	}
+	return
+}

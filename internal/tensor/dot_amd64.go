@@ -6,10 +6,111 @@ package tensor
 //go:noescape
 func dot4Kernel(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
 
-// dot4 computes the four dot products of a against b0..b3, which must all
-// share a's length. It is the register tile of MatMulTransB: four C columns
-// per pass over one A row.
-func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+// dot8Kernel is the 8-wide AVX2+FMA micro-kernel in dot_avx2_amd64.s. n
+// must be a multiple of 8. Only callable when hasAVX2 is true.
+//
+//go:noescape
+func dot8Kernel(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
+
+// dot8x8Kernel is the widened AVX2+FMA register tile in dot_avx2_amd64.s:
+// out[j] = dot(a[:n], b[j*stride:j*stride+n]) for j in 0..7. n must be a
+// multiple of 8 and rows j*stride+n must be in bounds of the caller's
+// backing slice. Only callable when hasAVX2 is true.
+//
+//go:noescape
+func dot8x8Kernel(a, b *float32, stride, n int, out *[8]float32)
+
+// axpy4Kernel is the AVX2+FMA AXPY micro-kernel in dot_avx2_amd64.s:
+// c[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j] for j < n.
+// n must be a multiple of 8. Only callable when hasAVX2 is true.
+//
+//go:noescape
+func axpy4Kernel(c, b0, b1, b2, b3 *float32, a *[4]float32, n int)
+
+// reluKernel is the AVX2 in-place ReLU in dot_avx2_amd64.s. n must be a
+// multiple of 8. Only callable when hasAVX2 is true.
+//
+//go:noescape
+func reluKernel(x *float32, n int)
+
+// dotQ8AVX2Kernel is the int8 micro-kernel in dot_avx2_amd64.s
+// (VPMOVSXBW sign-extension + VPMADDWD multiply-add pairs, accumulated in
+// int32 lanes). n must be a multiple of 16. Only callable when hasAVX2 is
+// true.
+//
+//go:noescape
+func dotQ8AVX2Kernel(a, b0, b1, b2, b3 *int8, n int, out *[4]int32)
+
+// dotQ8x8Kernel is the widened int8 register tile in dot_avx2_amd64.s:
+// out[j] = dot(a[:n], b[j*stride:j*stride+n]) in exact int32 for j in 0..7.
+// n must be a multiple of 16 and rows j*stride+n must be in bounds of the
+// caller's backing slice. Only callable when hasAVX2 is true.
+//
+//go:noescape
+func dotQ8x8Kernel(a, b *int8, stride, n int, out *[8]int32)
+
+// cpuid and xgetbv are in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2 reports whether this host can run the AVX2+FMA kernels: CPU
+// support for AVX, AVX2 and FMA, plus OS support for saving the YMM state
+// (OSXSAVE and XCR0 bits 1-2). Detected once at package init.
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX/YMM upper halves) must both be enabled
+	// by the OS, otherwise YMM registers are not preserved across context
+	// switches. xgetbv is only safe once OSXSAVE is confirmed.
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+func availableKernels() []string {
+	ks := []string{KernelGeneric, KernelSSE}
+	if hasAVX2 {
+		ks = append(ks, KernelAVX2)
+	}
+	return ks
+}
+
+func selectKernel(name string) {
+	dotTile8, dotQ8Tile8 = nil, nil
+	switch name {
+	case KernelSSE:
+		dot4, axpy4, dotQ8, reluVec = dot4SSE, axpy4Generic, dotQ8Generic, reluGeneric
+	case KernelAVX2:
+		dot4, axpy4, dotQ8, reluVec = dot4AVX2, axpy4AVX2, dotQ8AVX2, reluAVX2
+		dotTile8 = dotTile8AVX2
+		dotQ8Tile8 = dotQ8Tile8AVX2
+	default:
+		name = KernelGeneric
+		dot4, axpy4, dotQ8, reluVec = dot4Generic, axpy4Generic, dotQ8Generic, reluGeneric
+	}
+	kernelName = name
+}
+
+// dot4SSE runs the 4-wide SSE kernel over the aligned prefix and a scalar
+// tail.
+func dot4SSE(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
 	n := len(a)
 	n4 := n &^ 3
 	if n4 > 0 {
@@ -23,6 +124,109 @@ func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
 		s1 += av * b1[p]
 		s2 += av * b2[p]
 		s3 += av * b3[p]
+	}
+	return
+}
+
+// dot4AVX2 runs the 8-wide AVX2+FMA kernel over the aligned prefix and a
+// scalar tail.
+func dot4AVX2(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	n := len(a)
+	n8 := n &^ 7
+	if n8 > 0 {
+		var out [4]float32
+		dot8Kernel(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n8, &out)
+		s0, s1, s2, s3 = out[0], out[1], out[2], out[3]
+	}
+	for p := n8; p < n; p++ {
+		av := a[p]
+		s0 += av * b0[p]
+		s1 += av * b1[p]
+		s2 += av * b2[p]
+		s3 += av * b3[p]
+	}
+	return
+}
+
+// dotTile8AVX2 computes out[j] = dot(a, b[j*stride:j*stride+len(a)]) for
+// j in 0..7. b must reach at least 7*stride+len(a) elements.
+func dotTile8AVX2(a, b []float32, stride int) (out [8]float32) {
+	n := len(a)
+	n8 := n &^ 7
+	if n8 > 0 {
+		dot8x8Kernel(&a[0], &b[0], stride, n8, &out)
+	}
+	for p := n8; p < n; p++ {
+		av := a[p]
+		for r := 0; r < 8; r++ {
+			out[r] += av * b[r*stride+p]
+		}
+	}
+	return
+}
+
+// axpy4AVX2 runs the AVX2 AXPY kernel over the aligned prefix and a scalar
+// tail.
+func axpy4AVX2(ci []float32, a *[4]float32, b0, b1, b2, b3 []float32) {
+	n := len(ci)
+	n8 := n &^ 7
+	if n8 > 0 {
+		axpy4Kernel(&ci[0], &b0[0], &b1[0], &b2[0], &b3[0], a, n8)
+	}
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	for j := n8; j < n; j++ {
+		ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// reluAVX2 runs the 8-wide VMAXPS kernel over the aligned prefix and a
+// scalar tail.
+func reluAVX2(x []float32) {
+	n := len(x)
+	n8 := n &^ 7
+	if n8 > 0 {
+		reluKernel(&x[0], n8)
+	}
+	for i := n8; i < n; i++ {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// dotQ8Tile8AVX2 computes out[j] = dot(a, b[j*stride:j*stride+len(a)]) for
+// j in 0..7 in exact int32. b must reach at least 7*stride+len(a) elements.
+func dotQ8Tile8AVX2(a, b []int8, stride int) (out [8]int32) {
+	n := len(a)
+	n16 := n &^ 15
+	if n16 > 0 {
+		dotQ8x8Kernel(&a[0], &b[0], stride, n16, &out)
+	}
+	for p := n16; p < n; p++ {
+		av := int32(a[p])
+		for r := 0; r < 8; r++ {
+			out[r] += av * int32(b[r*stride+p])
+		}
+	}
+	return
+}
+
+// dotQ8AVX2 runs the int8 AVX2 kernel over the aligned prefix and a scalar
+// tail.
+func dotQ8AVX2(a, b0, b1, b2, b3 []int8) (s0, s1, s2, s3 int32) {
+	n := len(a)
+	n16 := n &^ 15
+	if n16 > 0 {
+		var out [4]int32
+		dotQ8AVX2Kernel(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n16, &out)
+		s0, s1, s2, s3 = out[0], out[1], out[2], out[3]
+	}
+	for p := n16; p < n; p++ {
+		av := int32(a[p])
+		s0 += av * int32(b0[p])
+		s1 += av * int32(b1[p])
+		s2 += av * int32(b2[p])
+		s3 += av * int32(b3[p])
 	}
 	return
 }

@@ -1,0 +1,508 @@
+#include "textflag.h"
+
+// The AVX2+FMA micro-kernels. All three are gated behind runtime feature
+// detection (hasAVX2 in dot_amd64.go): AVX2 for the 256-bit integer ops and
+// VBROADCASTSS-from-register-free forms, FMA for VFMADD231PS. Every routine
+// ends with VZEROUPPER so the transition back to SSE code carries no
+// dirty-upper-state penalty.
+
+// func dot8Kernel(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
+//
+// out[j] = sum_{p < n} a[p]*bj[p] for j in 0..3, 8 lanes at a time with
+// fused multiply-add. n must be a multiple of 8; the Go wrapper handles the
+// scalar tail. One 8-wide a-vector load is amortised over four b rows and
+// the four YMM accumulators form independent FMA dependency chains.
+TEXT ·dot8Kernel(SB), NOSPLIT, $0-56
+	MOVQ   a+0(FP), SI
+	MOVQ   b0+8(FP), R8
+	MOVQ   b1+16(FP), R9
+	MOVQ   b2+24(FP), R10
+	MOVQ   b3+32(FP), R11
+	MOVQ   n+40(FP), CX
+	MOVQ   out+48(FP), DI
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+	// 2x-unrolled main loop: 16 elements per pass with EIGHT independent
+	// FMA chains (two per b row), enough to cover FMA latency at two FMAs
+	// per cycle. The chains merge once, after the loop.
+loop16:
+	CMPQ        CX, $16
+	JL          loop8
+	VMOVUPS     (SI), Y0
+	VMOVUPS     32(SI), Y12
+	VMOVUPS     (R8), Y1
+	VFMADD231PS Y1, Y0, Y4    // Y4 += Y0 * Y1
+	VMOVUPS     32(R8), Y13
+	VFMADD231PS Y13, Y12, Y8
+	VMOVUPS     (R9), Y2
+	VFMADD231PS Y2, Y0, Y5
+	VMOVUPS     32(R9), Y14
+	VFMADD231PS Y14, Y12, Y9
+	VMOVUPS     (R10), Y3
+	VFMADD231PS Y3, Y0, Y6
+	VMOVUPS     32(R10), Y15
+	VFMADD231PS Y15, Y12, Y10
+	VMOVUPS     (R11), Y1
+	VFMADD231PS Y1, Y0, Y7
+	VMOVUPS     32(R11), Y13
+	VFMADD231PS Y13, Y12, Y11
+	ADDQ        $64, SI
+	ADDQ        $64, R8
+	ADDQ        $64, R9
+	ADDQ        $64, R10
+	ADDQ        $64, R11
+	SUBQ        $16, CX
+	JMP         loop16
+
+loop8:
+	CMPQ        CX, $8
+	JL          merge
+	VMOVUPS     (SI), Y0
+	VMOVUPS     (R8), Y1
+	VFMADD231PS Y1, Y0, Y4
+	VMOVUPS     (R9), Y2
+	VFMADD231PS Y2, Y0, Y5
+	VMOVUPS     (R10), Y3
+	VFMADD231PS Y3, Y0, Y6
+	VMOVUPS     (R11), Y1
+	VFMADD231PS Y1, Y0, Y7
+	ADDQ        $32, SI
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	SUBQ        $8, CX
+	JMP         loop8
+
+merge:
+	VADDPS Y8, Y4, Y4
+	VADDPS Y9, Y5, Y5
+	VADDPS Y10, Y6, Y6
+	VADDPS Y11, Y7, Y7
+
+	// Horizontal reduction of each YMM accumulator to one float32, staying
+	// VEX-encoded throughout: fold the high 128-bit lane onto the low one,
+	// then [a b c d] -> a+c, b+d -> sum.
+	VEXTRACTF128 $1, Y4, X0
+	VADDPS       X0, X4, X4
+	VSHUFPS      $0xEE, X4, X4, X0
+	VADDPS       X0, X4, X4
+	VSHUFPS      $0x55, X4, X4, X0
+	VADDSS       X0, X4, X4
+	VMOVSS       X4, 0(DI)
+	VEXTRACTF128 $1, Y5, X0
+	VADDPS       X0, X5, X5
+	VSHUFPS      $0xEE, X5, X5, X0
+	VADDPS       X0, X5, X5
+	VSHUFPS      $0x55, X5, X5, X0
+	VADDSS       X0, X5, X5
+	VMOVSS       X5, 4(DI)
+	VEXTRACTF128 $1, Y6, X0
+	VADDPS       X0, X6, X6
+	VSHUFPS      $0xEE, X6, X6, X0
+	VADDPS       X0, X6, X6
+	VSHUFPS      $0x55, X6, X6, X0
+	VADDSS       X0, X6, X6
+	VMOVSS       X6, 8(DI)
+	VEXTRACTF128 $1, Y7, X0
+	VADDPS       X0, X7, X7
+	VSHUFPS      $0xEE, X7, X7, X0
+	VADDPS       X0, X7, X7
+	VSHUFPS      $0x55, X7, X7, X0
+	VADDSS       X0, X7, X7
+	VMOVSS       X7, 12(DI)
+	VZEROUPPER
+	RET
+
+// func dot8x8Kernel(a, b *float32, stride, n int, out *[8]float32)
+//
+// out[j] = sum_{p < n} a[p]*b[j*stride+p] for j in 0..7 — the widened
+// AVX2 register tile: one 8-wide a load amortised over EIGHT rows of B
+// (stride apart in elements), with eight YMM accumulators forming eight
+// independent FMA chains. Halves the per-tile call and slice bookkeeping
+// of the 4-column tile. n must be a multiple of 8; the Go wrapper handles
+// the scalar tail.
+TEXT ·dot8x8Kernel(SB), NOSPLIT, $0-40
+	MOVQ   a+0(FP), SI
+	MOVQ   b+8(FP), BX
+	MOVQ   stride+16(FP), R12
+	SHLQ   $2, R12             // element stride -> byte stride
+	MOVQ   n+24(FP), CX
+	MOVQ   out+32(FP), DI
+	MOVQ   BX, R8
+	LEAQ   (BX)(R12*1), R9
+	LEAQ   (R9)(R12*1), R10
+	LEAQ   (R10)(R12*1), R11
+	LEAQ   (R11)(R12*1), R13
+	LEAQ   (R13)(R12*1), R14
+	LEAQ   (R14)(R12*1), R15
+	LEAQ   (R15)(R12*1), AX
+	XORQ   DX, DX              // running byte offset, one increment per step
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+	VXORPS Y12, Y12, Y12
+	VXORPS Y13, Y13, Y13
+	VXORPS Y14, Y14, Y14
+	VXORPS Y15, Y15, Y15
+
+loop:
+	CMPQ        CX, $8
+	JL          done
+	VMOVUPS     (SI)(DX*1), Y0
+	VMOVUPS     (R8)(DX*1), Y1
+	VFMADD231PS Y1, Y0, Y8     // Y8 += Y0 * Y1
+	VMOVUPS     (R9)(DX*1), Y2
+	VFMADD231PS Y2, Y0, Y9
+	VMOVUPS     (R10)(DX*1), Y3
+	VFMADD231PS Y3, Y0, Y10
+	VMOVUPS     (R11)(DX*1), Y4
+	VFMADD231PS Y4, Y0, Y11
+	VMOVUPS     (R13)(DX*1), Y5
+	VFMADD231PS Y5, Y0, Y12
+	VMOVUPS     (R14)(DX*1), Y6
+	VFMADD231PS Y6, Y0, Y13
+	VMOVUPS     (R15)(DX*1), Y7
+	VFMADD231PS Y7, Y0, Y14
+	VMOVUPS     (AX)(DX*1), Y1
+	VFMADD231PS Y1, Y0, Y15
+	ADDQ        $32, DX
+	SUBQ        $8, CX
+	JMP         loop
+
+done:
+	// Horizontal reduction of each accumulator to out[0..7].
+	VEXTRACTF128 $1, Y8, X0
+	VADDPS       X0, X8, X8
+	VSHUFPS      $0xEE, X8, X8, X0
+	VADDPS       X0, X8, X8
+	VSHUFPS      $0x55, X8, X8, X0
+	VADDSS       X0, X8, X8
+	VMOVSS       X8, 0(DI)
+	VEXTRACTF128 $1, Y9, X0
+	VADDPS       X0, X9, X9
+	VSHUFPS      $0xEE, X9, X9, X0
+	VADDPS       X0, X9, X9
+	VSHUFPS      $0x55, X9, X9, X0
+	VADDSS       X0, X9, X9
+	VMOVSS       X9, 4(DI)
+	VEXTRACTF128 $1, Y10, X0
+	VADDPS       X0, X10, X10
+	VSHUFPS      $0xEE, X10, X10, X0
+	VADDPS       X0, X10, X10
+	VSHUFPS      $0x55, X10, X10, X0
+	VADDSS       X0, X10, X10
+	VMOVSS       X10, 8(DI)
+	VEXTRACTF128 $1, Y11, X0
+	VADDPS       X0, X11, X11
+	VSHUFPS      $0xEE, X11, X11, X0
+	VADDPS       X0, X11, X11
+	VSHUFPS      $0x55, X11, X11, X0
+	VADDSS       X0, X11, X11
+	VMOVSS       X11, 12(DI)
+	VEXTRACTF128 $1, Y12, X0
+	VADDPS       X0, X12, X12
+	VSHUFPS      $0xEE, X12, X12, X0
+	VADDPS       X0, X12, X12
+	VSHUFPS      $0x55, X12, X12, X0
+	VADDSS       X0, X12, X12
+	VMOVSS       X12, 16(DI)
+	VEXTRACTF128 $1, Y13, X0
+	VADDPS       X0, X13, X13
+	VSHUFPS      $0xEE, X13, X13, X0
+	VADDPS       X0, X13, X13
+	VSHUFPS      $0x55, X13, X13, X0
+	VADDSS       X0, X13, X13
+	VMOVSS       X13, 20(DI)
+	VEXTRACTF128 $1, Y14, X0
+	VADDPS       X0, X14, X14
+	VSHUFPS      $0xEE, X14, X14, X0
+	VADDPS       X0, X14, X14
+	VSHUFPS      $0x55, X14, X14, X0
+	VADDSS       X0, X14, X14
+	VMOVSS       X14, 24(DI)
+	VEXTRACTF128 $1, Y15, X0
+	VADDPS       X0, X15, X15
+	VSHUFPS      $0xEE, X15, X15, X0
+	VADDPS       X0, X15, X15
+	VSHUFPS      $0x55, X15, X15, X0
+	VADDSS       X0, X15, X15
+	VMOVSS       X15, 28(DI)
+	VZEROUPPER
+	RET
+
+// func axpy4Kernel(c, b0, b1, b2, b3 *float32, a *[4]float32, n int)
+//
+// c[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j] for j < n,
+// 8 lanes per step with fused multiply-add. n must be a multiple of 8; the
+// Go wrapper handles the scalar tail. This is the MatMul register tile:
+// four broadcast A scalars stream four B rows into one pass over the C row.
+TEXT ·axpy4Kernel(SB), NOSPLIT, $0-56
+	MOVQ         c+0(FP), DI
+	MOVQ         b0+8(FP), R8
+	MOVQ         b1+16(FP), R9
+	MOVQ         b2+24(FP), R10
+	MOVQ         b3+32(FP), R11
+	MOVQ         a+40(FP), SI
+	MOVQ         n+48(FP), CX
+	VBROADCASTSS 0(SI), Y0
+	VBROADCASTSS 4(SI), Y1
+	VBROADCASTSS 8(SI), Y2
+	VBROADCASTSS 12(SI), Y3
+
+loop:
+	CMPQ        CX, $8
+	JL          done
+	VMOVUPS     (DI), Y4
+	VMOVUPS     (R8), Y5
+	VFMADD231PS Y5, Y0, Y4
+	VMOVUPS     (R9), Y5
+	VFMADD231PS Y5, Y1, Y4
+	VMOVUPS     (R10), Y5
+	VFMADD231PS Y5, Y2, Y4
+	VMOVUPS     (R11), Y5
+	VFMADD231PS Y5, Y3, Y4
+	VMOVUPS     Y4, (DI)
+	ADDQ        $32, DI
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	SUBQ        $8, CX
+	JMP         loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func reluKernel(x *float32, n int)
+//
+// x[i] = max(x[i], 0) for i < n, 8 lanes per step. n must be a multiple of
+// 8; the Go wrapper handles the tail.
+TEXT ·reluKernel(SB), NOSPLIT, $0-16
+	MOVQ   x+0(FP), DI
+	MOVQ   n+8(FP), CX
+	VXORPS Y1, Y1, Y1
+
+loop:
+	CMPQ    CX, $8
+	JL      done
+	VMOVUPS (DI), Y0
+	VMAXPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JMP     loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func dotQ8x8Kernel(a, b *int8, stride, n int, out *[8]int32)
+//
+// out[j] = sum_{p < n} int32(a[p])*int32(b[j*stride+p]) for j in 0..7 —
+// the widened int8 register tile. One VPMOVSXBW sign-extension of 16
+// a-bytes is amortised over EIGHT rows of B; products accumulate exactly in
+// int32 via VPMADDWD pairs (see dotQ8AVX2Kernel for the overflow argument).
+// n must be a multiple of 16; the Go wrapper handles the scalar tail.
+TEXT ·dotQ8x8Kernel(SB), NOSPLIT, $0-40
+	MOVQ  a+0(FP), SI
+	MOVQ  b+8(FP), BX
+	MOVQ  stride+16(FP), R12
+	MOVQ  n+24(FP), CX
+	MOVQ  out+32(FP), DI
+	MOVQ  BX, R8
+	LEAQ  (BX)(R12*1), R9
+	LEAQ  (R9)(R12*1), R10
+	LEAQ  (R10)(R12*1), R11
+	LEAQ  (R11)(R12*1), R13
+	LEAQ  (R13)(R12*1), R14
+	LEAQ  (R14)(R12*1), R15
+	LEAQ  (R15)(R12*1), AX
+	XORQ  DX, DX
+	VPXOR Y8, Y8, Y8
+	VPXOR Y9, Y9, Y9
+	VPXOR Y10, Y10, Y10
+	VPXOR Y11, Y11, Y11
+	VPXOR Y12, Y12, Y12
+	VPXOR Y13, Y13, Y13
+	VPXOR Y14, Y14, Y14
+	VPXOR Y15, Y15, Y15
+
+loop:
+	CMPQ      CX, $16
+	JL        done
+	VPMOVSXBW (SI)(DX*1), Y0
+	VPMOVSXBW (R8)(DX*1), Y1
+	VPMADDWD  Y1, Y0, Y1
+	VPADDD    Y1, Y8, Y8
+	VPMOVSXBW (R9)(DX*1), Y2
+	VPMADDWD  Y2, Y0, Y2
+	VPADDD    Y2, Y9, Y9
+	VPMOVSXBW (R10)(DX*1), Y3
+	VPMADDWD  Y3, Y0, Y3
+	VPADDD    Y3, Y10, Y10
+	VPMOVSXBW (R11)(DX*1), Y4
+	VPMADDWD  Y4, Y0, Y4
+	VPADDD    Y4, Y11, Y11
+	VPMOVSXBW (R13)(DX*1), Y5
+	VPMADDWD  Y5, Y0, Y5
+	VPADDD    Y5, Y12, Y12
+	VPMOVSXBW (R14)(DX*1), Y6
+	VPMADDWD  Y6, Y0, Y6
+	VPADDD    Y6, Y13, Y13
+	VPMOVSXBW (R15)(DX*1), Y7
+	VPMADDWD  Y7, Y0, Y7
+	VPADDD    Y7, Y14, Y14
+	VPMOVSXBW (AX)(DX*1), Y1
+	VPMADDWD  Y1, Y0, Y1
+	VPADDD    Y1, Y15, Y15
+	ADDQ      $16, DX
+	SUBQ      $16, CX
+	JMP       loop
+
+done:
+	VEXTRACTI128 $1, Y8, X0
+	VPADDD       X0, X8, X8
+	VPSHUFD      $0xEE, X8, X0
+	VPADDD       X0, X8, X8
+	VPSHUFD      $0x55, X8, X0
+	VPADDD       X0, X8, X8
+	VMOVD        X8, 0(DI)
+	VEXTRACTI128 $1, Y9, X0
+	VPADDD       X0, X9, X9
+	VPSHUFD      $0xEE, X9, X0
+	VPADDD       X0, X9, X9
+	VPSHUFD      $0x55, X9, X0
+	VPADDD       X0, X9, X9
+	VMOVD        X9, 4(DI)
+	VEXTRACTI128 $1, Y10, X0
+	VPADDD       X0, X10, X10
+	VPSHUFD      $0xEE, X10, X0
+	VPADDD       X0, X10, X10
+	VPSHUFD      $0x55, X10, X0
+	VPADDD       X0, X10, X10
+	VMOVD        X10, 8(DI)
+	VEXTRACTI128 $1, Y11, X0
+	VPADDD       X0, X11, X11
+	VPSHUFD      $0xEE, X11, X0
+	VPADDD       X0, X11, X11
+	VPSHUFD      $0x55, X11, X0
+	VPADDD       X0, X11, X11
+	VMOVD        X11, 12(DI)
+	VEXTRACTI128 $1, Y12, X0
+	VPADDD       X0, X12, X12
+	VPSHUFD      $0xEE, X12, X0
+	VPADDD       X0, X12, X12
+	VPSHUFD      $0x55, X12, X0
+	VPADDD       X0, X12, X12
+	VMOVD        X12, 16(DI)
+	VEXTRACTI128 $1, Y13, X0
+	VPADDD       X0, X13, X13
+	VPSHUFD      $0xEE, X13, X0
+	VPADDD       X0, X13, X13
+	VPSHUFD      $0x55, X13, X0
+	VPADDD       X0, X13, X13
+	VMOVD        X13, 20(DI)
+	VEXTRACTI128 $1, Y14, X0
+	VPADDD       X0, X14, X14
+	VPSHUFD      $0xEE, X14, X0
+	VPADDD       X0, X14, X14
+	VPSHUFD      $0x55, X14, X0
+	VPADDD       X0, X14, X14
+	VMOVD        X14, 24(DI)
+	VEXTRACTI128 $1, Y15, X0
+	VPADDD       X0, X15, X15
+	VPSHUFD      $0xEE, X15, X0
+	VPADDD       X0, X15, X15
+	VPSHUFD      $0x55, X15, X0
+	VPADDD       X0, X15, X15
+	VMOVD        X15, 28(DI)
+	VZEROUPPER
+	RET
+
+// func dotQ8AVX2Kernel(a, b0, b1, b2, b3 *int8, n int, out *[4]int32)
+//
+// out[j] = sum_{p < n} int32(a[p])*int32(bj[p]) for j in 0..3, 16 int8
+// lanes at a time: VPMOVSXBW sign-extends 16 bytes to 16 int16, VPMADDWD
+// multiplies int16 pairs and sums adjacent products into 8 int32 lanes,
+// VPADDD accumulates. Accumulation is exact for any int8 inputs with
+// n <= 2^16 (|product pair sum| <= 2*127*127 << 2^31/n). n must be a
+// multiple of 16; the Go wrapper handles the scalar tail.
+TEXT ·dotQ8AVX2Kernel(SB), NOSPLIT, $0-56
+	MOVQ  a+0(FP), SI
+	MOVQ  b0+8(FP), R8
+	MOVQ  b1+16(FP), R9
+	MOVQ  b2+24(FP), R10
+	MOVQ  b3+32(FP), R11
+	MOVQ  n+40(FP), CX
+	MOVQ  out+48(FP), DI
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+loop:
+	CMPQ      CX, $16
+	JL        done
+	VPMOVSXBW (SI), Y0
+	VPMOVSXBW (R8), Y1
+	VPMADDWD  Y1, Y0, Y1
+	VPADDD    Y1, Y4, Y4
+	VPMOVSXBW (R9), Y2
+	VPMADDWD  Y2, Y0, Y2
+	VPADDD    Y2, Y5, Y5
+	VPMOVSXBW (R10), Y3
+	VPMADDWD  Y3, Y0, Y3
+	VPADDD    Y3, Y6, Y6
+	VPMOVSXBW (R11), Y1
+	VPMADDWD  Y1, Y0, Y1
+	VPADDD    Y1, Y7, Y7
+	ADDQ      $16, SI
+	ADDQ      $16, R8
+	ADDQ      $16, R9
+	ADDQ      $16, R10
+	ADDQ      $16, R11
+	SUBQ      $16, CX
+	JMP       loop
+
+done:
+	// Horizontal int32 reduction per accumulator.
+	VEXTRACTI128 $1, Y4, X0
+	VPADDD       X0, X4, X4
+	VPSHUFD      $0xEE, X4, X0
+	VPADDD       X0, X4, X4
+	VPSHUFD      $0x55, X4, X0
+	VPADDD       X0, X4, X4
+	VMOVD        X4, 0(DI)
+	VEXTRACTI128 $1, Y5, X0
+	VPADDD       X0, X5, X5
+	VPSHUFD      $0xEE, X5, X0
+	VPADDD       X0, X5, X5
+	VPSHUFD      $0x55, X5, X0
+	VPADDD       X0, X5, X5
+	VMOVD        X5, 4(DI)
+	VEXTRACTI128 $1, Y6, X0
+	VPADDD       X0, X6, X6
+	VPSHUFD      $0xEE, X6, X0
+	VPADDD       X0, X6, X6
+	VPSHUFD      $0x55, X6, X0
+	VPADDD       X0, X6, X6
+	VMOVD        X6, 8(DI)
+	VEXTRACTI128 $1, Y7, X0
+	VPADDD       X0, X7, X7
+	VPSHUFD      $0xEE, X7, X0
+	VPADDD       X0, X7, X7
+	VPSHUFD      $0x55, X7, X0
+	VPADDD       X0, X7, X7
+	VMOVD        X7, 12(DI)
+	VZEROUPPER
+	RET

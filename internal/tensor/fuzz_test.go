@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDotKernels feeds arbitrary float inputs (including NaN/Inf bit
+// patterns and ragged lengths) through every compiled-in dot kernel and the
+// int8 kernels, requiring that no kernel panics and that all agree with the
+// generic reference — to rounding tolerance for fp32, bitwise for int8.
+// Non-finite fp32 inputs only check for panics: NaN/Inf arithmetic is
+// order-sensitive by nature.
+func FuzzDotKernels(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3))
+	f.Add(make([]byte, 5*4*17), uint8(17))
+	f.Fuzz(func(t *testing.T, raw []byte, nByte uint8) {
+		n := int(nByte)%64 + 1
+		need := 5 * 4 * n
+		if len(raw) < need {
+			padded := make([]byte, need)
+			copy(padded, raw)
+			raw = padded
+		}
+		vecs := make([][]float32, 5)
+		finite := true
+		for v := range vecs {
+			vecs[v] = make([]float32, n)
+			for i := 0; i < n; i++ {
+				bits := binary.LittleEndian.Uint32(raw[(v*n+i)*4:])
+				x := math.Float32frombits(bits)
+				if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+					finite = false
+				}
+				vecs[v][i] = x
+			}
+		}
+		a, b0, b1, b2, b3 := vecs[0], vecs[1], vecs[2], vecs[3], vecs[4]
+
+		prev := KernelName()
+		defer SetKernel(prev)
+
+		g0, g1, g2, g3 := dot4Generic(a, b0, b1, b2, b3)
+		qa := make([]int8, n)
+		qb := make([][]int8, 4)
+		for i := 0; i < n; i++ {
+			qa[i] = int8(raw[i%len(raw)])
+		}
+		for v := range qb {
+			qb[v] = make([]int8, n)
+			for i := 0; i < n; i++ {
+				qb[v][i] = int8(raw[(v*n+i+1)%len(raw)])
+			}
+		}
+		qg0, qg1, qg2, qg3 := dotQ8Generic(qa, qb[0], qb[1], qb[2], qb[3])
+
+		for _, k := range Kernels() {
+			if sel, err := SetKernel(k); err != nil || sel != k {
+				continue
+			}
+			s0, s1, s2, s3 := dot4(a, b0, b1, b2, b3)
+			if finite {
+				// Magnitude-relative tolerance: catastrophic cancellation
+				// between huge finite values is accumulation-order
+				// sensitive, which is exactly why the bound scales with
+				// the largest partial product, not the result.
+				var mag float64 = 1
+				for i := 0; i < n; i++ {
+					for _, bv := range [][]float32{b0, b1, b2, b3} {
+						if m := math.Abs(float64(a[i]) * float64(bv[i])); m > mag {
+							mag = m
+						}
+					}
+				}
+				tol := 1e-4 * mag * float64(n)
+				for lane, pair := range [][2]float32{{s0, g0}, {s1, g1}, {s2, g2}, {s3, g3}} {
+					got, want := float64(pair[0]), float64(pair[1])
+					if math.IsNaN(got) != math.IsNaN(want) {
+						continue // overflow to Inf/NaN can differ by order
+					}
+					if !math.IsInf(got, 0) && !math.IsInf(want, 0) && math.Abs(got-want) > tol {
+						t.Errorf("kernel %s n=%d lane %d: got %g want %g (tol %g)", k, n, lane, got, want, tol)
+					}
+				}
+			}
+			q0, q1, q2, q3 := dotQ8(qa, qb[0], qb[1], qb[2], qb[3])
+			if q0 != qg0 || q1 != qg1 || q2 != qg2 || q3 != qg3 {
+				t.Errorf("kernel %s n=%d int8: got (%d,%d,%d,%d) want (%d,%d,%d,%d)",
+					k, n, q0, q1, q2, q3, qg0, qg1, qg2, qg3)
+			}
+		}
+	})
+}

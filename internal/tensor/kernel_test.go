@@ -1,0 +1,353 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+// forceKernel switches the dispatched kernel for the duration of a test and
+// restores the previous selection afterwards.
+func forceKernel(t *testing.T, name string) bool {
+	t.Helper()
+	prev := KernelName()
+	sel, err := SetKernel(name)
+	if err != nil {
+		t.Fatalf("SetKernel(%q): %v", name, err)
+	}
+	t.Cleanup(func() { SetKernel(prev) })
+	if sel != name {
+		t.Logf("kernel %q unavailable on this host (selected %q)", name, sel)
+		return false
+	}
+	return true
+}
+
+func TestSetKernelUnknown(t *testing.T) {
+	if _, err := SetKernel("quantum"); err == nil {
+		t.Fatal("SetKernel accepted an unknown kernel name")
+	}
+	if _, err := SetKernel(""); err != nil {
+		t.Fatalf("SetKernel(\"\") should select the best kernel: %v", err)
+	}
+	if got := KernelName(); got != Kernels()[len(Kernels())-1] {
+		t.Fatalf("best kernel mismatch: selected %q, available %v", got, Kernels())
+	}
+}
+
+func TestSetKernelUnavailableDegrades(t *testing.T) {
+	// Forcing every known name must always succeed, selecting the best
+	// available substitute when the hardware lacks the requested class —
+	// the CI kernel matrix relies on this to run an "avx2" leg on any
+	// runner.
+	for _, name := range []string{KernelGeneric, KernelSSE, KernelAVX2} {
+		sel, err := SetKernel(name)
+		if err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		if kernelAvailable(name) && sel != name {
+			t.Fatalf("SetKernel(%q) selected %q despite availability", name, sel)
+		}
+		if !kernelAvailable(name) && sel == name {
+			t.Fatalf("SetKernel(%q) claims an unavailable kernel", name)
+		}
+	}
+	SetKernel("")
+}
+
+// randFloats fills a slice with values in [-2, 2), including exact zeros to
+// exercise the zero-skip fast paths.
+func randFloats(r *rng.Rand, n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		if r.Float32() < 0.1 {
+			continue // leave exact zero
+		}
+		x[i] = r.Float32()*4 - 2
+	}
+	return x
+}
+
+// kernelSizes covers zero-length, sub-tile, non-multiple-of-4/8/16 tails
+// and full-tile lengths.
+var kernelSizes = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63, 100, 128, 257}
+
+// TestDotKernelEquivalence pins every selectable dot4 kernel against the
+// generic reference within 1e-5 across sizes including tails and
+// zero-length edges.
+func TestDotKernelEquivalence(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range kernelSizes {
+		a := randFloats(r, n)
+		b0, b1, b2, b3 := randFloats(r, n), randFloats(r, n), randFloats(r, n), randFloats(r, n)
+		g0, g1, g2, g3 := dot4Generic(a, b0, b1, b2, b3)
+		for _, k := range Kernels() {
+			if !forceKernel(t, k) {
+				continue
+			}
+			s0, s1, s2, s3 := dot4(a, b0, b1, b2, b3)
+			for i, pair := range [][2]float32{{s0, g0}, {s1, g1}, {s2, g2}, {s3, g3}} {
+				if diff := math.Abs(float64(pair[0] - pair[1])); diff > 1e-5*(1+math.Abs(float64(pair[1]))) {
+					t.Errorf("kernel %s n=%d lane %d: got %g want %g", k, n, i, pair[0], pair[1])
+				}
+			}
+		}
+	}
+}
+
+// TestAxpyKernelEquivalence pins every selectable axpy4 kernel against the
+// generic reference.
+func TestAxpyKernelEquivalence(t *testing.T) {
+	r := rng.New(13)
+	for _, n := range kernelSizes {
+		ar := [4]float32{r.Float32()*2 - 1, r.Float32()*2 - 1, 0, r.Float32()*2 - 1}
+		b0, b1, b2, b3 := randFloats(r, n), randFloats(r, n), randFloats(r, n), randFloats(r, n)
+		base := randFloats(r, n)
+		want := append([]float32(nil), base...)
+		axpy4Generic(want, &ar, b0, b1, b2, b3)
+		for _, k := range Kernels() {
+			if !forceKernel(t, k) {
+				continue
+			}
+			got := append([]float32(nil), base...)
+			axpy4(got, &ar, b0, b1, b2, b3)
+			for j := range got {
+				if diff := math.Abs(float64(got[j] - want[j])); diff > 1e-5*(1+math.Abs(float64(want[j]))) {
+					t.Errorf("kernel %s n=%d j=%d: got %g want %g", k, n, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDotQ8KernelEquivalence pins the int8 kernels bitwise against the
+// generic reference — integer accumulation is exact, so any difference is
+// a kernel bug, not rounding.
+func TestDotQ8KernelEquivalence(t *testing.T) {
+	r := rng.New(17)
+	randBytes := func(n int) []int8 {
+		x := make([]int8, n)
+		for i := range x {
+			x[i] = int8(r.Intn(255) - 127)
+		}
+		return x
+	}
+	for _, n := range kernelSizes {
+		a := randBytes(n)
+		b0, b1, b2, b3 := randBytes(n), randBytes(n), randBytes(n), randBytes(n)
+		g0, g1, g2, g3 := dotQ8Generic(a, b0, b1, b2, b3)
+		for _, k := range Kernels() {
+			if !forceKernel(t, k) {
+				continue
+			}
+			s0, s1, s2, s3 := dotQ8(a, b0, b1, b2, b3)
+			if s0 != g0 || s1 != g1 || s2 != g2 || s3 != g3 {
+				t.Errorf("kernel %s n=%d: got (%d,%d,%d,%d) want (%d,%d,%d,%d)",
+					k, n, s0, s1, s2, s3, g0, g1, g2, g3)
+			}
+		}
+	}
+}
+
+// referenceGEMMTransB is a naive triple loop in float64, the order-free
+// ground truth both blocked fp32 kernels are compared against.
+func referenceGEMMTransB(a, b []float32, m, k, n int) []float64 {
+	c := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a[i*k+p]) * float64(b[j*k+p])
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// TestMatMulTransBKernelEquivalence runs the full blocked GEMM under every
+// kernel forcing value across shapes with ragged tails in every dimension
+// and compares against a float64 reference.
+func TestMatMulTransBKernelEquivalence(t *testing.T) {
+	r := rng.New(23)
+	shapes := [][3]int{{1, 1, 1}, {1, 7, 1}, {3, 5, 9}, {4, 16, 8}, {7, 33, 13}, {16, 100, 81}, {5, 257, 66}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randFloats(r, m*k)
+		b := randFloats(r, n*k)
+		want := referenceGEMMTransB(a, b, m, k, n)
+		for _, kn := range Kernels() {
+			if !forceKernel(t, kn) {
+				continue
+			}
+			c := make([]float32, m*n)
+			MatMulTransB(c, a, b, m, k, n)
+			for i := range c {
+				if diff := math.Abs(float64(c[i]) - want[i]); diff > 1e-4*(1+math.Abs(want[i])) {
+					t.Fatalf("kernel %s m=%d k=%d n=%d idx %d: got %g want %g", kn, m, k, n, i, c[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulKernelEquivalence is the same sweep for the AXPY-tiled MatMul.
+func TestMatMulKernelEquivalence(t *testing.T) {
+	r := rng.New(29)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 5}, {4, 8, 16}, {7, 33, 13}, {16, 100, 81}, {3, 257, 40}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randFloats(r, m*k)
+		bT := make([]float32, k*n) // MatMul takes B (k x n) directly
+		for i := range bT {
+			bT[i] = r.Float32()*4 - 2
+		}
+		// reference via transposing B into (n x k) and reusing the helper
+		bRows := make([]float32, n*k)
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				bRows[j*k+p] = bT[p*n+j]
+			}
+		}
+		want := referenceGEMMTransB(a, bRows, m, k, n)
+		for _, kn := range Kernels() {
+			if !forceKernel(t, kn) {
+				continue
+			}
+			c := make([]float32, m*n)
+			MatMul(c, a, bT, m, k, n)
+			for i := range c {
+				if diff := math.Abs(float64(c[i]) - want[i]); diff > 1e-4*(1+math.Abs(want[i])) {
+					t.Fatalf("kernel %s m=%d k=%d n=%d idx %d: got %g want %g", kn, m, k, n, i, c[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulTransBQ8KernelEquivalence: the quantized GEMM must be bitwise
+// identical across kernels and match a naive int32 reference.
+func TestMatMulTransBQ8KernelEquivalence(t *testing.T) {
+	r := rng.New(31)
+	shapes := [][3]int{{1, 1, 1}, {1, 16, 4}, {3, 17, 9}, {8, 64, 32}, {7, 100, 13}, {16, 1152, 81}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]int8, m*k)
+		b := make([]int8, n*k)
+		for i := range a {
+			a[i] = int8(r.Intn(255) - 127)
+		}
+		for i := range b {
+			b[i] = int8(r.Intn(255) - 127)
+		}
+		want := make([]int32, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s int32
+				for p := 0; p < k; p++ {
+					s += int32(a[i*k+p]) * int32(b[j*k+p])
+				}
+				want[i*n+j] = s
+			}
+		}
+		for _, kn := range Kernels() {
+			if !forceKernel(t, kn) {
+				continue
+			}
+			c := make([]int32, m*n)
+			MatMulTransBQ8(c, a, b, m, k, n)
+			for i := range c {
+				if c[i] != want[i] {
+					t.Fatalf("kernel %s m=%d k=%d n=%d idx %d: got %d want %d", kn, m, k, n, i, c[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeSymmetric(t *testing.T) {
+	src := []float32{0, 0.5, -0.5, 1, -1, 2, -2, 0.24, -0.26}
+	dst := make([]int8, len(src))
+	QuantizeSymmetric(dst, src, 1.0/127)
+	want := []int8{0, 64, -64, 127, -127, 127, -127, 30, -33}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("idx %d: got %d want %d", i, dst[i], want[i])
+		}
+	}
+	QuantizeSymmetric(dst, src, 0) // degenerate scale must zero, not NaN-cast
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Errorf("zero scale idx %d: got %d", i, dst[i])
+		}
+	}
+}
+
+func BenchmarkDotKernel(b *testing.B) {
+	r := rng.New(1)
+	const n = 1152 // widest im2col row of the full Gomoku net (128*9)
+	a := randFloats(r, n)
+	b0, b1, b2, b3 := randFloats(r, n), randFloats(r, n), randFloats(r, n), randFloats(r, n)
+	for _, k := range Kernels() {
+		b.Run(k, func(b *testing.B) {
+			prev := KernelName()
+			if sel, _ := SetKernel(k); sel != k {
+				b.Skipf("kernel %s unavailable", k)
+			}
+			defer SetKernel(prev)
+			b.SetBytes(4 * 5 * n)
+			for i := 0; i < b.N; i++ {
+				dot4(a, b0, b1, b2, b3)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransBKernels(b *testing.B) {
+	r := rng.New(2)
+	// policy-head FC shape of the full 9x9 net: (batch x 324) * (81 x 324)^T
+	m, k, n := 16, 324, 81
+	a := randFloats(r, m*k)
+	bm := randFloats(r, n*k)
+	c := make([]float32, m*n)
+	for _, kn := range Kernels() {
+		b.Run(fmt.Sprintf("%s/m%dk%dn%d", kn, m, k, n), func(b *testing.B) {
+			prev := KernelName()
+			if sel, _ := SetKernel(kn); sel != kn {
+				b.Skipf("kernel %s unavailable", kn)
+			}
+			defer SetKernel(prev)
+			for i := 0; i < b.N; i++ {
+				MatMulTransB(c, a, bm, m, k, n)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransBQ8(b *testing.B) {
+	r := rng.New(3)
+	m, k, n := 16, 324, 81
+	a := make([]int8, m*k)
+	bm := make([]int8, n*k)
+	for i := range a {
+		a[i] = int8(r.Intn(255) - 127)
+	}
+	for i := range bm {
+		bm[i] = int8(r.Intn(255) - 127)
+	}
+	c := make([]int32, m*n)
+	for _, kn := range Kernels() {
+		b.Run(kn, func(b *testing.B) {
+			prev := KernelName()
+			if sel, _ := SetKernel(kn); sel != kn {
+				b.Skipf("kernel %s unavailable", kn)
+			}
+			defer SetKernel(prev)
+			for i := 0; i < b.N; i++ {
+				MatMulTransBQ8(c, a, bm, m, k, n)
+			}
+		})
+	}
+}

@@ -6,13 +6,17 @@ package tensor
 // than it saves.
 const parallelThreshold = 1 << 16
 
-// Cache-blocking tile sizes. A 64x64 float32 C tile (16 KiB) plus a 64x256
-// panel of each operand fits comfortably in L2 while the 256-wide K panel
-// keeps the streamed operand rows inside L1 between reuses.
+// Cache-blocking tile sizes. A 64x64 float32 C tile (16 KiB) plus a 64x512
+// panel of each operand fits comfortably in L2 while the 512-wide K panel
+// keeps the register tile's four streamed rows (8 KiB) inside L1 between
+// reuses. K blocks are deliberately wide: every extra K block costs another
+// read-accumulate pass over the C tile and another round of sub-register-
+// tile kernel calls, which showed up as real overhead for the network's
+// k=324 im2col products when blockK was 256.
 const (
 	blockM = 64
 	blockN = 64
-	blockK = 256
+	blockK = 512
 )
 
 // MatMul computes C = A * B for row-major matrices A (m x k) and B (k x n),
@@ -35,10 +39,11 @@ func MatMul(c, a, b []float32, m, k, n int) {
 }
 
 // matMulRange computes rows [lo, hi) of C = A*B, tiled over (k, n) blocks
-// with a 4x-unrolled AXPY inner loop: each step loads four A scalars and
-// streams four B rows into one pass over the C row segment, so the
-// floating-point adds form four independent dependency chains instead of
-// one latency-bound chain.
+// with a 4-row AXPY register tile (the dispatched axpy4 kernel): each step
+// loads four A scalars and streams four B rows into one pass over the C row
+// segment, so the floating-point adds form four independent dependency
+// chains instead of one latency-bound chain — 8 lanes per FMA step on the
+// AVX2 path.
 func matMulRange(c, a, b []float32, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		ci := c[i*n : (i+1)*n]
@@ -46,6 +51,7 @@ func matMulRange(c, a, b []float32, lo, hi, k, n int) {
 			ci[x] = 0
 		}
 	}
+	var ar [4]float32
 	for p0 := 0; p0 < k; p0 += blockK {
 		p1 := min(p0+blockK, k)
 		for j0 := 0; j0 < n; j0 += blockN {
@@ -63,9 +69,8 @@ func matMulRange(c, a, b []float32, lo, hi, k, n int) {
 					b1 := b[(p+1)*n+j0 : (p+1)*n+j1]
 					b2 := b[(p+2)*n+j0 : (p+2)*n+j1]
 					b3 := b[(p+3)*n+j0 : (p+3)*n+j1]
-					for j := range ci {
-						ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-					}
+					ar[0], ar[1], ar[2], ar[3] = a0, a1, a2, a3
+					axpy4(ci, &ar, b0, b1, b2, b3)
 				}
 				for ; p < p1; p++ {
 					av := ai[p]
@@ -134,6 +139,18 @@ func matMulTransBRange(c, a, b []float32, lo, hi, k, n int) {
 				ai := a[i*k+p0 : i*k+p1]
 				ci := c[i*n : (i+1)*n]
 				j := j0
+				if dotTile8 != nil {
+					for ; j+8 <= j1; j += 8 {
+						out := dotTile8(ai, b[j*k+p0:], k)
+						if first {
+							copy(ci[j:j+8], out[:])
+						} else {
+							for x := range out {
+								ci[j+x] += out[x]
+							}
+						}
+					}
+				}
 				for ; j+4 <= j1; j += 4 {
 					b0 := b[j*k+p0 : j*k+p1]
 					b1 := b[(j+1)*k+p0 : (j+1)*k+p1]
