@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	ablation [-game othello] [-workers 4] [-playouts 200] [-which vl,vlmode,baselines,interconnect]
+//	ablation [-game othello] [-workers 4] [-playouts 200]
+//	         [-which vl,vlmode,baselines,interconnect,transpose] [-transpose on:65536]
 //
 // The engine studies (vl, vlmode, baselines) run on any registered game;
 // without -game they keep their historical defaults (tictactoe for the
@@ -21,14 +22,16 @@ import (
 	"github.com/parmcts/parmcts/internal/experiments"
 	gamepkg "github.com/parmcts/parmcts/internal/game"
 	"github.com/parmcts/parmcts/internal/game/games"
+	"github.com/parmcts/parmcts/internal/tree"
 )
 
 func main() {
 	var (
-		gameSpec = flag.String("game", "", games.FlagHelp()+" (default: tictactoe for vl/vlmode, gomoku:9 for baselines)")
-		workers  = flag.Int("workers", 4, "parallel workers for engine ablations")
-		playouts = flag.Int("playouts", 200, "per-move playout budget")
-		which    = flag.String("which", "vl,vlmode,baselines,interconnect", "comma-separated studies")
+		gameSpec  = flag.String("game", "", games.FlagHelp()+" (default: tictactoe for vl/vlmode, gomoku:9 for baselines, othello+hex:7 for transpose)")
+		workers   = flag.Int("workers", 4, "parallel workers for engine ablations")
+		playouts  = flag.Int("playouts", 200, "per-move playout budget")
+		which     = flag.String("which", "vl,vlmode,baselines,interconnect,transpose", "comma-separated studies")
+		transpose = flag.String("transpose", "on", tree.TransposeFlagHelp()+" (entry budget for the transpose study)")
 	)
 	flag.Parse()
 
@@ -57,5 +60,22 @@ func main() {
 	if want["interconnect"] {
 		p := experiments.PaperShapedParams(1600)
 		fmt.Print(experiments.AblationInterconnect(p, 64).String())
+		fmt.Println()
+	}
+	if want["transpose"] {
+		size := tree.ResolveTransposeFlag("ablation", *transpose)
+		if size == 0 {
+			size = tree.DefaultTransTableSize
+		}
+		var gs []gamepkg.Game
+		if *gameSpec != "" {
+			gs = []gamepkg.Game{gameFor("")}
+		} else {
+			// Othello and Hex transpose heavily (move-order permutations
+			// reach the same stone pattern); both are the study's defaults.
+			gs = []gamepkg.Game{games.ResolveFlag("ablation", "othello", ""),
+				games.ResolveFlag("ablation", "hex:7", "")}
+		}
+		fmt.Print(experiments.AblationTranspose(gs, *playouts, 2, 16, size).String())
 	}
 }

@@ -34,17 +34,19 @@ import (
 	"github.com/parmcts/parmcts/internal/nn"
 	"github.com/parmcts/parmcts/internal/rng"
 	"github.com/parmcts/parmcts/internal/stats"
+	"github.com/parmcts/parmcts/internal/tree"
 )
 
 func main() {
 	var (
-		gameSpec = flag.String("game", "", games.FlagHelp()+" (default connect4; gomoku:9 for -model/-ckpt)")
-		nGames   = flag.Int("games", 10, "games per pairing")
-		playouts = flag.Int("playouts", 200, "playouts per move")
-		workers  = flag.Int("workers", 4, "workers for the parallel schemes")
-		reuse    = flag.Bool("reuse", false, "persistent search sessions: engines keep the played subtree warm across moves")
-		model    = flag.String("model", "", "gate this saved model against a fresh network")
-		ckpt     = flag.String("ckpt", "", "gate the latest checkpoint in this store against the previous version")
+		gameSpec  = flag.String("game", "", games.FlagHelp()+" (default connect4; gomoku:9 for -model/-ckpt)")
+		nGames    = flag.Int("games", 10, "games per pairing")
+		playouts  = flag.Int("playouts", 200, "playouts per move")
+		workers   = flag.Int("workers", 4, "workers for the parallel schemes")
+		reuse     = flag.Bool("reuse", false, "persistent search sessions: engines keep the played subtree warm across moves")
+		transpose = flag.String("transpose", "off", tree.TransposeFlagHelp())
+		model     = flag.String("model", "", "gate this saved model against a fresh network")
+		ckpt      = flag.String("ckpt", "", "gate the latest checkpoint in this store against the previous version")
 	)
 	flag.Parse()
 
@@ -61,6 +63,10 @@ func main() {
 	cfg := mcts.DefaultConfig()
 	cfg.Playouts = *playouts
 	cfg.ReuseTree = *reuse
+	// Each entrant gets its own private table (TransposeSize, not a shared
+	// TransposeTable): the round robin compares schemes, so no engine should
+	// be served evaluations discovered by an opponent.
+	cfg.TransposeSize = tree.ResolveTransposeFlag("arena", *transpose)
 	eval := &evaluate.Random{}
 	pool := evaluate.NewPool(eval, *workers)
 	defer pool.Close()

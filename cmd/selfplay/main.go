@@ -14,7 +14,8 @@
 //
 //	selfplay [-n 4] [-games 1] [-game gomoku:9] [-playouts 100] [-episodes 8]
 //	         [-platform cpu|gpu] [-backend hosted|hosted-quantized|model]
-//	         [-kernel generic|sse|avx2] [-reuse] [-full-net] [-save model.bin]
+//	         [-kernel generic|sse|avx2] [-reuse] [-transpose on:65536]
+//	         [-book book.json] [-full-net] [-save model.bin]
 //
 // -game takes a registry spec: gomoku:9, othello, hex:11, connect4, ...
 package main
@@ -37,23 +38,26 @@ import (
 	"github.com/parmcts/parmcts/internal/selfplay"
 	"github.com/parmcts/parmcts/internal/tensor"
 	"github.com/parmcts/parmcts/internal/train"
+	"github.com/parmcts/parmcts/internal/tree"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 4, "parallel workers")
-		nGames   = flag.Int("games", 1, "concurrent self-play games sharing one inference service")
-		gameSpec = flag.String("game", "gomoku:9", games.FlagHelp())
-		playouts = flag.Int("playouts", 100, "per-move playout budget")
-		episodes = flag.Int("episodes", 8, "self-play episodes (rounds of -games each when -games > 1)")
-		platform = flag.String("platform", "cpu", "cpu or gpu")
-		scheme   = flag.String("scheme", "auto", "auto, shared, or local: force a parallel scheme instead of the model decision")
-		reuse    = flag.Bool("reuse", false, "persistent search sessions: retain the played subtree across moves instead of rebuilding the tree")
-		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
-		backend  = flag.String("backend", "", "accel backend for -platform gpu: "+strings.Join(accel.BackendNames(), ", ")+" (default hosted)")
-		kernel   = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available; TENSOR_KERNEL env also works)")
-		savePath = flag.String("save", "", "write the trained network here")
-		seed     = flag.Uint64("seed", 1, "run seed")
+		n         = flag.Int("n", 4, "parallel workers")
+		nGames    = flag.Int("games", 1, "concurrent self-play games sharing one inference service")
+		gameSpec  = flag.String("game", "gomoku:9", games.FlagHelp())
+		playouts  = flag.Int("playouts", 100, "per-move playout budget")
+		episodes  = flag.Int("episodes", 8, "self-play episodes (rounds of -games each when -games > 1)")
+		platform  = flag.String("platform", "cpu", "cpu or gpu")
+		scheme    = flag.String("scheme", "auto", "auto, shared, or local: force a parallel scheme instead of the model decision")
+		reuse     = flag.Bool("reuse", false, "persistent search sessions: retain the played subtree across moves instead of rebuilding the tree")
+		transpose = flag.String("transpose", "off", tree.TransposeFlagHelp())
+		bookPath  = flag.String("book", "", "serve opening moves from this precomputed book (see cmd/bookgen)")
+		fullNet   = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
+		backend   = flag.String("backend", "", "accel backend for -platform gpu: "+strings.Join(accel.BackendNames(), ", ")+" (default hosted)")
+		kernel    = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available; TENSOR_KERNEL env also works)")
+		savePath  = flag.String("save", "", "write the trained network here")
+		seed      = flag.Uint64("seed", 1, "run seed")
 	)
 	flag.Parse()
 	if *nGames < 1 {
@@ -82,6 +86,37 @@ func main() {
 	search.NoiseFrac = 0.25
 	search.Seed = *seed
 	search.ReuseTree = *reuse
+	transSize := tree.ResolveTransposeFlag("selfplay", *transpose)
+	var transTable *tree.TransTable
+	if transSize > 0 {
+		// One lock-striped table for the run — with -games > 1 the whole
+		// fleet shares it, so concurrent games converge on shared statistics
+		// for transposed positions. Held here (not session-private) so the
+		// training callbacks can clear it when an SGD update stales the
+		// stored evaluations.
+		transTable = tree.NewTransTable(transSize)
+		search.TransposeTable = transTable
+	}
+	if *bookPath != "" {
+		f, err := os.Open(*bookPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfplay: book:", err)
+			os.Exit(2)
+		}
+		book, err := mcts.LoadBook(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfplay: book:", err)
+			os.Exit(2)
+		}
+		if book.Game != "" && games.SpecName(book.Game) != g.Name() || book.Actions != g.NumActions() {
+			fmt.Fprintf(os.Stderr, "selfplay: book %s was built for %q (%d actions), not %s (%d actions)\n",
+				*bookPath, book.Game, book.Actions, g.Name(), g.NumActions())
+			os.Exit(2)
+		}
+		search.Book = book
+		fmt.Printf("opening book: %s entries=%d max-ply=%d\n", book.Game, book.Len(), book.MaxPly)
+	}
 	opts := adaptive.Options{
 		Search:          search,
 		Workers:         *n,
@@ -170,9 +205,15 @@ func main() {
 			if *reuse {
 				line += fmt.Sprintf(" reuse=%.2f", s.Search.ReuseFraction())
 			}
+			if transSize > 0 {
+				line += fmt.Sprintf(" transpose=%.2f", s.Search.TransposeFraction())
+			}
 			fmt.Println(line)
 			if cached, ok := opts.Evaluator.(*evaluate.Cached); ok {
 				cached.Reset() // the SGD update invalidated cached evaluations
+			}
+			if transTable != nil {
+				transTable.Reset() // shared stats/evals are stale after the update too
 			}
 		})
 	} else {
@@ -202,7 +243,13 @@ func main() {
 			if *reuse {
 				line += fmt.Sprintf(" reuse=%.2f", s.Search.ReuseFraction())
 			}
+			if transSize > 0 {
+				line += fmt.Sprintf(" transpose=%.2f", s.Search.TransposeFraction())
+			}
 			fmt.Println(line)
+			if transTable != nil {
+				transTable.Reset() // the SGD update stales the stored evaluations
+			}
 		})
 	}
 

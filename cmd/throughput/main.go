@@ -26,19 +26,21 @@ import (
 	"github.com/parmcts/parmcts/internal/experiments"
 	"github.com/parmcts/parmcts/internal/game/games"
 	"github.com/parmcts/parmcts/internal/tensor"
+	"github.com/parmcts/parmcts/internal/tree"
 )
 
 func main() {
 	var (
-		nsFlag   = flag.String("ns", "1,2,4,8", "comma-separated worker counts")
-		gameSpec = flag.String("game", "gomoku:9", games.FlagHelp())
-		playouts = flag.Int("playouts", 48, "per-move playout budget")
-		episodes = flag.Int("episodes", 2, "self-play episodes per configuration")
-		platform = flag.String("platform", "both", "cpu, gpu, or both")
-		backend  = flag.String("backend", "", "accel backend for the gpu platform: "+strings.Join(accel.BackendNames(), ", ")+" (default hosted)")
-		kernel   = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available; TENSOR_KERNEL env also works)")
-		fullNet  = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
-		csv      = flag.Bool("csv", false, "emit CSV")
+		nsFlag    = flag.String("ns", "1,2,4,8", "comma-separated worker counts")
+		gameSpec  = flag.String("game", "gomoku:9", games.FlagHelp())
+		playouts  = flag.Int("playouts", 48, "per-move playout budget")
+		episodes  = flag.Int("episodes", 2, "self-play episodes per configuration")
+		platform  = flag.String("platform", "both", "cpu, gpu, or both")
+		backend   = flag.String("backend", "", "accel backend for the gpu platform: "+strings.Join(accel.BackendNames(), ", ")+" (default hosted)")
+		kernel    = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available; TENSOR_KERNEL env also works)")
+		fullNet   = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
+		transpose = flag.String("transpose", "off", tree.TransposeFlagHelp())
+		csv       = flag.Bool("csv", false, "emit CSV")
 	)
 	flag.Parse()
 	if *kernel != "" {
@@ -77,6 +79,7 @@ func main() {
 	sc.Episodes = *episodes
 	sc.TinyNet = !*fullNet
 	sc.Backend = *backend
+	sc.TransposeSize = tree.ResolveTransposeFlag("throughput", *transpose)
 
 	tb := experiments.Figure6Throughput(sc, ns, platforms)
 	if *csv {

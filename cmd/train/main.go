@@ -23,7 +23,7 @@
 //	train [-game gomoku:9] [-games 8] [-workers 4] [-playouts 100] [-rounds 12]
 //	      [-gate-every 2] [-gate-games 12] [-win-rate 0.55]
 //	      [-ckpt checkpoints] [-replay-dir traj] [-replay-retain 100000]
-//	      [-reuse] [-full-net] [-seed 1]
+//	      [-reuse] [-transpose on:65536] [-full-net] [-seed 1]
 //	      [-quantize-gate] [-quantize-win-rate 0.45] [-quantize-calib 256]
 //
 // With -quantize-gate, the run ends by quantizing the final network to int8
@@ -50,6 +50,7 @@ import (
 	"github.com/parmcts/parmcts/internal/tensor"
 	"github.com/parmcts/parmcts/internal/train"
 	"github.com/parmcts/parmcts/internal/trajstore"
+	"github.com/parmcts/parmcts/internal/tree"
 )
 
 // servicePromoter applies accepted promotions to the serving stack:
@@ -61,6 +62,7 @@ type servicePromoter struct {
 	srv       *evaluate.Server
 	cache     *evaluate.Cached
 	mkBackend func(*nn.Network, int64) evaluate.Backend
+	trans     *tree.TransTable
 	game      string
 	// baseStep/baseRounds/baseSamples carry the resumed checkpoint's
 	// cumulative counters: the Loop counts per-run, the manifest records
@@ -90,6 +92,12 @@ func (p *servicePromoter) Promote(candidate *nn.Network, pr train.Promotion) err
 func (p *servicePromoter) Retire(version int64) {
 	p.srv.Retire(version)
 	p.cache.ResetVersion(version)
+	if p.trans != nil {
+		// The transposition table is keyed by position only, not by model
+		// version: once the old model retires, its stored evaluations (and
+		// the statistics accumulated on them) are stale. Clear the lot.
+		p.trans.Reset()
+	}
 }
 
 func main() {
@@ -111,6 +119,7 @@ func main() {
 		replaySeg    = flag.Int("replay-segment", 64, "games per trajectory-store segment before an atomic seal")
 		replayRetain = flag.Int("replay-retain", 100000, "games kept in the trajectory store (0 = unbounded)")
 		reuse        = flag.Bool("reuse", false, "persistent search sessions across moves")
+		transpose    = flag.String("transpose", "off", tree.TransposeFlagHelp())
 		fullNet      = flag.Bool("full-net", false, "use the full 5-conv+3-FC network")
 		quantGate    = flag.Bool("quantize-gate", false, "after training, arena-gate an int8 quantization of the final network against its fp32 source")
 		quantWinRate = flag.Float64("quantize-win-rate", 0.45, "score the quantized network must reach against its fp32 source")
@@ -198,6 +207,15 @@ func main() {
 	})
 	defer srv.Close()
 
+	// With -transpose, all G tenants share one lock-striped table: the
+	// fleet's searches converge on shared statistics for transposed
+	// positions, and later games are served openings discovered by earlier
+	// ones. The promoter clears it when a model version retires.
+	var transTable *tree.TransTable
+	if n := tree.ResolveTransposeFlag("train", *transpose); n > 0 {
+		transTable = tree.NewTransTable(n)
+	}
+
 	clients := make([]*evaluate.Client, *nGames)
 	engines := make([]mcts.Engine, *nGames)
 	for i := range engines {
@@ -208,6 +226,7 @@ func main() {
 		cfg.NoiseFrac = 0.25
 		cfg.Seed = *seed + uint64(i)*7919
 		cfg.ReuseTree = *reuse
+		cfg.TransposeTable = transTable
 		engines[i] = mcts.NewLocal(cfg, clients[i], *workers)
 	}
 	defer func() {
@@ -307,7 +326,7 @@ func main() {
 		},
 	}
 	promoter := &servicePromoter{
-		store: store, srv: srv, cache: cache, mkBackend: mkBackend, game: gameName,
+		store: store, srv: srv, cache: cache, mkBackend: mkBackend, trans: transTable, game: gameName,
 		baseStep: baseStep, baseRounds: baseRounds, baseSamples: baseSamples,
 	}
 
@@ -360,6 +379,11 @@ func main() {
 		report.Rounds, report.Steps, report.Samples, len(report.Promotions), report.FinalVersion, report.Elapsed.Round(1e6))
 	fmt.Printf("service: avg batch fill %.2f over %d launches; cache %d/%d hit\n",
 		srv.Stats().AvgFill(), srv.Stats().Batches, hits, hits+misses)
+	if transTable != nil {
+		ts := transTable.Stats()
+		fmt.Printf("transposition table: %d entries, hit rate %.2f (%d hits, %d collisions, %d evictions since last reset)\n",
+			ts.Entries, ts.HitRate(), ts.Hits, ts.Collisions, ts.Evictions)
+	}
 	for _, p := range report.Promotions {
 		fmt.Printf("  v%d at round %d (step %d): score %.2f over %d games\n",
 			p.Version, p.Round, p.Step, p.Gate.Score, p.Gate.Games)

@@ -100,6 +100,58 @@
 // per-move evaluation demand drops by its reuse fraction, which
 // multiplies directly into the shared service's aggregate throughput.
 //
+// # Transposition-aware search
+//
+// With mcts.Config.TransposeSize (the binaries' -transpose flag) the
+// per-session game tree becomes a transposition-sharing DAG. A
+// tree.TransTable maps each position's incrementally maintained Zobrist
+// hash to shared per-state statistics plus the stored network output,
+// keyed defensively: every entry carries a full state verification key
+// (game.StateKey, covering exactly what the hash covers), and a 64-bit
+// collision replaces the resident entry rather than ever merging two
+// distinct positions (TestTransTableCollisionNeverMerges and
+// FuzzTransposeTable hold this under forced-collision pressure). The
+// table is lock-striped and safe for any number of concurrent searches:
+// per-session in the simplest configuration, shared across all G fleet
+// tenants in cmd/selfplay and cmd/train so concurrent games converge on
+// shared statistics and the second game to reach an opening is served the
+// evaluations the first one bought. Because entries are keyed by position
+// rather than model version, the table is reset whenever the serving
+// weights change (the SGD round callbacks, and promotion retirement in
+// cmd/train).
+//
+// UCT on a DAG needs care that UCT on a tree does not. The engines use
+// the shared-Q/local-N backup rule: a node's exploitation term reads the
+// shared per-state value statistics (negated to the asking parent's
+// perspective), while the exploration term keeps each in-edge's LOCAL
+// visit count — so a position with many parents never inflates one
+// parent's visit denominator, and every in-edge still explores on its own
+// schedule. Virtual loss is paired across the DAG: the shared count is
+// the sum of outstanding per-edge counts, attaching a node mid-rollout
+// transfers its outstanding edge VL under the node lock, and a backup
+// drains shared VL exactly when it drains edge VL — the fuzz target and
+// the -race CI leg require the table's outstanding VL to return to zero
+// after every rollout interleaving. RebaseRoot compaction preserves
+// shared-stats pointers across move boundaries (property-tested), and the
+// cross-engine equivalence suite extends to the DAG: Serial, Shared,
+// Local and LeafParallel at concurrency 1 stay bitwise move-identical
+// with tables enabled. The same hash+verify discipline keys the
+// evaluation cache (evaluate.HashedEvaluator): a probe costs a map
+// lookup and a byte comparison instead of re-encoding the plane tensor
+// and hashing every float, which makes cache hits ~55x cheaper
+// (BENCH_transposition.json).
+//
+// An offline opening book precomputes the first plies entirely:
+// mcts.BuildBook sweeps the opening frontier breadth-first against one
+// shared table (deduplicating most of the build's own eval demand),
+// records root visit distributions for every position whose reach
+// probability clears a threshold, and serializes hash+verify-keyed
+// entries to JSON (cmd/bookgen). At play time a booked position is served
+// before the search session even locks: zero playouts, zero evaluations,
+// and the same collision discipline — a book entry whose verification key
+// does not match the live position is a miss, never a wrong serve.
+// BENCH_transposition.json records the measured eval-demand reductions.
+//
 // # Model lifecycle
 //
 // The outer ring of the self-play system closes the loop from generated

@@ -1,6 +1,7 @@
 package evaluate
 
 import (
+	"bytes"
 	"sync"
 )
 
@@ -62,6 +63,11 @@ type cacheEntry struct {
 	// (0 for the plain, unversioned Evaluate path). ResetVersion evicts by
 	// this tag, so promoting one model never drops another's entries.
 	version int64
+	// verify is the full-state verification key for entries inserted via
+	// EvaluateHashed (nil for plane-hash entries). The hashed probe path
+	// keys on a 64-bit Zobrist hash, so hits compare this byte-for-byte —
+	// a hash collision must miss, never serve another position's policy.
+	verify []byte
 }
 
 // NewCached wraps inner with a cache of at most capacity positions spread
@@ -189,6 +195,88 @@ func (c *Cached) evaluate(version int64, inner Evaluator, input []float32, polic
 	return value
 }
 
+// Encoder produces the network input planes for a position; game.State
+// satisfies it. EvaluateHashed takes one so the (comparatively expensive)
+// plane encoding only happens on cache misses.
+type Encoder interface {
+	Encode(dst []float32)
+}
+
+// HashedEvaluator is the optional fast-probe interface: evaluators that can
+// look positions up by a precomputed Zobrist hash plus a full-state
+// verification key, skipping both the plane encoding and the plane-bit
+// hashing on every probe. Cached and CacheView implement it; engines detect
+// it and hand over the incremental hash their game states already maintain.
+type HashedEvaluator interface {
+	EvaluateHashed(hash uint64, verify []byte, enc Encoder, input, policy []float32) float64
+}
+
+// mixZobrist stirs a Zobrist hash and separates the zobrist-keyed keyspace
+// from hashInput's FNV keyspace, so the two probe paths never alias inside
+// one shared table.
+func mixZobrist(h uint64) uint64 {
+	h ^= 0xA5A5A5A5A5A5A5A5
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// EvaluateHashed implements HashedEvaluator (unversioned path). On a hit
+// the stored policy/value are served without touching enc or input; on a
+// miss enc.Encode fills input, the inner evaluator runs lock-free, and the
+// result is stored under the hash with the verification key. A resident
+// entry whose key differs (a genuine 64-bit collision) is replaced, never
+// shared.
+func (c *Cached) EvaluateHashed(hash uint64, verify []byte, enc Encoder, input, policy []float32) float64 {
+	return c.evaluateHashed(0, c.inner, hash, verify, enc, input, policy)
+}
+
+func (c *Cached) evaluateHashed(version int64, inner Evaluator, hash uint64, verify []byte, enc Encoder, input, policy []float32) float64 {
+	key := mixVersion(mixZobrist(hash), version)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok && bytes.Equal(e.verify, verify) {
+		e.touched = true
+		copy(policy, e.policy)
+		v := e.value
+		sh.hits++
+		sh.mu.Unlock()
+		return v
+	}
+	sh.misses++
+	sh.mu.Unlock()
+
+	// Miss path: encode and evaluate with no lock held.
+	enc.Encode(input)
+	value := inner.Evaluate(input, policy)
+
+	stored := make([]float32, len(policy))
+	copy(stored, policy)
+	entry := &cacheEntry{
+		policy:  stored,
+		value:   value,
+		version: version,
+		verify:  append([]byte(nil), verify...),
+	}
+	sh.mu.Lock()
+	if resident, exists := sh.entries[key]; !exists {
+		if len(sh.entries) >= sh.capacity {
+			sh.evictLocked()
+		}
+		sh.entries[key] = entry
+		sh.ring = append(sh.ring, key)
+	} else if !bytes.Equal(resident.verify, verify) {
+		// Zobrist collision: the newer position takes the slot (which is
+		// already in the ring), the colliding one is dropped.
+		sh.entries[key] = entry
+	}
+	sh.mu.Unlock()
+	return value
+}
+
 // CacheView is a version-scoped handle on a shared Cached: lookups and
 // inserts are tagged with the view's model version and misses evaluate on
 // the view's own inner evaluator (that version's network). All views of one
@@ -219,6 +307,12 @@ func (v *CacheView) Version() int64 { return v.version }
 // Evaluate implements Evaluator.
 func (v *CacheView) Evaluate(input []float32, policy []float32) float64 {
 	return v.c.evaluate(v.version, v.inner, input, policy)
+}
+
+// EvaluateHashed implements HashedEvaluator with the view's version tag and
+// inner evaluator.
+func (v *CacheView) EvaluateHashed(hash uint64, verify []byte, enc Encoder, input, policy []float32) float64 {
+	return v.c.evaluateHashed(v.version, v.inner, hash, verify, enc, input, policy)
 }
 
 // evictLocked removes one entry using the clock algorithm. Caller holds

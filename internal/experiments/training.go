@@ -35,6 +35,9 @@ type TrainingScale struct {
 	// platform ("" = "hosted"). "hosted-quantized" quantizes the network
 	// on the fly, calibrated on random-playout positions of the scenario.
 	Backend string
+	// TransposeSize > 0 gives each engine a transposition-sharing DAG
+	// search with that entry budget (0 = classic tree search).
+	TransposeSize int
 }
 
 // DefaultTrainingScale returns a configuration that runs in seconds.
@@ -113,6 +116,7 @@ func buildEngine(sc TrainingScale, g game.Game, net *nn.Network, n int, useAccel
 	search.DirichletAlpha = 0.3
 	search.NoiseFrac = 0.25
 	search.Seed = sc.Seed
+	search.TransposeSize = sc.TransposeSize
 	opts := adaptive.Options{
 		Search:          search,
 		Workers:         n,

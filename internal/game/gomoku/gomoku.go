@@ -233,6 +233,15 @@ func (s *State) Encode(dst []float32) {
 // Hash implements game.State.
 func (s *State) Hash() uint64 { return s.hash }
 
+// AppendStateKey implements game.StateKeyer: cell occupancy plus the side
+// to move — exactly the identity the Zobrist hash covers.
+func (s *State) AppendStateKey(dst []byte) []byte {
+	for _, c := range s.cells {
+		dst = append(dst, byte(c+1))
+	}
+	return append(dst, byte(s.toMove+1))
+}
+
 // String renders the board for debugging.
 func (s *State) String() string {
 	var sb strings.Builder

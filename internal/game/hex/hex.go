@@ -327,6 +327,21 @@ func (s *State) Encode(dst []float32) {
 // Hash implements game.State.
 func (s *State) Hash() uint64 { return s.hash }
 
+// AppendStateKey implements game.StateKeyer: cell occupancy, the side to
+// move, and whether the pie-rule steal is still live — the same board one
+// ply later is a different position while the steal option exists, even
+// though the cells and mover match.
+func (s *State) AppendStateKey(dst []byte) []byte {
+	for _, c := range s.cells {
+		dst = append(dst, byte(c+1))
+	}
+	stealLive := byte(0)
+	if s.swap && s.moves <= 1 {
+		stealLive = 1
+	}
+	return append(dst, byte(s.toMove+1), stealLive)
+}
+
 // String renders the rhombus with the usual row indentation (X = P1
 // connecting top-bottom, O = P2 connecting left-right).
 func (s *State) String() string {

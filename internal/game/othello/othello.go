@@ -368,6 +368,21 @@ func (s *State) Encode(dst []float32) {
 // Hash implements game.State.
 func (s *State) Hash() uint64 { return s.hash }
 
+// AppendStateKey implements game.StateKeyer: cell occupancy, the side to
+// move, and the pending-pass indicator — the same identity the Zobrist
+// hash covers (a position reached with one pass already on the streak
+// terminates one pass sooner than the same board without it).
+func (s *State) AppendStateKey(dst []byte) []byte {
+	for _, c := range s.cells {
+		dst = append(dst, byte(c+1))
+	}
+	pending := byte(0)
+	if s.passes > 0 {
+		pending = 1
+	}
+	return append(dst, byte(s.toMove+1), pending)
+}
+
 // String renders the board for debugging (X = P1 dark, O = P2 light).
 func (s *State) String() string {
 	var sb strings.Builder

@@ -7,6 +7,7 @@ import (
 	"github.com/parmcts/parmcts/internal/evaluate"
 	"github.com/parmcts/parmcts/internal/game"
 	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tree"
 )
 
 // RootParallel implements the root-parallelisation baseline of Section 2.2
@@ -26,6 +27,16 @@ func NewRootParallel(cfg Config, workers int, eval evaluate.Evaluator) *RootPara
 	if workers < 1 {
 		panic("mcts: root-parallel needs >= 1 worker")
 	}
+	if cfg.TransposeTable == nil && cfg.TransposeSize > 0 {
+		// One table across the W private trees: the workers re-search the
+		// same positions by construction ("multiple workers visit
+		// repetitive states"), so sharing evaluations is exactly the waste
+		// the transposition table exists to reclaim. StateStats updates are
+		// atomic and the table is lock-striped, so the single-owner serial
+		// sub-searches stay race-free.
+		cfg.TransposeTable = tree.NewTransTable(cfg.TransposeSize)
+		cfg.TransposeSize = 0
+	}
 	return &RootParallel{cfg: cfg, workers: workers, eval: eval, r: rng.New(cfg.Seed)}
 }
 
@@ -43,6 +54,9 @@ func (e *RootParallel) Advance(action int) {}
 
 // Search implements Engine.
 func (e *RootParallel) Search(st game.State, dist []float32) Stats {
+	if bs, ok := bookServe(e.cfg, st, dist); ok {
+		return bs
+	}
 	perWorker := e.cfg.Playouts / e.workers
 	if perWorker < 1 {
 		perWorker = 1
@@ -100,6 +114,7 @@ type LeafParallel struct {
 	input   []float32
 	actions []int
 	priors  []float32
+	key     []byte
 }
 
 // NewLeafParallel creates the baseline with K parallel evaluations per leaf.
@@ -122,6 +137,9 @@ func (e *LeafParallel) Advance(action int) { e.s.advance(action) }
 
 // Search implements Engine.
 func (e *LeafParallel) Search(st game.State, dist []float32) Stats {
+	if bs, ok := bookServe(e.s.cfg, st, dist); ok {
+		return bs
+	}
 	e.s.mu.Lock()
 	defer e.s.mu.Unlock()
 	var stats Stats
@@ -165,6 +183,24 @@ func (e *LeafParallel) rollout(root game.State, stats *Stats) {
 		tr.MarkTerminal(idx, value)
 		stats.TerminalHits++
 	default:
+		var entry *tree.TransEntry
+		if tt := e.s.tt; tt != nil {
+			entry, e.key = transProbe(tt, tr, st, idx, e.key)
+			if v, acts, prs, ok := entry.LoadEval(e.actions[:0], e.priors[:0]); ok {
+				// Served from the transposition table: the K-fold fan-out
+				// (already redundant under a deterministic evaluator) is
+				// skipped entirely.
+				value = v
+				e.actions = acts
+				if idx == tr.Root() {
+					applyRootNoise(e.s.cfg, e.r, prs)
+				}
+				tr.Expand(idx, e.actions, prs)
+				stats.Expansions++
+				stats.TransHits++
+				break
+			}
+		}
 		// Fan out K evaluations of the same state, average the values.
 		st.Encode(e.input)
 		reqs := make([]*evaluate.Request, e.k)
@@ -188,6 +224,10 @@ func (e *LeafParallel) rollout(root game.State, stats *Stats) {
 		e.actions = st.LegalMoves(e.actions[:0])
 		priors := e.priors[:len(e.actions)]
 		maskedPriors(lastPolicy, e.actions, priors)
+		if entry != nil {
+			// Publish the clean (pre-noise) priors for transposed lines.
+			entry.StoreEval(value, e.actions, priors)
+		}
 		if idx == tr.Root() {
 			applyRootNoise(e.s.cfg, e.r, priors)
 		}

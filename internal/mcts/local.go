@@ -25,6 +25,11 @@ type Local struct {
 	maxInFlight int
 	r           *rng.Rand
 	free        []*localJob
+
+	// master-thread scratch for the transposition-hit fast path.
+	actions []int
+	priors  []float32
+	key     []byte
 }
 
 // localJob carries the state a completion needs to expand its leaf.
@@ -33,6 +38,10 @@ type localJob struct {
 	leaf    int32
 	actions []int
 	priors  []float32
+	// entry, when non-nil, is the transposition entry the leaf was
+	// attached to at submit time; the completion publishes its evaluation
+	// there.
+	entry *tree.TransEntry
 }
 
 // NewLocal creates a local-tree engine. maxInFlight is the worker-pool
@@ -65,6 +74,9 @@ func (e *Local) MaxInFlight() int { return e.maxInFlight }
 
 // Search implements Engine.
 func (e *Local) Search(st game.State, dist []float32) Stats {
+	if bs, ok := bookServe(e.s.cfg, st, dist); ok {
+		return bs
+	}
 	e.s.mu.Lock()
 	defer e.s.mu.Unlock()
 	var stats Stats
@@ -160,8 +172,32 @@ func (e *Local) selectAndSubmit(root game.State, stats *Stats) (syncDone bool) {
 		return true
 	}
 
+	var entry *tree.TransEntry
+	if tt := e.s.tt; tt != nil {
+		entry, e.key = transProbe(tt, tr, st, idx, e.key)
+		if v, acts, prs, ok := entry.LoadEval(e.actions[:0], e.priors[:0]); ok {
+			// Served from the transposition table: expand and back up
+			// synchronously, like a terminal rollout — no request leaves
+			// the master thread.
+			e.actions = acts
+			t2 := now(prof)
+			if idx == tr.Root() {
+				applyRootNoise(e.s.cfg, e.r, prs)
+			}
+			tr.Expand(idx, e.actions, prs)
+			stats.Expansions++
+			stats.ExpandTime += since(prof, t2)
+			t3 := now(prof)
+			tr.Backup(idx, v, false)
+			stats.BackupTime += since(prof, t3)
+			stats.TransHits++
+			return true
+		}
+	}
+
 	job := e.takeJob(st)
 	job.leaf = idx
+	job.entry = entry
 	job.actions = st.LegalMoves(job.actions[:0])
 	st.Encode(job.req.Input)
 	e.async.Submit(&job.req)
@@ -178,6 +214,11 @@ func (e *Local) finish(req *evaluate.Request, stats *Stats) {
 	t2 := now(prof)
 	priors := job.priors[:len(job.actions)]
 	maskedPriors(req.Policy, job.actions, priors)
+	if job.entry != nil {
+		// Publish the clean (pre-noise) priors for transposed lines.
+		job.entry.StoreEval(req.Value, job.actions, priors)
+		job.entry = nil
+	}
 	if job.leaf == tr.Root() {
 		applyRootNoise(e.s.cfg, e.r, priors)
 	}

@@ -47,6 +47,22 @@ type Config struct {
 	// workload), Advance invalidates the tree and every Search starts
 	// cold.
 	ReuseTree bool
+	// TransposeSize, when positive, gives the session a private
+	// transposition table with that many entries: transposed positions
+	// share one DNN evaluation and one pool of visit statistics (the tree
+	// becomes a DAG, see internal/tree/transpose.go). The table persists
+	// across moves and games of the session — opening positions recur
+	// across self-play games — and is only dropped with the session.
+	TransposeSize int
+	// TransposeTable, when non-nil, overrides TransposeSize with an
+	// externally owned (typically fleet-shared) table: G concurrent games
+	// converge on shared statistics and evaluations. The owner must Reset
+	// it whenever the model weights change.
+	TransposeTable *tree.TransTable
+	// Book, when non-nil, serves precomputed root visit distributions
+	// table-first: a Search whose position is in the book returns the
+	// stored distribution without running a single playout.
+	Book *Book
 }
 
 // DefaultConfig returns the paper's search configuration.
@@ -83,6 +99,14 @@ type Stats struct {
 	// search's warm tree (zero on cold searches).
 	ReusedNodes  int
 	ReusedVisits int
+	// TransHits counts leaf evaluations served from the transposition
+	// table instead of the network — each one is a forward pass the search
+	// did not buy. Evaluations + TransHits is the eval demand the search
+	// would have had with the table off (modulo changed exploration).
+	TransHits int
+	// BookHits counts Search calls answered entirely from the opening
+	// book (zero playouts run).
+	BookHits int
 	// Phase breakdown, populated when Config.Profile is set.
 	SelectTime time.Duration
 	ExpandTime time.Duration
@@ -105,6 +129,8 @@ func (s *Stats) Add(o Stats) {
 	s.WastedEvals += o.WastedEvals
 	s.ReusedNodes += o.ReusedNodes
 	s.ReusedVisits += o.ReusedVisits
+	s.TransHits += o.TransHits
+	s.BookHits += o.BookHits
 	s.SelectTime += o.SelectTime
 	s.ExpandTime += o.ExpandTime
 	s.BackupTime += o.BackupTime
@@ -120,6 +146,17 @@ func (s Stats) ReuseFraction() float64 {
 		return 0
 	}
 	return float64(s.ReusedVisits) / float64(total)
+}
+
+// TransposeFraction returns the share of leaf evaluations served from the
+// transposition table: TransHits over (TransHits + Evaluations). Zero when
+// the table is off or nothing hit.
+func (s Stats) TransposeFraction() float64 {
+	total := s.TransHits + s.Evaluations
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TransHits) / float64(total)
 }
 
 // AvgDepth returns the mean leaf depth of the search.

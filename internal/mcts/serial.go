@@ -24,6 +24,7 @@ type Serial struct {
 	policy  []float32
 	actions []int
 	priors  []float32
+	key     []byte
 }
 
 // NewSerial creates a serial engine.
@@ -42,6 +43,9 @@ func (e *Serial) Advance(action int) { e.s.advance(action) }
 
 // Search implements Engine.
 func (e *Serial) Search(st game.State, dist []float32) Stats {
+	if bs, ok := bookServe(e.s.cfg, st, dist); ok {
+		return bs
+	}
 	e.s.mu.Lock()
 	defer e.s.mu.Unlock()
 	var stats Stats
@@ -91,9 +95,24 @@ func (e *Serial) rollout(root game.State, stats *Stats) {
 		tr.MarkTerminal(idx, value)
 		stats.TerminalHits++
 	default:
+		var entry *tree.TransEntry
+		if tt := e.s.tt; tt != nil {
+			entry, e.key = transProbe(tt, tr, st, idx, e.key)
+			if v, acts, prs, ok := entry.LoadEval(e.actions[:0], e.priors[:0]); ok {
+				// Served from the transposition table: no forward pass.
+				value = v
+				e.actions = acts
+				if idx == tr.Root() {
+					applyRootNoise(e.s.cfg, e.r, prs)
+				}
+				tr.Expand(idx, e.actions, prs)
+				stats.Expansions++
+				stats.TransHits++
+				break
+			}
+		}
 		t1 := now(prof)
-		st.Encode(e.input)
-		value = e.eval.Evaluate(e.input, e.policy)
+		value, e.key = evalState(e.eval, st, e.input, e.policy, e.key)
 		stats.Evaluations++
 		stats.EvalTime += since(prof, t1)
 
@@ -101,6 +120,10 @@ func (e *Serial) rollout(root game.State, stats *Stats) {
 		e.actions = st.LegalMoves(e.actions[:0])
 		priors := e.priors[:len(e.actions)]
 		maskedPriors(e.policy, e.actions, priors)
+		if entry != nil {
+			// Publish the clean (pre-noise) priors for transposed lines.
+			entry.StoreEval(value, e.actions, priors)
+		}
 		if idx == tr.Root() {
 			applyRootNoise(e.s.cfg, e.r, priors)
 		}

@@ -30,9 +30,16 @@ const DiscardTree = -1
 // rollouts run on worker goroutines still take mu once per Search, not per
 // rollout — the workers are interior to the locked region.
 type session struct {
-	mu   sync.Mutex
-	cfg  Config
-	tr   *tree.Tree
+	mu  sync.Mutex
+	cfg Config
+	tr  *tree.Tree
+	// tt is the transposition table (nil = transpositions off). Either the
+	// fleet-shared Config.TransposeTable or a private table sized by
+	// Config.TransposeSize. Unlike the tree it is NOT reset at move or
+	// game boundaries: cached evaluations stay valid until the model
+	// weights change (the owner of a shared table resets it there, next to
+	// the eval-cache reset), and opening positions recur across games.
+	tt   *tree.TransTable
 	warm bool
 	// synced reports whether the tree's root still tracks the driver's
 	// game position: it turns true when a Search roots the tree at its
@@ -88,6 +95,13 @@ func (s *session) advance(action int) {
 // applies the re-rooted noise remix on warm trees. Callers must hold
 // s.mu.
 func (s *session) prepare(st game.State, stats *Stats, remix func(priors []float32)) (tr *tree.Tree, budget int) {
+	if s.tt == nil {
+		if s.cfg.TransposeTable != nil {
+			s.tt = s.cfg.TransposeTable
+		} else if s.cfg.TransposeSize > 0 {
+			s.tt = tree.NewTransTable(s.cfg.TransposeSize)
+		}
+	}
 	if s.tr == nil {
 		s.tr = newTreeFor(s.cfg, st)
 		s.warm = false

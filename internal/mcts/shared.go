@@ -72,6 +72,9 @@ func (e *Shared) Workers() int { return e.workers }
 
 // Search implements Engine.
 func (e *Shared) Search(st game.State, dist []float32) Stats {
+	if bs, ok := bookServe(e.s.cfg, st, dist); ok {
+		return bs
+	}
 	e.s.mu.Lock()
 	defer e.s.mu.Unlock()
 	var stats Stats
@@ -126,6 +129,7 @@ type workerScratch struct {
 	policy  []float32
 	actions []int
 	priors  []float32
+	key     []byte
 }
 
 func newWorkerScratch(st game.State) *workerScratch {
@@ -169,9 +173,24 @@ func (e *Shared) rollout(root game.State, ws *workerScratch, noise *rng.Rand, st
 		tr.MarkTerminal(idx, value)
 		stats.TerminalHits++
 	default:
+		var entry *tree.TransEntry
+		if tt := e.s.tt; tt != nil {
+			entry, ws.key = transProbe(tt, tr, st, idx, ws.key)
+			if v, acts, prs, ok := entry.LoadEval(ws.actions[:0], ws.priors[:0]); ok {
+				// Served from the transposition table: no forward pass.
+				value = v
+				ws.actions = acts
+				if idx == tr.Root() {
+					applyRootNoise(e.s.cfg, noise, prs)
+				}
+				tr.Expand(idx, ws.actions, prs)
+				stats.Expansions++
+				stats.TransHits++
+				break
+			}
+		}
 		t1 := now(prof)
-		st.Encode(ws.input)
-		value = e.eval.Evaluate(ws.input, ws.policy)
+		value, ws.key = evalState(e.eval, st, ws.input, ws.policy, ws.key)
 		stats.Evaluations++
 		stats.EvalTime += since(prof, t1)
 
@@ -179,6 +198,10 @@ func (e *Shared) rollout(root game.State, ws *workerScratch, noise *rng.Rand, st
 		ws.actions = st.LegalMoves(ws.actions[:0])
 		priors := ws.priors[:len(ws.actions)]
 		maskedPriors(ws.policy, ws.actions, priors)
+		if entry != nil {
+			// Publish the clean (pre-noise) priors for transposed lines.
+			entry.StoreEval(value, ws.actions, priors)
+		}
 		if idx == tr.Root() {
 			applyRootNoise(e.s.cfg, noise, priors)
 		}

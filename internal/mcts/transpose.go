@@ -1,0 +1,42 @@
+package mcts
+
+import (
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// transProbe is the one probe sequence every engine shares when its session
+// has a transposition table: compute the verification key, acquire (or
+// create) the entry for the position, and link the leaf node to the entry's
+// shared statistics. The caller then tries entry.LoadEval — a hit replaces
+// the DNN forward pass — and on a miss stores its own evaluation with
+// StoreEval (clean priors, before root noise) so the next line through the
+// position is served from the table.
+//
+// key is caller-owned scratch, reused across rollouts; the extended slice
+// is returned. Keeping the probe order identical across engines (probe →
+// attach → load-or-evaluate → expand → backup) is what preserves the
+// cross-engine move equivalence at concurrency 1.
+func transProbe(tt *tree.TransTable, tr *tree.Tree, st game.State, idx int32, key []byte) (*tree.TransEntry, []byte) {
+	key = game.StateKey(st, key[:0])
+	entry, _ := tt.Acquire(st.Hash(), key)
+	tr.AttachShared(idx, entry)
+	return entry, key
+}
+
+// evalState evaluates st through ev, using the hash-keyed cache fast path
+// when the evaluator offers one: the probe is keyed by the state's
+// incrementally maintained Zobrist hash (verified with the full state key),
+// so a cache hit costs neither the plane encoding nor the plane-bit
+// hashing. Evaluators without the interface get the classic
+// encode-then-evaluate sequence. key is caller-owned scratch; the extended
+// slice is returned.
+func evalState(ev evaluate.Evaluator, st game.State, input, policy []float32, key []byte) (float64, []byte) {
+	if hc, ok := ev.(evaluate.HashedEvaluator); ok {
+		key = game.StateKey(st, key[:0])
+		return hc.EvaluateHashed(st.Hash(), key, st, input, policy), key
+	}
+	st.Encode(input)
+	return ev.Evaluate(input, policy), key
+}

@@ -1,0 +1,436 @@
+package tree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/parmcts/parmcts/internal/rng"
+)
+
+func TestParseTransposeSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want int
+		err  bool
+	}{
+		{"", 0, false},
+		{"off", 0, false},
+		{"0", 0, false},
+		{"false", 0, false},
+		{"on", DefaultTransTableSize, false},
+		{"true", DefaultTransTableSize, false},
+		{"on:1024", 1024, false},
+		{"4096", 4096, false},
+		{"on:0", 0, true},
+		{"on:-3", 0, true},
+		{"banana", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseTransposeSpec(tc.spec)
+		if (err != nil) != tc.err {
+			t.Errorf("ParseTransposeSpec(%q) error = %v, want error %v", tc.spec, err, tc.err)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseTransposeSpec(%q) = %d, want %d", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestTransTableAcquireAndLookup(t *testing.T) {
+	tt := NewTransTable(64)
+	e1, hit := tt.Acquire(0xABCD, []byte{1, 2, 3})
+	if hit || e1 == nil {
+		t.Fatalf("first Acquire: entry=%v hit=%v, want fresh entry", e1, hit)
+	}
+	e2, hit := tt.Acquire(0xABCD, []byte{1, 2, 3})
+	if !hit || e2 != e1 {
+		t.Fatalf("second Acquire: hit=%v same=%v, want verified hit on same entry", hit, e2 == e1)
+	}
+	if got := tt.Lookup(0xABCD, []byte{1, 2, 3}); got != e1 {
+		t.Fatalf("Lookup returned %p, want %p", got, e1)
+	}
+	if got := tt.Lookup(0xABCD, []byte{9, 9, 9}); got != nil {
+		t.Fatal("Lookup with wrong verification key must return nil")
+	}
+	if got := tt.Lookup(0x1234, []byte{1, 2, 3}); got != nil {
+		t.Fatal("Lookup of absent hash must return nil")
+	}
+	s := tt.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 hits (Acquire+Lookup), 1 miss, 1 entry", s)
+	}
+}
+
+// TestTransTableCollisionNeverMerges is the safety property of the
+// verification key: two positions with the same 64-bit hash but different
+// full-state keys must get DIFFERENT entries — the resident one is
+// replaced, never shared.
+func TestTransTableCollisionNeverMerges(t *testing.T) {
+	tt := NewTransTable(64)
+	e1, _ := tt.Acquire(0x42, []byte("position-a"))
+	e1.StoreEval(0.5, []int{1}, []float32{1})
+	e2, hit := tt.Acquire(0x42, []byte("position-b"))
+	if hit {
+		t.Fatal("colliding Acquire reported a verified hit")
+	}
+	if e2 == e1 {
+		t.Fatal("colliding positions merged into one entry")
+	}
+	if e2.HasEval() {
+		t.Fatal("replacement entry inherited the evicted position's evaluation")
+	}
+	if got := tt.Lookup(0x42, []byte("position-a")); got != nil {
+		t.Fatal("evicted collision victim still resident")
+	}
+	s := tt.Stats()
+	if s.Collisions != 1 {
+		t.Fatalf("collisions = %d, want 1", s.Collisions)
+	}
+	if s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (replacement, not insertion)", s.Entries)
+	}
+}
+
+func TestTransTableEvictionBoundsResidency(t *testing.T) {
+	tt := NewTransTableSharded(8, 1)
+	for i := 0; i < 100; i++ {
+		tt.Acquire(uint64(i)+1000, []byte{byte(i)})
+	}
+	if got := tt.Len(); got > 8 {
+		t.Fatalf("resident entries = %d, want <= capacity 8", got)
+	}
+	s := tt.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("no evictions recorded after overfilling the shard")
+	}
+	if s.Misses != 100 {
+		t.Fatalf("misses = %d, want 100", s.Misses)
+	}
+}
+
+func TestTransTableReset(t *testing.T) {
+	tt := NewTransTable(64)
+	tt.Acquire(1, []byte{1})
+	tt.Acquire(1, []byte{1})
+	tt.Reset()
+	if tt.Len() != 0 {
+		t.Fatalf("entries after Reset = %d", tt.Len())
+	}
+	s := tt.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("counters after Reset = %+v, want zeroes", s)
+	}
+	// The table stays usable after Reset.
+	if _, hit := tt.Acquire(1, []byte{1}); hit {
+		t.Fatal("hit on emptied table")
+	}
+}
+
+func TestStoreEvalFirstWriterWins(t *testing.T) {
+	var e TransEntry
+	if _, _, _, ok := e.LoadEval(nil, nil); ok {
+		t.Fatal("LoadEval on empty entry reported ok")
+	}
+	e.StoreEval(0.25, []int{3, 7}, []float32{0.6, 0.4})
+	e.StoreEval(-0.9, []int{1}, []float32{1}) // racing second writer: no-op
+	v, acts, priors, ok := e.LoadEval(nil, nil)
+	if !ok || v != 0.25 {
+		t.Fatalf("LoadEval = %v ok=%v, want first writer's 0.25", v, ok)
+	}
+	if len(acts) != 2 || acts[0] != 3 || acts[1] != 7 {
+		t.Fatalf("actions = %v, want [3 7]", acts)
+	}
+	if len(priors) != 2 || priors[0] != 0.6 || priors[1] != 0.4 {
+		t.Fatalf("priors = %v, want [0.6 0.4]", priors)
+	}
+	// Scratch reuse: big-enough buffers are filled in place.
+	actScratch := make([]int, 0, 8)
+	prScratch := make([]float32, 0, 8)
+	_, acts2, _, _ := e.LoadEval(actScratch, prScratch)
+	if &acts2[0] != &actScratch[:1][0] {
+		t.Fatal("LoadEval reallocated despite sufficient scratch capacity")
+	}
+}
+
+// TestAttachSharedPairsVirtualLoss checks the VL pairing invariant at the
+// attach boundary: virtual loss applied to an edge BEFORE its node links to
+// a transposition entry is transferred into the shared counter, so the
+// later Backup's paired drain (edge and shared together) cannot push the
+// shared counter negative.
+func TestAttachSharedPairsVirtualLoss(t *testing.T) {
+	tr := newTestTree(16)
+	tr.Expand(tr.Root(), []int{0, 1}, []float32{0.5, 0.5})
+	child := tr.Node(tr.Root()).firstChild.Load()
+
+	// VL lands on the edge first (selection), then the leaf attaches.
+	tr.ApplyVirtualLoss(child, true)
+	var e TransEntry
+	tr.AttachShared(child, &e)
+	if got := e.Stats().VirtualLossCount(); got != 1 {
+		t.Fatalf("shared VL after attach-with-outstanding-edge-VL = %d, want 1", got)
+	}
+
+	// VL applied after attach bumps both sides.
+	tr.ApplyVirtualLoss(child, true)
+	if got := e.Stats().VirtualLossCount(); got != 2 {
+		t.Fatalf("shared VL after post-attach ApplyVirtualLoss = %d, want 2", got)
+	}
+
+	// Each backup drains exactly one unit from each side.
+	tr.Backup(child, 0.5, true)
+	tr.Backup(child, -0.25, true)
+	if got := e.Stats().VirtualLossCount(); got != 0 {
+		t.Fatalf("shared VL after draining backups = %d, want 0", got)
+	}
+	if got := tr.OutstandingVirtualLoss(); got != 0 {
+		t.Fatalf("edge VL outstanding = %d, want 0", got)
+	}
+	// Re-attach is idempotent: no double VL transfer.
+	tr.AttachShared(child, &e)
+	if got := e.Stats().VirtualLossCount(); got != 0 {
+		t.Fatalf("shared VL after idempotent re-attach = %d, want 0", got)
+	}
+}
+
+// TestSharedStatsAcrossTrees is the DAG convergence property: two trees
+// (two games in a fleet) attached to one entry pool their visit statistics,
+// and the shared value is stored from the state mover's perspective — the
+// negation of the edge perspective each backup used.
+func TestSharedStatsAcrossTrees(t *testing.T) {
+	var e TransEntry
+	trees := [2]*Tree{newTestTree(16), newTestTree(16)}
+	for _, tr := range trees {
+		tr.Expand(tr.Root(), []int{0}, []float32{1})
+		child := tr.Node(tr.Root()).firstChild.Load()
+		tr.AttachShared(child, &e)
+		tr.Backup(child, 0.5, false) // v = +0.5 for the mover at the child state
+	}
+	ss := e.Stats()
+	if ss.Visits() != 2 {
+		t.Fatalf("shared visits = %d, want 2 (one per tree)", ss.Visits())
+	}
+	if got := ss.TotalValue(); got != 1.0 {
+		t.Fatalf("shared value = %v, want +1.0 (state perspective)", got)
+	}
+	for i, tr := range trees {
+		child := tr.Node(tr.Node(tr.Root()).firstChild.Load())
+		if child.TotalValue() != -0.5 {
+			t.Fatalf("tree %d edge W = %v, want -0.5 (parent perspective)", i, child.TotalValue())
+		}
+		if ss2 := child.SharedStats(); ss2 != ss {
+			t.Fatalf("tree %d shared-stats pointer diverged", i)
+		}
+	}
+}
+
+// TestRebasePreservesSharedStats extends the rebase invariants to the DAG:
+// compaction relocates nodes, and every surviving node must carry its
+// transposition link with it (the link is a pointer to entry-owned stats,
+// not an arena index, which is what makes cross-move sharing survive the
+// move-boundary rebase).
+func TestRebasePreservesSharedStats(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		tr := New(DefaultConfig(), 1<<13)
+		tt := NewTransTable(1 << 10)
+		playouts := 100 + r.Intn(100)
+		fanout := 2 + r.Intn(3)
+		actions := make([]int, fanout)
+		priors := make([]float32, fanout)
+		for i := range actions {
+			actions[i] = i
+			priors[i] = 1 / float32(fanout)
+		}
+		// Serial-engine-shaped search that attaches every expanded leaf to
+		// a table entry keyed by a synthetic per-leaf position id.
+		for p := 0; p < playouts; p++ {
+			idx := tr.Root()
+			depth := 0
+			for tr.Node(idx).Expanded() {
+				idx = tr.SelectChild(idx)
+				depth++
+			}
+			// Synthetic position identity: depth plus first-action parity,
+			// cheap and stable so transpositions genuinely occur.
+			id := byte(depth*16 + int(tr.Node(idx).Action()%4))
+			entry, _ := tt.Acquire(uint64(id), []byte{id})
+			tr.AttachShared(idx, entry)
+			tr.Expand(idx, actions, priors)
+			tr.Backup(idx, r.Float64()*2-1, false)
+		}
+
+		// Record attached stats pointers by action path, rebase, compare.
+		record := func(root int32) map[string]*StateStats {
+			out := map[string]*StateStats{}
+			var rec func(idx int32, path string)
+			rec = func(idx int32, path string) {
+				out[path] = tr.Node(idx).SharedStats()
+				tr.Children(idx, func(child int32, c *Node) {
+					rec(child, fmt.Sprintf("%s/%d", path, c.Action()))
+				})
+			}
+			rec(root, "")
+			return out
+		}
+		best, bestN := -1, -1
+		var bestIdx int32
+		tr.Children(tr.Root(), func(child int32, nd *Node) {
+			if nd.Visits() > bestN {
+				best, bestN, bestIdx = nd.Action(), nd.Visits(), child
+			}
+		})
+		before := record(bestIdx)
+		if _, ok := tr.RebaseRoot(best); !ok {
+			return false
+		}
+		after := record(tr.Root())
+		if len(before) != len(after) {
+			t.Logf("seed %d: %d nodes before, %d after", seed, len(before), len(after))
+			return false
+		}
+		for path, b := range before {
+			if after[path] != b {
+				t.Logf("seed %d: path %q shared-stats pointer changed", seed, path)
+				return false
+			}
+		}
+		if tr.OutstandingVirtualLoss() != 0 || tt.OutstandingVirtualLoss() != 0 {
+			t.Logf("seed %d: VL outstanding after quiescence", seed)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransTableConcurrent hammers one shared table from several
+// goroutines, each running a locked-mode search on its own tree (the
+// fleet-shared topology), and checks that no virtual loss leaks on either
+// side once every search completes. Run under -race in CI.
+func TestTransTableConcurrent(t *testing.T) {
+	tt := NewTransTableSharded(128, 4)
+	const workers = 4
+	var wg sync.WaitGroup
+	trees := make([]*Tree, workers)
+	for w := 0; w < workers; w++ {
+		trees[w] = New(DefaultConfig(), 1<<13)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := trees[w]
+			r := rng.New(uint64(w) + 1)
+			actions := []int{0, 1, 2}
+			priors := []float32{0.5, 0.3, 0.2}
+			for p := 0; p < 400; p++ {
+				idx := tr.Root()
+				tr.ApplyVirtualLoss(idx, true)
+				depth := 0
+				for tr.Node(idx).Expanded() {
+					idx = tr.SelectChild(idx)
+					tr.ApplyVirtualLoss(idx, true)
+					depth++
+				}
+				id := byte(depth*8 + int(tr.Node(idx).Action()%4))
+				entry, _ := tt.Acquire(uint64(id%32), []byte{id})
+				tr.AttachShared(idx, entry)
+				if !tr.Node(idx).Expanded() {
+					tr.Expand(idx, actions, priors)
+				}
+				tr.Backup(idx, r.Float64()*2-1, true)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tt.OutstandingVirtualLoss(); got != 0 {
+		t.Fatalf("shared VL outstanding after quiescence = %d", got)
+	}
+	for w, tr := range trees {
+		if got := tr.OutstandingVirtualLoss(); got != 0 {
+			t.Fatalf("tree %d edge VL outstanding = %d", w, got)
+		}
+	}
+}
+
+// FuzzTransposeTable drives randomized interleavings of search, attach,
+// rebase and eviction against a deliberately tiny table, and checks the two
+// safety properties end-to-end: entries with unequal verification keys are
+// never merged (whatever the hash says), and no virtual loss leaks once the
+// search quiesces.
+func FuzzTransposeTable(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(3))
+	f.Add(uint64(42), uint8(16), uint8(2))
+	f.Add(uint64(0xDEAD), uint8(64), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, nStates, fanout8 uint8) {
+		r := rng.New(seed)
+		states := int(nStates%63) + 2    // distinct synthetic positions
+		fanout := int(fanout8%4) + 2     // tree branching
+		tt := NewTransTableSharded(8, 2) // tiny: exercises eviction + replace
+		tr := New(DefaultConfig(), 1<<13)
+		actions := make([]int, fanout)
+		priors := make([]float32, fanout)
+		for i := range actions {
+			actions[i] = i
+			priors[i] = 1 / float32(fanout)
+		}
+		// owner maps each entry pointer to the verification key it was
+		// created for: one entry must never serve two distinct keys.
+		owner := map[*TransEntry]byte{}
+		rollouts := 150 + r.Intn(150)
+		for p := 0; p < rollouts; p++ {
+			idx := tr.Root()
+			locked := r.Intn(2) == 0
+			tr.ApplyVirtualLoss(idx, locked)
+			depth := 0
+			for tr.Node(idx).Expanded() {
+				idx = tr.SelectChild(idx)
+				tr.ApplyVirtualLoss(idx, locked)
+				depth++
+			}
+			// Synthetic position id; hash deliberately collides (mod 4) so
+			// distinct ids exercise the verification path constantly.
+			id := byte((depth*fanout + int(tr.Node(idx).Action())) % states)
+			entry, hit := tt.Acquire(uint64(id%4), []byte{id})
+			if prev, seen := owner[entry]; seen {
+				if prev != id {
+					t.Fatalf("entry merged two positions: %d and %d", prev, id)
+				}
+				if !hit {
+					// A replaced entry is always a fresh pointer, so a
+					// re-returned pointer must have been a verified hit.
+					t.Fatalf("known entry for %d returned with hit=false", id)
+				}
+			} else {
+				owner[entry] = id
+			}
+			tr.AttachShared(idx, entry)
+			if !tr.Node(idx).Expanded() {
+				tr.Expand(idx, actions, priors)
+			}
+			tr.Backup(idx, r.Float64()*2-1, locked)
+
+			if tr.OutstandingVirtualLoss() != 0 {
+				t.Fatalf("rollout %d: edge VL leaked", p)
+			}
+			if tt.OutstandingVirtualLoss() != 0 {
+				t.Fatalf("rollout %d: shared VL leaked", p)
+			}
+			// Occasional move boundary: promote a child and keep searching
+			// the compacted DAG.
+			if r.Intn(40) == 0 && tr.Node(tr.Root()).Expanded() {
+				best, bestN := -1, -1
+				tr.Children(tr.Root(), func(_ int32, nd *Node) {
+					if nd.Visits() > bestN {
+						best, bestN = nd.Action(), nd.Visits()
+					}
+				})
+				if _, ok := tr.RebaseRoot(best); !ok {
+					t.Fatal("rebase failed on expanded root")
+				}
+			}
+		}
+	})
+}

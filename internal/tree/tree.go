@@ -80,6 +80,14 @@ type Node struct {
 	vl atomic.Int32 // outstanding virtual-loss traversals
 	w  atomic.Int64 // W(s,a): accumulated value, fixed-point wScale
 
+	// stats, when non-nil, points at the transposition table's shared
+	// per-state statistics for the position this node represents. Selection
+	// then reads Q from the shared pool (every in-edge across every
+	// attached tree contributes) while the local n/vl/w keep per-edge
+	// accounting for the exploration term — the DAG-UCT split documented in
+	// transpose.go.
+	stats atomic.Pointer[StateStats]
+
 	terminal  bool    // the game ends at this node
 	termValue float64 // outcome from the perspective of the player to move here
 }
@@ -114,6 +122,10 @@ func (nd *Node) Q() float64 {
 
 // Expanded reports whether children have been attached.
 func (nd *Node) Expanded() bool { return nd.firstChild.Load() != nilNode }
+
+// SharedStats returns the transposition entry's statistics attached to this
+// node, or nil when the node is not transposition-linked.
+func (nd *Node) SharedStats() *StateStats { return nd.stats.Load() }
 
 // Terminal reports whether the node is a game-over state.
 func (nd *Node) Terminal() bool { return nd.terminal }
@@ -322,6 +334,11 @@ func (t *Tree) RebaseRoot(action int) (RebaseStats, bool) {
 		d.n.Store(s.n.Load())
 		d.vl.Store(s.vl.Load())
 		d.w.Store(s.w.Load())
+		// The transposition link survives compaction: entries reference
+		// StateStats blocks, not arena indices, so moving the node cannot
+		// dangle anything — and carrying the pointer is what makes shared
+		// statistics persist across move boundaries.
+		d.stats.Store(s.stats.Load())
 		d.terminal = s.terminal
 		d.termValue = s.termValue
 	}
@@ -375,6 +392,7 @@ func (t *Tree) allocNode(parent, action int32, prior float32) int32 {
 	nd.n.Store(0)
 	nd.vl.Store(0)
 	nd.w.Store(0)
+	nd.stats.Store(nil)
 	nd.terminal = false
 	nd.termValue = 0
 	return idx
@@ -444,10 +462,32 @@ func (t *Tree) Children(idx int32, f func(child int32, nd *Node)) {
 
 // score computes the PUCT score (Equation 1) of a child edge, adjusted for
 // the configured virtual-loss mode.
+//
+// For transposition-linked children (SharedStats non-nil) the Q term comes
+// from the shared per-state statistics — negated, because the table stores
+// values from the perspective of the player to move AT the state while the
+// selecting parent is that player's opponent — so every line converging on
+// the position contributes. The exploration term keeps the LOCAL edge
+// counts (n, vl of this in-edge): sqrt(parentVisits)/(1+nEff) is a
+// progressive-widening schedule over the parent's own playouts, and
+// inflating nEff with visits that arrived through other parents would
+// starve the edge of exploration it never received. This is the UCT2-style
+// "shared value, local counts" backup rule of transposition-table MCTS.
 func (t *Tree) score(parentVisits float64, child *Node) float64 {
-	n := float64(child.n.Load())
-	vl := float64(child.vl.Load())
+	localN := float64(child.n.Load())
+	localVL := float64(child.vl.Load())
+	n, vl := localN, localVL
 	w := float64(child.w.Load()) / wScale
+	ss := child.stats.Load()
+	if ss != nil {
+		// Replace the edge's value statistics with the shared pool's.
+		// Sign: w_edge accumulates -v per backup where v is the state
+		// mover's value, and w_state accumulates +v, over the same set of
+		// traversals — so the shared Q seen from the parent is -(w_s/n_s).
+		n = float64(ss.n.Load())
+		vl = float64(ss.vl.Load())
+		w = -float64(ss.w.Load()) / wScale
+	}
 
 	var q, nEff float64
 	switch t.cfg.VLMode {
@@ -467,6 +507,13 @@ func (t *Tree) score(parentVisits float64, child *Node) float64 {
 		nEff = n + vl
 		if n > 0 {
 			q = w / n
+		}
+	}
+	if ss != nil {
+		// Exploration uses the local edge count even when Q is shared.
+		nEff = localN
+		if t.cfg.VLMode != VLNone {
+			nEff += localVL
 		}
 	}
 	u := t.cfg.CPuct * float64(child.prior) * math.Sqrt(parentVisits) / (1 + nEff)
@@ -515,13 +562,47 @@ func (t *Tree) SelectChild(idx int32) int32 {
 // lock" step; pass locked=false on the single-owner master thread.
 func (t *Tree) ApplyVirtualLoss(idx int32, locked bool) {
 	nd := &t.nodes[idx]
+	// A transposition-linked edge also marks the traversal on the shared
+	// per-state counter so concurrent lines through OTHER in-edges see the
+	// in-flight work. The shared bump stays inside the node mutex in locked
+	// mode so it cannot race AttachShared's edge-VL transfer (which would
+	// double-count this unit); Backup drains the shared unit iff it drains
+	// the edge unit, keeping the two counters paired.
 	if locked {
 		nd.mu.Lock()
 		nd.vl.Add(1)
+		if ss := nd.stats.Load(); ss != nil {
+			ss.vl.Add(1)
+		}
 		nd.mu.Unlock()
 	} else {
 		nd.vl.Add(1)
+		if ss := nd.stats.Load(); ss != nil {
+			ss.vl.Add(1)
+		}
 	}
+}
+
+// AttachShared links node idx to a transposition entry's shared statistics.
+// Idempotent: only the first attach takes effect (a node represents one
+// position, so racing attachers carry the same entry). Any virtual loss
+// already outstanding on the edge is transferred to the shared counter so
+// the pairing invariant (shared VL = Σ edge VL over attached in-edges)
+// holds from the moment of attachment.
+func (t *Tree) AttachShared(idx int32, e *TransEntry) {
+	if e == nil {
+		return
+	}
+	nd := &t.nodes[idx]
+	nd.mu.Lock()
+	if nd.stats.Load() == nil {
+		ss := &e.stats
+		nd.stats.Store(ss)
+		if vl := nd.vl.Load(); vl > 0 {
+			ss.vl.Add(vl)
+		}
+	}
+	nd.mu.Unlock()
 }
 
 // Backup propagates a leaf evaluation to the root (Section 2.1 step 3),
@@ -539,8 +620,28 @@ func (t *Tree) Backup(leaf int32, value float64, locked bool) {
 		}
 		nd.n.Add(1)
 		nd.w.Add(int64(v * wScale))
+		drained := false
 		if nd.vl.Load() > 0 {
 			nd.vl.Add(-1)
+			drained = true
+		}
+		// The shared update stays inside the node mutex (locked mode) so it
+		// serialises with AttachShared's edge-VL transfer: draining the
+		// edge before the transfer but the shared pool after it would push
+		// the shared counter negative.
+		if ss := nd.stats.Load(); ss != nil {
+			// Shared per-state statistics accumulate from the perspective
+			// of the player to move AT the state: -v, since v at this level
+			// is the parent's (selecting player's) perspective.
+			ss.n.Add(1)
+			ss.w.Add(int64(-v * wScale))
+			// Drain the shared virtual loss only when this backup drained
+			// the edge's own unit: a traversal that never applied VL (the
+			// serial engines) must not consume another line's in-flight
+			// marker through the shared pool.
+			if drained {
+				ss.vl.Add(-1)
+			}
 		}
 		if locked {
 			nd.mu.Unlock()

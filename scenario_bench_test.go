@@ -82,3 +82,52 @@ func BenchmarkScenarioEpisode(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScenarioSearchTransposed is the same warm move cycle with a
+// transposition table: the DAG probe replaces part of the evaluation demand
+// with table hits, so evals/move drops below playouts/move by the game's
+// transposition rate (BENCH_transposition.json has the off/on deltas).
+func BenchmarkScenarioSearchTransposed(b *testing.B) {
+	for _, spec := range scenarioSpecs {
+		b.Run(spec, func(b *testing.B) {
+			g, err := game.NewFromSpec(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := mcts.DefaultConfig()
+			cfg.Playouts = 200
+			cfg.ReuseTree = true
+			cfg.Seed = 9
+			cfg.TransposeSize = 1 << 16
+			e := mcts.NewShared(cfg, 4, &evaluate.Random{})
+			defer e.Close()
+			dist := make([]float32, g.NumActions())
+			st := g.NewInitial()
+			playouts, evals, hits := 0, 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if st.Terminal() {
+					b.StopTimer()
+					e.Advance(mcts.DiscardTree)
+					st = g.NewInitial()
+					b.StartTimer()
+				}
+				s := e.Search(st, dist)
+				playouts += s.Playouts
+				evals += s.Evaluations
+				hits += s.TransHits
+				a := train.SampleAction(nil, dist, 0)
+				if a < 0 {
+					a = st.LegalMoves(nil)[0]
+				}
+				st.Play(a)
+				if !st.Terminal() {
+					e.Advance(a)
+				}
+			}
+			b.ReportMetric(float64(playouts)/float64(b.N), "playouts/move")
+			b.ReportMetric(float64(evals)/float64(b.N), "evals/move")
+			b.ReportMetric(float64(hits)/float64(b.N), "hits/move")
+		})
+	}
+}
