@@ -1,0 +1,167 @@
+// Command serve runs the networked play service: an HTTP/JSON move API
+// (API.md) over a session manager that keeps one persistent warm search
+// session per active game, multiplexing every game through a single shared
+// inference service. Operational guidance — eviction and backpressure
+// knobs, drain semantics, the /statsz field reference — lives in
+// OPERATIONS.md.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-game tictactoe] [-playouts 200] [-reuse]
+//	      [-workers 1] [-sessions 1024] [-idle-ttl 10m]
+//	      [-batch 8] [-flush-deadline 2ms] [-max-outstanding 256]
+//	      [-max-concurrent 0] [-retry-after 500ms]
+//	      [-cache 65536] [-transpose off] [-kernel avx2]
+//	      [-ckpt dir | -full-net] [-seed 1]
+//
+// On SIGINT/SIGTERM the server drains: new requests get 503, in-flight
+// moves finish and are answered, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/checkpoint"
+	"github.com/parmcts/parmcts/internal/game/games"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/serve"
+	"github.com/parmcts/parmcts/internal/tensor"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		gameSpec = flag.String("game", "tictactoe", games.FlagHelp())
+		playouts = flag.Int("playouts", 200, "per-move playout budget")
+		reuse    = flag.Bool("reuse", true, "persistent sessions: retain the played subtree across a game's moves")
+		workers  = flag.Int("workers", 1, "rollout workers per session (1 = serial engine; concurrency comes from concurrent games)")
+
+		sessions = flag.Int("sessions", 1024, "session budget: creating a game beyond it evicts the least-recently-used session")
+		idleTTL  = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle longer than this (negative disables)")
+
+		batch          = flag.Int("batch", 8, "inference batch flush threshold")
+		flushDeadline  = flag.Duration("flush-deadline", 0, "partial-batch flush deadline (0 = library default)")
+		maxOutstanding = flag.Int("max-outstanding", 256, "inference backpressure bound (submitted, unanswered evaluations)")
+		maxConcurrent  = flag.Int("max-concurrent", 0, "admission control: concurrent move searches before 429 (0 = max-outstanding/workers)")
+		retryAfter     = flag.Duration("retry-after", 500*time.Millisecond, "Retry-After hint on 429/503 responses")
+
+		cacheSize = flag.Int("cache", 1<<16, "shared evaluation cache entries (0 = default, negative disables)")
+		transpose = flag.String("transpose", "off", tree.TransposeFlagHelp())
+		kernel    = flag.String("kernel", "", "force the tensor micro-kernel class: "+strings.Join(tensor.Kernels(), ", ")+" (default: best available)")
+
+		ckptDir = flag.String("ckpt", "", "serve the latest network from this checkpoint store (cmd/train -ckpt)")
+		fullNet = flag.Bool("full-net", false, "without -ckpt: serve a fresh full 5-conv+3-FC network instead of the tiny one")
+		seed    = flag.Uint64("seed", 1, "run seed (fresh-network init and per-session search seeds)")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	if *kernel != "" {
+		if _, err := tensor.SetKernel(*kernel); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(2)
+		}
+	}
+
+	g := games.ResolveFlag("serve", *gameSpec, "tictactoe")
+	c, h, w := g.EncodedShape()
+
+	// Model: latest checkpoint when -ckpt is given, else a fresh network.
+	var net *nn.Network
+	version := int64(1)
+	if *ckptDir != "" {
+		store, err := checkpoint.NewStore(*ckptDir)
+		if err != nil {
+			fail(err)
+		}
+		loaded, m, err := store.LoadLatest()
+		if err != nil {
+			fail(fmt.Errorf("checkpoint store %s: %w", store.Dir(), err))
+		}
+		if m.Game != "" && games.SpecName(m.Game) != g.Name() {
+			fail(fmt.Errorf("checkpoint store %s was trained on %q, not -game %s", store.Dir(), m.Game, *gameSpec))
+		}
+		if loaded.Cfg.InC != c || loaded.Cfg.H != h || loaded.Cfg.W != w || loaded.Cfg.NumActions != g.NumActions() {
+			fail(fmt.Errorf("checkpoint network shape %dx%dx%d/%d does not match -game %s",
+				loaded.Cfg.InC, loaded.Cfg.H, loaded.Cfg.W, loaded.Cfg.NumActions, *gameSpec))
+		}
+		net = loaded
+		if m.Version > 0 {
+			version = m.Version
+		}
+		fmt.Printf("serving checkpoint version %d from %s\n", m.Version, store.Dir())
+	} else if *fullNet {
+		net = nn.MustNew(nn.GomokuConfig(c, h, w, g.NumActions()), rng.New(*seed))
+	} else {
+		net = nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(*seed))
+	}
+
+	search := mcts.DefaultConfig()
+	search.Playouts = *playouts
+	search.ReuseTree = *reuse
+	search.Seed = *seed
+
+	svc := serve.NewService(serve.Config{
+		Game:               g,
+		GameSpec:           *gameSpec,
+		Search:             search,
+		SearchWorkers:      *workers,
+		MaxSessions:        *sessions,
+		IdleTTL:            *idleTTL,
+		MaxConcurrentMoves: *maxConcurrent,
+		RetryAfter:         *retryAfter,
+		Batch:              *batch,
+		FlushDeadline:      *flushDeadline,
+		MaxOutstanding:     *maxOutstanding,
+		CacheSize:          *cacheSize,
+		TransposeSize:      tree.ResolveTransposeFlag("serve", *transpose),
+		Net:                net,
+		InitialVersion:     version,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Printf("serve: %s on %s (playouts=%d reuse=%v sessions=%d batch=%d max-outstanding=%d)\n",
+		*gameSpec, *addr, *playouts, *reuse, *sessions, *batch, *maxOutstanding)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail(err)
+	case sig := <-sigc:
+		fmt.Printf("serve: %v — draining\n", sig)
+	}
+
+	// Drain: stop admitting new work, let the HTTP layer finish answering
+	// in-flight moves, then tear the sessions and inference service down.
+	svc.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+	}
+	svc.Close()
+	st := svc.Stats()
+	fmt.Printf("serve: drained cleanly (games=%d moves=%d evicted=%d rejected=%d)\n",
+		st.SessionsCreated, st.MovesServed, st.SessionsEvicted, st.MovesRejected)
+}

@@ -9,9 +9,9 @@
 // design-time profiling workflow, the O(log N) accelerator batch-size
 // search (Algorithm 4), and the adaptive framework that selects among them.
 // Every substrate is built from scratch on the standard library: the
-// policy/value network (5 conv + 3 FC with training), five game
-// environments behind one registry (Gomoku, Connect-4, tic-tac-toe,
-// Othello with pass moves, Hex), the arena-backed search tree, the FIFO and
+// policy/value network (5 conv + 3 FC with training), the game
+// environments behind one registry (the Scenarios section below lists the
+// catalogue), the arena-backed search tree, the FIFO and
 // accelerator-queue plumbing, a simulated accelerator with an explicit
 // latency model, and a discrete-event timeline simulator that regenerates
 // the paper's latency figures deterministically.
@@ -238,6 +238,36 @@
 // the SGD sampling source and the default without the flag; a storage
 // error never stops training — the store degrades to read-only, the run
 // continues on the ring, and the degradation is reported at exit.
+//
+// # Networked serving
+//
+// internal/serve puts the whole stack behind a wire: cmd/serve exposes the
+// move API of API.md (POST /v1/game/new, POST /v1/game/{id}/move, GET
+// /v1/game/{id}, plus /healthz and /statsz) over a session manager that
+// owns one persistent warm mcts session per active game — the tree-reuse
+// machinery above working for a remote user's game instead of a self-play
+// worker's — under an LRU + idle-TTL eviction policy with a configurable
+// session budget. Every game is a tenant of ONE shared evaluate.Server, so
+// concurrent users aggregate into full inference batches exactly like the
+// self-play fleet, with a version-scoped shared evaluation cache and
+// per-model-version transposition tables (positions evaluated under
+// different weights are never mixed). Admission control rides the
+// service's MaxOutstanding backpressure bound: a move that would oversubscribe
+// the inference service is rejected with 429 + Retry-After instead of
+// queuing unboundedly. Model swaps are graceful — sessions pin the version
+// they started under, a superseded version is retired when its last pinned
+// session closes — and so is shutdown: SIGTERM stops admission (503),
+// in-flight searches finish and are answered, then sessions and the
+// inference service drain. Eviction is drain-safe down through the engine
+// layer: mcts engines' Close blocks on the session mutex, so an evicted
+// session's in-flight search always finishes on its own tree and is then
+// discarded, never raced. cmd/loadgen drives a running server with N
+// concurrent simulated users playing full games, validates every response
+// against a local rules mirror (a mis-routed move is a hard failure), and
+// records p50/p99 move latency and sustained moves/s (BENCH_serving.json).
+// OPERATIONS.md is the operator's guide: every flag of every binary, the
+// eviction and backpressure knobs, drain semantics, and the /statsz field
+// reference.
 //
 // # Scenarios
 //

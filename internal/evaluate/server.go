@@ -328,6 +328,27 @@ func (s *Server) Stats() ServerStats {
 // Pending returns the number of buffered (not yet launched) requests.
 func (s *Server) Pending() int { return s.batcher.Pending() }
 
+// Outstanding returns the number of backpressure tokens currently held —
+// requests buffered or executing, counted against MaxOutstanding. Zero when
+// the server is unbounded. Admission-control layers (internal/serve) read it
+// to reject new work with a retriable error before a Submit would block.
+func (s *Server) Outstanding() int {
+	if s.sem == nil {
+		return 0
+	}
+	return len(s.sem)
+}
+
+// MaxOutstanding returns the configured backpressure bound (0 = unbounded).
+func (s *Server) MaxOutstanding() int { return s.cfg.MaxOutstanding }
+
+// Saturated reports whether the backpressure bound is currently exhausted:
+// the next Submit would block until an in-flight evaluation completes. A
+// server without a bound is never saturated.
+func (s *Server) Saturated() bool {
+	return s.sem != nil && len(s.sem) == cap(s.sem)
+}
+
 // InFlightBatches returns the number of launches currently executing. The
 // count is decremented only after a launch's completions are visible to its
 // clients, so 0 means no completion can arrive without a new flush.

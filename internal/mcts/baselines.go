@@ -128,8 +128,9 @@ func NewLeafParallel(cfg Config, k int, async evaluate.Async) *LeafParallel {
 // Name implements Engine.
 func (e *LeafParallel) Name() string { return "leaf-parallel" }
 
-// Close implements Engine.
-func (e *LeafParallel) Close() {}
+// Close implements Engine: drains an in-flight Search/Advance and releases
+// the tree (see session.close).
+func (e *LeafParallel) Close() { e.s.close() }
 
 // Advance implements Engine. The sequential tree persists between moves,
 // so the baseline participates in subtree reuse like the serial engine.

@@ -1,0 +1,62 @@
+package mcts
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+)
+
+// TestCloseDrainsInFlightSearch pins the pool-layer eviction contract: an
+// engine Closed while a Search is running on another goroutine must let the
+// search finish on its own tree and only then discard — never free or reset
+// the session under live rollouts. Run under -race in CI (the serve session
+// pool evicts engines exactly this way).
+func TestCloseDrainsInFlightSearch(t *testing.T) {
+	g := tictactoe.New()
+	for _, mk := range []struct {
+		name string
+		make func(cfg Config) Engine
+	}{
+		{"serial", func(cfg Config) Engine {
+			return NewSerial(cfg, &evaluate.Random{Latency: 200 * time.Microsecond})
+		}},
+		{"shared", func(cfg Config) Engine {
+			return NewShared(cfg, 2, &evaluate.Random{Latency: 200 * time.Microsecond})
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Playouts = 64
+			cfg.ReuseTree = true
+			cfg.Seed = 7
+			eng := mk.make(cfg)
+
+			st := g.NewInitial()
+			dist := make([]float32, g.NumActions())
+			var wg sync.WaitGroup
+			started := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				close(started)
+				stats := eng.Search(st.Clone(), dist)
+				if stats.Playouts == 0 {
+					t.Error("in-flight search returned no playouts")
+				}
+			}()
+			<-started
+			// Race Close against the running search: it must block until the
+			// search drains, then discard the tree.
+			eng.Close()
+			wg.Wait()
+
+			// A second Close is a no-op, and a post-Close Advance must not
+			// promote anything from the discarded tree.
+			eng.Close()
+			eng.Advance(0)
+		})
+	}
+}

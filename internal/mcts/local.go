@@ -57,9 +57,13 @@ func NewLocal(cfg Config, async evaluate.Async, maxInFlight int) *Local {
 // Name implements Engine.
 func (e *Local) Name() string { return "local" }
 
-// Close implements Engine. The engine does not own the Async evaluator;
-// the caller closes it (it may be shared across moves).
-func (e *Local) Close() {}
+// Close implements Engine. The engine does not own the Async evaluator —
+// the caller closes it (it may be shared across moves) — but Close does
+// block until an in-flight Search or Advance drains and then releases the
+// tree, so a session pool can evict the engine while a move is searching:
+// Search never returns with an evaluation outstanding, so after the session
+// mutex is acquired nothing of this engine's is in flight.
+func (e *Local) Close() { e.s.close() }
 
 // Advance implements Engine. Like every Local operation it belongs to the
 // single master thread; the session lock orders it against Search, and

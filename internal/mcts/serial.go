@@ -35,8 +35,11 @@ func NewSerial(cfg Config, eval evaluate.Evaluator) *Serial {
 // Name implements Engine.
 func (e *Serial) Name() string { return "serial" }
 
-// Close implements Engine.
-func (e *Serial) Close() {}
+// Close implements Engine. It waits for an in-flight Search or Advance to
+// drain (the session mutex extends to the pool layer) and releases the
+// tree, so a session pool can evict this engine while a move is still
+// searching on another goroutine: the search finishes and is discarded.
+func (e *Serial) Close() { e.s.close() }
 
 // Advance implements Engine.
 func (e *Serial) Advance(action int) { e.s.advance(action) }

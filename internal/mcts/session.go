@@ -147,6 +147,22 @@ func (s *session) finish(stats *Stats) {
 	stats.WastedEvals = int(s.tr.DoubleExpansionsThisGen())
 }
 
+// close extends the session mutex to the pool layer: it blocks until any
+// in-flight Search or Advance has finished, then discards the tree and all
+// warm state. Session pools (internal/serve) evict engines while a move may
+// still be searching on another goroutine; without this barrier the evictor
+// would free or reuse the session under a live rollout. An evicted search
+// therefore always finishes on its own tree and its result is simply
+// discarded — never raced. The engine may be searched again afterwards (the
+// next prepare rebuilds a cold tree), but pools treat close as final.
+func (s *session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr = nil
+	s.warm, s.synced = false, false
+	s.reusedNodes, s.reusedVisits = 0, 0
+}
+
 // rootMatches reports whether the tree root's child actions are exactly
 // st's legal moves — a cheap, best-effort fingerprint used to reject a
 // warm tree that has drifted from the driver's game. It is defence in

@@ -58,8 +58,10 @@ func NewShared(cfg Config, workers int, eval evaluate.Evaluator) *Shared {
 // Name implements Engine.
 func (e *Shared) Name() string { return "shared" }
 
-// Close implements Engine.
-func (e *Shared) Close() {}
+// Close implements Engine. It blocks until an in-flight Search or Advance
+// drains (every worker rollout runs inside the locked Search body) and
+// releases the tree — the drain-safe eviction barrier for session pools.
+func (e *Shared) Close() { e.s.close() }
 
 // Advance implements Engine. The session lock serialises the rebase
 // against a concurrently running Search: the rebase compaction moves

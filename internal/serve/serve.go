@@ -1,0 +1,760 @@
+// Package serve is the networked play service: the first layer of the
+// stack that faces an actual user instead of another goroutine. It exposes
+// the move API of API.md (POST /v1/game/new, POST /v1/game/{id}/move,
+// GET /v1/game/{id}, /healthz, /statsz) over a session manager that owns
+// one persistent warm mcts session per active game — tree reuse across a
+// user's moves via Engine.Advance — with LRU + idle-TTL eviction under a
+// configurable session budget, every tenant multiplexed through ONE
+// version-aware evaluate.Server (so concurrent games aggregate into full
+// inference batches exactly like the self-play fleet), per-model-version
+// shared transposition tables, admission control surfaced as 429 +
+// Retry-After when the MaxOutstanding backpressure bound is reached, and
+// graceful drain on shutdown and on hot model swap (a game started under a
+// version finishes on it — sessions pin their client at creation).
+//
+// See OPERATIONS.md for the operator surface and cmd/serve / cmd/loadgen
+// for the binaries.
+package serve
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/tree"
+)
+
+// Typed request-outcome errors; the HTTP layer maps each to a status code
+// (API.md documents the wire contract).
+var (
+	// ErrNotFound: the game id was never issued by this server.
+	ErrNotFound = errors.New("serve: no such game")
+	// ErrGone: the game id was valid but its session has been evicted
+	// (budget or idle TTL). The client must start a new game.
+	ErrGone = errors.New("serve: game session evicted")
+	// ErrSaturated: admission control rejected the move — the service is at
+	// its concurrent-search/backpressure bound. Retry after a backoff.
+	ErrSaturated = errors.New("serve: service saturated")
+	// ErrDraining: the service is shutting down and accepts no new work.
+	ErrDraining = errors.New("serve: service draining")
+	// ErrGameOver: the game already reached a terminal state.
+	ErrGameOver = errors.New("serve: game is over")
+	// ErrIllegalMove: the submitted action is not legal in the current
+	// position (or is out of range).
+	ErrIllegalMove = errors.New("serve: illegal move")
+	// ErrWrongGame: the request named a different game than this server hosts.
+	ErrWrongGame = errors.New("serve: server hosts a different game")
+)
+
+// Config tunes a Service. Zero values get serving-appropriate defaults.
+type Config struct {
+	// Game is the hosted scenario (required). One server hosts one game
+	// spec; a /v1/game/new naming a different one is rejected.
+	Game game.Game
+	// GameSpec is the registry spec echoed on the wire (e.g. "gomoku:9") so
+	// clients can reconstruct the environment. Defaults to Game.Name().
+	GameSpec string
+
+	// Search is the per-session search configuration. ReuseTree should be
+	// on for serving (it is the point of persistent sessions); cmd/serve
+	// defaults it on. Seed is split per session.
+	Search mcts.Config
+	// SearchWorkers selects the per-session engine: 1 (default) runs the
+	// serial engine — concurrency comes from concurrent games, which is
+	// what fills inference batches — while >1 gives each session a
+	// shared-tree engine with that many rollout workers.
+	SearchWorkers int
+
+	// MaxSessions is the session budget: creating a game beyond it evicts
+	// the least-recently-used session (default 1024). Approximate memory
+	// per session is the search-tree arena: SuggestCapacity(Playouts,
+	// fanout) nodes at ~100 bytes each, plus the game state.
+	MaxSessions int
+	// IdleTTL evicts sessions idle longer than this (default 10m; negative
+	// disables TTL eviction, leaving only the budget).
+	IdleTTL time.Duration
+
+	// MaxConcurrentMoves bounds concurrently searching moves (admission
+	// control). Excess moves are rejected with ErrSaturated rather than
+	// queued, so the client sees 429 + Retry-After instead of unbounded
+	// latency. Default: MaxOutstanding / max(1, SearchWorkers), i.e. the
+	// number of searches whose in-flight evaluations the backpressure
+	// bound can hold without ever blocking a Submit.
+	MaxConcurrentMoves int
+	// RetryAfter is the backoff hint attached to saturation rejections
+	// (default 500ms).
+	RetryAfter time.Duration
+
+	// Batch, FlushDeadline, MaxOutstanding and EvalWorkers configure the
+	// shared evaluate.Server: the flush threshold (default 8 — concurrent
+	// games aggregate into one device batch), the partial-batch deadline
+	// (default evaluate.DefaultFlushDeadline), the backpressure bound
+	// (default 256) and the backend's concurrent-evaluation bound (default
+	// GOMAXPROCS).
+	Batch          int
+	FlushDeadline  time.Duration
+	MaxOutstanding int
+	EvalWorkers    int
+
+	// CacheSize, when positive, shares one version-scoped evaluation cache
+	// across all sessions (entries; default 1<<16, negative disables).
+	CacheSize int
+	// TransposeSize, when positive, gives each model version a shared
+	// transposition table of that many entries: every session pinned to a
+	// version shares that version's table, and the table is dropped with
+	// the version — positions evaluated under different weights are never
+	// mixed (default off).
+	TransposeSize int
+
+	// Net is the initial serving model (required unless NewEvaluator is
+	// set and never touches its net argument).
+	Net *nn.Network
+	// InitialVersion is the model version Net serves as (default 1).
+	InitialVersion int64
+	// NewEvaluator builds the synchronous evaluator for a model version
+	// (test seam; default evaluate.NewNN(net)). The result is wrapped in
+	// the shared version-scoped cache when CacheSize > 0.
+	NewEvaluator func(version int64, net *nn.Network) evaluate.Evaluator
+	// Now is the clock used for idle eviction (test seam; default time.Now).
+	Now func() time.Time
+}
+
+func (c *Config) setDefaults() {
+	if c.Game == nil {
+		panic("serve: Config.Game is required")
+	}
+	if c.GameSpec == "" {
+		c.GameSpec = c.Game.Name()
+	}
+	if c.SearchWorkers < 1 {
+		c.SearchWorkers = 1
+	}
+	if c.MaxSessions < 1 {
+		c.MaxSessions = 1024
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 10 * time.Minute
+	}
+	if c.Batch < 1 {
+		c.Batch = 8
+	}
+	if c.FlushDeadline == 0 {
+		c.FlushDeadline = evaluate.DefaultFlushDeadline
+	}
+	if c.MaxOutstanding < 1 {
+		c.MaxOutstanding = 256
+	}
+	if c.EvalWorkers < 1 {
+		c.EvalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConcurrentMoves < 1 {
+		c.MaxConcurrentMoves = c.MaxOutstanding / c.SearchWorkers
+		if c.MaxConcurrentMoves < 1 {
+			c.MaxConcurrentMoves = 1
+		}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1 << 16
+	}
+	if c.InitialVersion <= 0 {
+		c.InitialVersion = 1
+	}
+	if c.NewEvaluator == nil {
+		c.NewEvaluator = func(_ int64, net *nn.Network) evaluate.Evaluator {
+			return evaluate.NewNN(net)
+		}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// versionState is the service's per-model-version bookkeeping: how many
+// live sessions are pinned to it and the transposition table they share.
+// A superseded version is retired (backend unregistered, cache entries
+// evicted, table dropped) when its last session closes.
+type versionState struct {
+	refs int
+	tt   *tree.TransTable
+}
+
+// Service is the networked play service. Construct with NewService, mount
+// Handler() on an HTTP server, and Close() on shutdown (after the HTTP
+// server has drained its in-flight requests).
+type Service struct {
+	cfg   Config
+	game  game.Game
+	srv   *evaluate.Server
+	cache *evaluate.Cached
+	admit chan struct{}
+	start time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*gameSession
+	lru      *list.List // front = most recently used
+	// evicted holds bounded tombstones of evicted/completed-and-dropped
+	// session ids so a client polling a dead game gets 410 Gone instead of
+	// an indistinguishable 404.
+	evicted      map[string]struct{}
+	evictedOrder []string
+	versions     map[int64]*versionState
+	current      int64
+	draining     bool
+	seedCounter  uint64
+
+	created    atomic.Int64
+	evictedN   atomic.Int64
+	completed  atomic.Int64
+	moves      atomic.Int64
+	rejected   atomic.Int64
+	activeMov  atomic.Int64
+	reusedVis  atomic.Int64
+	playoutsN  atomic.Int64
+	evalsN     atomic.Int64
+	transHitsN atomic.Int64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewService builds the service: one evaluate.Server multiplexing every
+// session, the initial model registered under Config.InitialVersion, and
+// the idle-eviction janitor running.
+func NewService(cfg Config) *Service {
+	cfg.setDefaults()
+	s := &Service{
+		cfg:      cfg,
+		game:     cfg.Game,
+		admit:    make(chan struct{}, cfg.MaxConcurrentMoves),
+		start:    cfg.Now(),
+		sessions: make(map[string]*gameSession),
+		lru:      list.New(),
+		evicted:  make(map[string]struct{}),
+		versions: make(map[int64]*versionState),
+		current:  cfg.InitialVersion,
+	}
+	eval0 := cfg.NewEvaluator(cfg.InitialVersion, cfg.Net)
+	if cfg.CacheSize > 0 {
+		s.cache = evaluate.NewCachedSharded(eval0, cfg.CacheSize, 16)
+	}
+	s.srv = evaluate.NewServer(s.wrapBackend(cfg.InitialVersion, eval0), evaluate.ServerConfig{
+		Batch:          cfg.Batch,
+		FlushDeadline:  cfg.FlushDeadline,
+		MaxOutstanding: cfg.MaxOutstanding,
+		InitialVersion: cfg.InitialVersion,
+	})
+	s.versions[cfg.InitialVersion] = &versionState{tt: s.newTransTable()}
+	if cfg.IdleTTL > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
+	return s
+}
+
+func (s *Service) newTransTable() *tree.TransTable {
+	if s.cfg.TransposeSize <= 0 {
+		return nil
+	}
+	return tree.NewTransTable(s.cfg.TransposeSize)
+}
+
+// makeBackend builds the evaluate backend serving one model version:
+// the configured evaluator wrapped in the version's view of the shared
+// cache, behind a bounded worker pool.
+func (s *Service) makeBackend(version int64, net *nn.Network) evaluate.Backend {
+	return s.wrapBackend(version, s.cfg.NewEvaluator(version, net))
+}
+
+func (s *Service) wrapBackend(version int64, eval evaluate.Evaluator) evaluate.Backend {
+	if s.cache != nil {
+		eval = s.cache.View(version, eval)
+	}
+	return &evaluate.EvaluatorBackend{Eval: eval, Workers: s.cfg.EvalWorkers}
+}
+
+// Server exposes the shared inference service (tests, stats).
+func (s *Service) Server() *evaluate.Server { return s.srv }
+
+// GameSpec returns the wire spec of the hosted game.
+func (s *Service) GameSpec() string { return s.cfg.GameSpec }
+
+// Swap hot-swaps the serving model: net is registered as a fresh version
+// (current+1) and becomes current. Sessions created before the swap keep
+// their pinned version — their in-flight and future searches still evaluate
+// on the model they started the game with — and the superseded version is
+// retired (backend unregistered, cache entries evicted, transposition table
+// dropped) when its last pinned session closes. Returns the new version.
+func (s *Service) Swap(net *nn.Network) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.current
+	v := old + 1
+	s.srv.SwapBackend(s.makeBackend(v, net), v)
+	s.versions[v] = &versionState{tt: s.newTransTable()}
+	s.current = v
+	if st := s.versions[old]; st != nil && st.refs == 0 {
+		s.retireLocked(old)
+	}
+	return v
+}
+
+// retireLocked drops a superseded version with no remaining sessions.
+// Caller holds s.mu; the version must not be current.
+func (s *Service) retireLocked(version int64) {
+	delete(s.versions, version)
+	s.srv.Retire(version)
+	if s.cache != nil {
+		s.cache.ResetVersion(version)
+	}
+}
+
+// releaseVersion decrements a version's session refcount, retiring it when
+// it was superseded and this was its last session.
+func (s *Service) releaseVersion(version int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.versions[version]
+	if st == nil {
+		return
+	}
+	st.refs--
+	if st.refs <= 0 && version != s.current {
+		s.retireLocked(version)
+	}
+}
+
+// newID mints a session id: 12 random hex characters.
+func newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewGame creates a session. engineStarts chooses which side the engine
+// plays: false (the default) seats the engine as the second mover, so the
+// response leaves the user to move; true makes the engine play the first
+// move before the response. Returns the initial snapshot (including the
+// engine's opening move and its search stats when engineStarts).
+func (s *Service) NewGame(engineStarts bool) (Snapshot, *MoveStats, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Snapshot{}, nil, ErrDraining
+	}
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		if !s.evictLRULocked() {
+			break
+		}
+	}
+	id := newID()
+	for _, dup := s.sessions[id]; dup; _, dup = s.sessions[id] {
+		id = newID()
+	}
+	version := s.current
+	vs := s.versions[version]
+	vs.refs++
+	s.seedCounter++
+	sess := s.newSession(id, version, engineStarts, s.seedCounter, vs.tt)
+	s.sessions[id] = sess
+	sess.elem = s.lru.PushFront(sess)
+	sess.lastUsed = s.cfg.Now()
+	s.created.Add(1)
+	s.mu.Unlock()
+
+	if !engineStarts {
+		snap, err := s.snapshot(sess)
+		return snap, nil, err
+	}
+	// The engine opens: run its first search inside the creation request.
+	if !s.acquire() {
+		// Roll the session back — the client will retry the whole create.
+		s.dropSession(sess, true)
+		s.rejected.Add(1)
+		return Snapshot{}, nil, ErrSaturated
+	}
+	defer s.release()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return Snapshot{}, nil, ErrGone
+	}
+	ms := s.engineMove(sess)
+	return s.snapshotLocked(sess), ms, nil
+}
+
+// newSession builds the per-game state: a sync client pinned to the
+// session's model version, and a serial (or shared) engine over it.
+func (s *Service) newSession(id string, version int64, engineStarts bool, seedSalt uint64, tt *tree.TransTable) *gameSession {
+	cl := s.srv.NewSyncClient()
+	cl.Pin(version)
+	cfg := s.cfg.Search
+	cfg.Seed = cfg.Seed*0x9E3779B97F4A7C15 + seedSalt
+	cfg.TransposeTable = tt
+	cfg.TransposeSize = 0
+	var eng mcts.Engine
+	if s.cfg.SearchWorkers > 1 {
+		eng = mcts.NewShared(cfg, s.cfg.SearchWorkers, cl)
+	} else {
+		eng = mcts.NewSerial(cfg, cl)
+	}
+	side := game.P2
+	if engineStarts {
+		side = game.P1
+	}
+	return &gameSession{
+		id:         id,
+		version:    version,
+		engineSide: side,
+		st:         s.game.NewInitial(),
+		engine:     eng,
+		cl:         cl,
+		rnd:        rng.New(cfg.Seed ^ 0xC0FFEE),
+		dist:       make([]float32, s.game.NumActions()),
+	}
+}
+
+// acquire takes an admission token without blocking; false means the
+// service is at its concurrent-move bound (or the inference backpressure
+// bound is exhausted) and the caller must answer 429.
+func (s *Service) acquire() bool {
+	if s.srv.Saturated() {
+		return false
+	}
+	select {
+	case s.admit <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Service) release() { <-s.admit }
+
+// Move applies the user's action to the game, then (unless the game ended)
+// runs the engine's reply search on the session's warm tree and applies the
+// engine's move. The returned snapshot reflects the position after both
+// moves; stats describe the engine's search (nil when the user's move ended
+// the game).
+func (s *Service) Move(id string, action int) (Snapshot, *MoveStats, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Snapshot{}, nil, ErrDraining
+	}
+	sess, ok := s.sessions[id]
+	if !ok {
+		_, gone := s.evicted[id]
+		s.mu.Unlock()
+		if gone {
+			return Snapshot{}, nil, ErrGone
+		}
+		return Snapshot{}, nil, ErrNotFound
+	}
+	s.lru.MoveToFront(sess.elem)
+	sess.lastUsed = s.cfg.Now()
+	s.mu.Unlock()
+
+	if !s.acquire() {
+		s.rejected.Add(1)
+		return Snapshot{}, nil, ErrSaturated
+	}
+	defer s.release()
+	s.activeMov.Add(1)
+	defer s.activeMov.Add(-1)
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return Snapshot{}, nil, ErrGone
+	}
+	if sess.done {
+		return Snapshot{}, nil, ErrGameOver
+	}
+	if action < 0 || action >= s.game.NumActions() || !sess.st.Legal(action) {
+		return Snapshot{}, nil, ErrIllegalMove
+	}
+	sess.st.Play(action)
+	sess.ply++
+	sess.engine.Advance(action)
+	s.moves.Add(1)
+
+	if sess.st.Terminal() {
+		s.finishLocked(sess)
+		return s.snapshotLocked(sess), nil, nil
+	}
+	ms := s.engineMove(sess)
+	return s.snapshotLocked(sess), ms, nil
+}
+
+// engineMove runs one engine search + move on a locked, live session and
+// returns its stats. Caller holds sess.mu and an admission token.
+func (s *Service) engineMove(sess *gameSession) *MoveStats {
+	start := time.Now()
+	st := sess.engine.Search(sess.st, sess.dist)
+	best := -1
+	var bestV float32
+	for a, p := range sess.dist {
+		if p > bestV {
+			best, bestV = a, p
+		}
+	}
+	if best < 0 {
+		// Degenerate distribution (e.g. root expansion rejected at a full
+		// tree): fall back to a uniformly random legal move.
+		legal := sess.st.LegalMoves(nil)
+		best = legal[sess.rnd.Intn(len(legal))]
+	}
+	sess.st.Play(best)
+	sess.ply++
+	sess.engine.Advance(best)
+	sess.searches++
+	sess.stats.Add(st)
+	s.moves.Add(1)
+	s.reusedVis.Add(int64(st.ReusedVisits))
+	s.playoutsN.Add(int64(st.Playouts))
+	s.evalsN.Add(int64(st.Evaluations))
+	s.transHitsN.Add(int64(st.TransHits))
+	if sess.st.Terminal() {
+		s.finishLocked(sess)
+	}
+	return &MoveStats{
+		Action:        best,
+		Playouts:      st.Playouts,
+		Evaluations:   st.Evaluations,
+		ReusedVisits:  st.ReusedVisits,
+		ReuseFraction: st.ReuseFraction(),
+		TransHits:     st.TransHits,
+		DurationMS:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+}
+
+// finishLocked marks a session's game complete. The session stays
+// queryable until evicted, but moves to the LRU tail so budget pressure
+// reclaims finished games first. Caller holds sess.mu.
+func (s *Service) finishLocked(sess *gameSession) {
+	sess.done = true
+	s.completed.Add(1)
+	s.mu.Lock()
+	if sess.elem != nil {
+		s.lru.MoveToBack(sess.elem)
+	}
+	s.mu.Unlock()
+}
+
+// Get returns the current snapshot of a session without touching its LRU
+// position (polling a game does not keep it warm).
+func (s *Service) Get(id string) (Snapshot, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		_, gone := s.evicted[id]
+		s.mu.Unlock()
+		if gone {
+			return Snapshot{}, ErrGone
+		}
+		return Snapshot{}, ErrNotFound
+	}
+	s.mu.Unlock()
+	return s.snapshot(sess)
+}
+
+func (s *Service) snapshot(sess *gameSession) (Snapshot, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return Snapshot{}, ErrGone
+	}
+	return s.snapshotLocked(sess), nil
+}
+
+// snapshotLocked renders the wire view of a session. Caller holds sess.mu.
+func (s *Service) snapshotLocked(sess *gameSession) Snapshot {
+	snap := Snapshot{
+		ID:           sess.id,
+		Game:         s.cfg.GameSpec,
+		Ply:          sess.ply,
+		ToMove:       int(sess.st.ToMove()),
+		EngineSide:   int(sess.engineSide),
+		Terminal:     sess.done,
+		Winner:       int(sess.st.Winner()),
+		ModelVersion: sess.version,
+	}
+	if !sess.done {
+		snap.Legal = sess.st.LegalMoves(nil)
+	}
+	return snap
+}
+
+// evictLRULocked evicts the least-recently-used session. Caller holds
+// s.mu. The map/LRU removal is synchronous — no new request can route to
+// the session — while the engine teardown runs on its own goroutine
+// because it must wait for any in-flight search to drain (mcts engine
+// Close blocks on the session mutex): an evicted in-flight search finishes
+// and is discarded, never raced. Returns false when the LRU is empty.
+func (s *Service) evictLRULocked() bool {
+	back := s.lru.Back()
+	if back == nil {
+		return false
+	}
+	sess := back.Value.(*gameSession)
+	s.removeLocked(sess)
+	s.evictedN.Add(1)
+	go sess.shutdown(s)
+	return true
+}
+
+// removeLocked unlinks a session from the map and LRU and records its
+// tombstone. Caller holds s.mu.
+func (s *Service) removeLocked(sess *gameSession) {
+	delete(s.sessions, sess.id)
+	if sess.elem != nil {
+		s.lru.Remove(sess.elem)
+		sess.elem = nil
+	}
+	s.evicted[sess.id] = struct{}{}
+	s.evictedOrder = append(s.evictedOrder, sess.id)
+	const tombstones = 4096
+	for len(s.evictedOrder) > tombstones {
+		delete(s.evicted, s.evictedOrder[0])
+		s.evictedOrder = s.evictedOrder[1:]
+	}
+}
+
+// dropSession removes and tears down one session (rollback/eviction path).
+func (s *Service) dropSession(sess *gameSession, countEvict bool) {
+	s.mu.Lock()
+	if _, live := s.sessions[sess.id]; live {
+		s.removeLocked(sess)
+		if countEvict {
+			s.evictedN.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	sess.shutdown(s)
+}
+
+// janitor evicts idle sessions every IdleTTL/4.
+func (s *Service) janitor() {
+	defer close(s.janitorDone)
+	tick := time.NewTicker(s.cfg.IdleTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			cutoff := s.cfg.Now().Add(-s.cfg.IdleTTL)
+			s.mu.Lock()
+			var idle []*gameSession
+			for e := s.lru.Back(); e != nil; {
+				prev := e.Prev()
+				sess := e.Value.(*gameSession)
+				if sess.lastUsed.Before(cutoff) {
+					idle = append(idle, sess)
+					s.removeLocked(sess)
+					s.evictedN.Add(1)
+				}
+				e = prev
+			}
+			s.mu.Unlock()
+			for _, sess := range idle {
+				go sess.shutdown(s)
+			}
+		}
+	}
+}
+
+// Drain stops admission of new games and moves (handlers answer 503).
+// In-flight moves keep running; call Close to wait for them.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Close drains the service and tears everything down: every session is
+// closed (waiting for its in-flight search to finish — the drain-safe
+// eviction barrier), superseded versions are retired, and the shared
+// inference server is shut down. Call after the HTTP server has stopped
+// dispatching requests (http.Server.Shutdown).
+func (s *Service) Close() {
+	s.Drain()
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
+	s.mu.Lock()
+	all := make([]*gameSession, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	for _, sess := range all {
+		s.removeLocked(sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range all {
+		sess.shutdown(s) // synchronous: waits for in-flight searches
+	}
+	s.srv.Close()
+}
+
+// gameSession is one user's persistent game: the live state, the warm
+// search engine following it move by move, and the pinned inference client.
+// mu serialises moves and extends down into the engine's own session mutex
+// (Search/Advance/Close), so the pool's eviction path and the move path can
+// never race on the tree.
+type gameSession struct {
+	id         string
+	version    int64
+	engineSide game.Player
+
+	mu     sync.Mutex
+	st     game.State
+	engine mcts.Engine
+	cl     *evaluate.Client
+	rnd    *rng.Rand
+	dist   []float32
+	closed bool
+	done   bool
+	ply    int
+
+	searches int
+	stats    mcts.Stats
+
+	elem     *list.Element // guarded by Service.mu
+	lastUsed time.Time     // guarded by Service.mu
+}
+
+// shutdown finishes a session: it waits for an in-flight move to complete
+// (session mutex), marks the session closed so late requests get ErrGone,
+// closes the engine (which drains and discards the tree) and the pinned
+// client, and releases the session's hold on its model version.
+func (sess *gameSession) shutdown(s *Service) {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return
+	}
+	sess.closed = true
+	sess.engine.Close()
+	sess.cl.Close()
+	sess.mu.Unlock()
+	s.releaseVersion(sess.version)
+}
