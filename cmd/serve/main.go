@@ -48,8 +48,9 @@ func main() {
 		reuse    = flag.Bool("reuse", true, "persistent sessions: retain the played subtree across a game's moves")
 		workers  = flag.Int("workers", 1, "rollout workers per session (1 = serial engine; concurrency comes from concurrent games)")
 
-		sessions = flag.Int("sessions", 1024, "session budget: creating a game beyond it evicts the least-recently-used session")
-		idleTTL  = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle longer than this (negative disables)")
+		sessions   = flag.Int("sessions", 1024, "session budget: creating a game beyond it evicts the least-recently-used session")
+		idleTTL    = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle longer than this (negative disables)")
+		tombstones = flag.Int("tombstones", 4096, "evicted-game tombstone window: the last N evicted ids answer 410 Gone instead of 404")
 
 		batch          = flag.Int("batch", 8, "inference batch flush threshold")
 		flushDeadline  = flag.Duration("flush-deadline", 0, "partial-batch flush deadline (0 = library default)")
@@ -122,6 +123,7 @@ func main() {
 		SearchWorkers:      *workers,
 		MaxSessions:        *sessions,
 		IdleTTL:            *idleTTL,
+		TombstoneBudget:    *tombstones,
 		MaxConcurrentMoves: *maxConcurrent,
 		RetryAfter:         *retryAfter,
 		Batch:              *batch,

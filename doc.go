@@ -239,6 +239,32 @@
 // error never stops training — the store degrades to read-only, the run
 // continues on the ring, and the degradation is reported at exit.
 //
+// # Distributed self-play
+//
+// internal/dist splits the continuous loop across processes: N cmd/worker
+// processes each run a self-play fleet (the same selfplay.Driver, engines,
+// shared local inference service and per-game version pinning as
+// cmd/train) and stream finished trajectories to one cmd/learner, which
+// owns the replay ring, SGD, the arena gate (learner-local serial
+// engines) and the checkpoint store, fanning each promoted checkpoint
+// back out to every connected worker. Workers apply swaps only at round
+// barriers, so the single-process invariant — every game finishes on the
+// model it started with — survives distribution.
+//
+// The wire reuses the durable formats as payloads: episodes travel as
+// trajstore frames, checkpoints as a manifest plus the raw weight bytes
+// its FNV-64a checksum covers, and both ends re-verify every checksum, so
+// transport corruption is rejected exactly like disk corruption (framing
+// in API.md). The transport itself is a seam — length-prefixed TCP for
+// deployments, a deterministic in-memory fabric for tests — and every
+// failure mode degrades gracefully: a dead worker costs the learner at
+// most one round-timeout of fill, a disconnected worker keeps generating
+// into a bounded drop-oldest buffer and redials with backoff, and a
+// restarted learner resumes from the checkpoint store and replay dir
+// while workers reconnect and catch up on the current model in the hello
+// exchange (topology and failure semantics in OPERATIONS.md;
+// BENCH_distributed.json records the latency-bound scaling measurement).
+//
 // # Networked serving
 //
 // internal/serve puts the whole stack behind a wire: cmd/serve exposes the

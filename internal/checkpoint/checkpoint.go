@@ -99,6 +99,38 @@ func weightsName(version int64) string  { return fmt.Sprintf("v%06d.net", versio
 // frames).
 func checksum(b []byte) string { return faultfs.ChecksumHex(b) }
 
+// EncodeNetwork serialises a network to the store's weight wire format and
+// returns the bytes plus their FNV-64a hex checksum — the pair a Manifest
+// records and the distributed checkpoint fan-out ships verbatim, so the
+// bytes a worker receives are the bytes a Save would have committed.
+func EncodeNetwork(net *nn.Network) ([]byte, string, error) {
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		return nil, "", fmt.Errorf("checkpoint: serialize: %w", err)
+	}
+	raw := buf.Bytes()
+	return raw, checksum(raw), nil
+}
+
+// VerifyAndLoad validates raw weight bytes against m.Checksum and
+// deserialises them — the receiving end of a checkpoint shipped as
+// manifest + weights over a wire. A checksum mismatch (a torn or corrupted
+// transfer) is rejected before any parameter reaches an engine.
+func VerifyAndLoad(m Manifest, raw []byte) (*nn.Network, error) {
+	if m.Checksum == "" {
+		return nil, fmt.Errorf("checkpoint: version %d: manifest carries no checksum", m.Version)
+	}
+	if got := checksum(raw); got != m.Checksum {
+		return nil, fmt.Errorf("checkpoint: version %d: weights checksum mismatch (manifest %s, received %s)",
+			m.Version, m.Checksum, got)
+	}
+	net, err := nn.Load(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: version %d: %w", m.Version, err)
+	}
+	return net, nil
+}
+
 // Save commits one snapshot and returns the completed manifest. If
 // m.Version is 0 the next version after the latest committed one is
 // assigned; an explicit version must not collide with a committed one
@@ -125,16 +157,16 @@ func (s *Store) Save(net *nn.Network, m Manifest) (Manifest, error) {
 		return Manifest{}, fmt.Errorf("checkpoint: version %d already committed", m.Version)
 	}
 
-	var buf bytes.Buffer
-	if err := net.Save(&buf); err != nil {
-		return Manifest{}, fmt.Errorf("checkpoint: serialize: %w", err)
+	raw, sum, err := EncodeNetwork(net)
+	if err != nil {
+		return Manifest{}, err
 	}
 	m.WeightsFile = weightsName(m.Version)
-	m.Checksum = checksum(buf.Bytes())
+	m.Checksum = sum
 	m.SavedAtUnix = time.Now().Unix()
 
 	// Weights first, manifest last: the manifest rename is the commit.
-	if err := s.writeAtomic(m.WeightsFile, buf.Bytes()); err != nil {
+	if err := s.writeAtomic(m.WeightsFile, raw); err != nil {
 		return Manifest{}, err
 	}
 	mj, err := json.MarshalIndent(&m, "", "  ")

@@ -1,0 +1,384 @@
+package dist
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/arena"
+	"github.com/parmcts/parmcts/internal/checkpoint"
+	"github.com/parmcts/parmcts/internal/game/tictactoe"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/rng"
+	"github.com/parmcts/parmcts/internal/train"
+	"github.com/parmcts/parmcts/internal/trajstore"
+)
+
+// testLearnerConfig builds a fast learner over tictactoe. The gate's
+// WinThreshold 0 makes every gate promote (score >= 0 always), so
+// promotion-path tests are deterministic regardless of match outcomes.
+func testLearnerConfig(t *testing.T, ckptDir string, rounds int) LearnerConfig {
+	t.Helper()
+	g := tictactoe.New()
+	c, h, w := g.EncodedShape()
+	store, err := checkpoint.NewStore(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LearnerConfig{
+		Game:     g,
+		GameSpec: "tictactoe",
+		Store:    store,
+		NewNet: func() *nn.Network {
+			return nn.MustNew(nn.TinyConfig(c, h, w, g.NumActions()), rng.New(1))
+		},
+		Replay:       train.NewReplay(4096),
+		RoundGames:   4,
+		RoundTimeout: 3 * time.Second,
+		Loop: train.LoopConfig{
+			Rounds:        rounds,
+			GateEvery:     2,
+			SGDIterations: 1,
+			BatchSize:     8,
+			MinSamples:    1,
+			Seed:          1,
+		},
+		Gate: arena.GateConfig{
+			Games:        2,
+			WinThreshold: 0,
+			Playouts:     8,
+			Temperature:  0.5,
+			TempMoves:    3,
+			Seed:         7,
+		},
+		Logf: t.Logf,
+	}
+}
+
+func testWorkerConfig(t *testing.T, id string, dial Dialer, seed uint64) WorkerConfig {
+	t.Helper()
+	return WorkerConfig{
+		ID:           id,
+		Game:         tictactoe.New(),
+		GameSpec:     "tictactoe",
+		Dial:         dial,
+		Games:        2,
+		Playouts:     8,
+		Workers:      2,
+		TempMoves:    3,
+		Seed:         seed,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+}
+
+// TestDistributedLoopEndToEnd is the in-memory multi-worker smoke: two
+// workers stream episodes to one learner, SGD and gating run on the
+// learner, promotions fan back out, and workers apply the swaps at round
+// barriers.
+func TestDistributedLoopEndToEnd(t *testing.T) {
+	fabric := NewNetwork()
+	lis, err := fabric.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner, err := NewLearner(lis, testLearnerConfig(t, t.TempDir(), 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := make([]*Worker, 2)
+	workerDone := make(chan WorkerStats, len(workers))
+	for i := range workers {
+		w, werr := NewWorker(testWorkerConfig(t, "w"+string(rune('0'+i)), fabric.Dialer(), uint64(i+1)))
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		workers[i] = w
+		go func() { workerDone <- w.Run() }()
+	}
+
+	report := learner.Run(nil)
+	for _, w := range workers {
+		w.Stop()
+	}
+	var sent, swaps int
+	for range workers {
+		st := <-workerDone
+		sent += st.Sent
+		swaps += st.Swaps
+	}
+
+	if report.Rounds != 6 {
+		t.Fatalf("learner consumed %d rounds, want 6", report.Rounds)
+	}
+	if len(report.Promotions) < 1 {
+		t.Fatal("no promotion completed (gate threshold 0 promotes every gate)")
+	}
+	if report.FinalVersion != 1+int64(len(report.Promotions)) {
+		t.Fatalf("final version %d with %d promotions from v1", report.FinalVersion, len(report.Promotions))
+	}
+	st := learner.Stats()
+	if st.WorkersSeen < 2 {
+		t.Fatalf("learner saw %d workers, want >= 2", st.WorkersSeen)
+	}
+	if st.Episodes < int64(report.Rounds) {
+		t.Fatalf("learner accepted %d episodes over %d rounds", st.Episodes, report.Rounds)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("%d frames rejected on a clean in-memory transport", st.Rejected)
+	}
+	if sent < int(st.Episodes) {
+		t.Fatalf("workers sent %d episodes, learner accepted %d", sent, st.Episodes)
+	}
+	if swaps < 1 {
+		t.Fatal("no worker applied a promoted checkpoint swap")
+	}
+
+	// The promoted versions are durable: the store's latest checkpoint is
+	// the final version and loads cleanly.
+	net, man, err := learner.cfg.Store.LoadLatest()
+	if err != nil || net == nil {
+		t.Fatalf("reloading final checkpoint: %v", err)
+	}
+	if man.Version != report.FinalVersion {
+		t.Fatalf("store latest v%d, loop final v%d", man.Version, report.FinalVersion)
+	}
+}
+
+// TestWorkerDeathDoesNotStallLearner kills one of two workers mid-run
+// (abruptly — its connection just dies). The learner must keep consuming
+// rounds from the survivor, complete a gated promotion, and finish.
+func TestWorkerDeathDoesNotStallLearner(t *testing.T) {
+	fabric := NewNetwork()
+	lis, err := fabric.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testLearnerConfig(t, t.TempDir(), 6)
+	cfg.RoundTimeout = 500 * time.Millisecond
+	learner, err := NewLearner(lis, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim, err := NewWorker(testWorkerConfig(t, "victim", fabric.Dialer(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := NewWorker(testWorkerConfig(t, "survivor", fabric.Dialer(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go victim.Run()
+	survivorDone := make(chan WorkerStats, 1)
+	go func() { survivorDone <- survivor.Run() }()
+
+	// Kill the victim after the first consumed round.
+	killed := make(chan struct{})
+	report := learner.Run(func(s train.LoopRoundStats) {
+		if s.Round == 0 {
+			victim.Stop()
+			close(killed)
+		}
+	})
+	<-killed
+	survivor.Stop()
+	<-survivorDone
+
+	if report.Rounds != 6 {
+		t.Fatalf("learner consumed %d rounds, want 6 (stalled by dead worker?)", report.Rounds)
+	}
+	if len(report.Promotions) < 1 {
+		t.Fatal("no gated promotion completed after worker death")
+	}
+}
+
+// TestLearnerRestartResumes kills the learner (listener torn down, workers
+// left running) and starts a fresh one over the same checkpoint and replay
+// stores. The new learner must resume from the committed version, the
+// workers must redial with backoff and re-hello, and training must
+// continue with version numbering intact.
+func TestLearnerRestartResumes(t *testing.T) {
+	fabric := NewNetwork()
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+	trajDir := filepath.Join(t.TempDir(), "traj")
+
+	openTraj := func() *trajstore.Store {
+		ts, err := trajstore.Open(trajDir, trajstore.Config{SegmentGames: 4, Game: "tictactoe"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+
+	// Phase 1: short run, at least one promotion.
+	lis1, err := fabric.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := testLearnerConfig(t, ckptDir, 4)
+	cfg1.Loop.GateEvery = 1
+	traj1 := openTraj()
+	cfg1.Traj = traj1
+	learner1, err := NewLearner(lis1, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := make([]*Worker, 2)
+	workerDone := make(chan WorkerStats, len(workers))
+	for i := range workers {
+		w, werr := NewWorker(testWorkerConfig(t, "w"+string(rune('0'+i)), fabric.Dialer(), uint64(i+1)))
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		workers[i] = w
+		go func() { workerDone <- w.Run() }()
+	}
+
+	report1 := learner1.Run(nil)
+	if len(report1.Promotions) < 1 {
+		t.Fatal("phase 1 made no promotion")
+	}
+	traj1.Close()
+
+	// The learner is gone; workers keep playing and redial into nothing.
+	// Phase 2: a fresh learner on the same fabric and stores.
+	lis2, err := fabric.Listen()
+	if err != nil {
+		t.Fatalf("rebinding after learner death: %v", err)
+	}
+	cfg2 := testLearnerConfig(t, ckptDir, 3)
+	traj2 := openTraj()
+	cfg2.Traj = traj2
+	defer traj2.Close()
+	learner2, err := NewLearner(lis2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learner2.Version() != report1.FinalVersion {
+		t.Fatalf("restarted learner serves v%d, phase 1 committed v%d", learner2.Version(), report1.FinalVersion)
+	}
+	if cfg2.Replay.Len() == 0 {
+		t.Fatal("restarted learner re-ingested nothing from the durable replay store")
+	}
+
+	report2 := learner2.Run(nil)
+	for _, w := range workers {
+		w.Stop()
+	}
+	var reconnects int
+	for range workers {
+		st := <-workerDone
+		reconnects += st.Reconnects
+	}
+
+	if report2.Rounds != 3 {
+		t.Fatalf("restarted learner consumed %d rounds, want 3", report2.Rounds)
+	}
+	if report2.FinalVersion < report1.FinalVersion {
+		t.Fatalf("version went backwards across restart: %d -> %d", report1.FinalVersion, report2.FinalVersion)
+	}
+	if reconnects < 2 {
+		t.Fatalf("workers reconnected %d times, want >= 2 (one per worker)", reconnects)
+	}
+}
+
+// TestLearnerDropsCorruptFrames drives the wire by hand: a corrupted
+// episode frame must be counted and dropped without poisoning the round,
+// and the episodes around it must still train the loop to completion.
+func TestLearnerDropsCorruptFrames(t *testing.T) {
+	fabric := NewNetwork()
+	lis, err := fabric.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testLearnerConfig(t, t.TempDir(), 1)
+	cfg.RoundGames = 2
+	cfg.Loop.GateEvery = 0
+	learner, err := NewLearner(lis, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportCh := make(chan train.LoopReport, 1)
+	go func() { reportCh <- learner.Run(nil) }()
+
+	c, err := fabric.Dialer()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hello, err := encodeHello(Hello{WorkerID: "hand", GameSpec: "tictactoe", Games: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(hello); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := c.Recv(); err != nil || m.Type != msgCheckpoint {
+		t.Fatalf("hello answer: %v type=%d, want checkpoint", err, m.Type)
+	}
+
+	// Samples must match the learner's network shape so SGD can run.
+	g := tictactoe.New()
+	ch, h, w := g.EncodedShape()
+	sample := nn.Sample{Input: make([]float32, ch*h*w), Policy: make([]float32, g.NumActions()), Value: 1}
+	for i := range sample.Policy {
+		sample.Policy[i] = 1 / float32(len(sample.Policy))
+	}
+	ep := trajstore.Episode{Moves: 1, Samples: []nn.Sample{sample}}
+
+	good := encodeEpisode(1, ep)
+	bad := Msg{Type: msgEpisode, Payload: append([]byte(nil), good.Payload...)}
+	bad.Payload[len(bad.Payload)-1] ^= 0xFF
+	for _, m := range []Msg{bad, good, good} {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	report := <-reportCh
+	if report.Rounds != 1 || report.Samples != 2 {
+		t.Fatalf("report rounds=%d samples=%d, want 1 round of the 2 valid episodes", report.Rounds, report.Samples)
+	}
+	st := learner.Stats()
+	if st.Rejected != 1 || st.Episodes != 2 {
+		t.Fatalf("stats rejected=%d episodes=%d, want 1 rejected, 2 accepted", st.Rejected, st.Episodes)
+	}
+}
+
+// TestLearnerRejectsMismatchedGame: a worker for the wrong game must be
+// turned away at hello time, before any episode can reach the replay path.
+func TestLearnerRejectsMismatchedGame(t *testing.T) {
+	fabric := NewNetwork()
+	lis, err := fabric.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner, err := NewLearner(lis, testLearnerConfig(t, t.TempDir(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go learner.acceptLoop()
+	defer learner.Stop()
+
+	c, err := fabric.Dialer()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := encodeHello(Hello{WorkerID: "alien", GameSpec: "hex:7", Games: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("mismatched-game hello was answered instead of closed")
+	}
+	if got := learner.Stats().HellosRejected; got != 1 {
+		t.Fatalf("hellos rejected = %d, want 1", got)
+	}
+}

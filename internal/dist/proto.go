@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/parmcts/parmcts/internal/checkpoint"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/trajstore"
+)
+
+// ErrProtocol reports a structurally invalid message (bad framing, foreign
+// type, undecodable payload). Checksum failures inside payloads surface as
+// trajstore.ErrCorrupt or checkpoint verification errors instead, so the
+// caller can tell transport damage from protocol confusion.
+var ErrProtocol = errors.New("dist: protocol error")
+
+// Hello is the worker's self-introduction, sent first on every
+// (re)connection.
+type Hello struct {
+	// WorkerID names the worker for logs and stats (host:pid style).
+	WorkerID string `json:"worker_id"`
+	// GameSpec must match the learner's hosted game; a mismatched worker
+	// is rejected at hello time rather than poisoning the replay buffer.
+	GameSpec string `json:"game_spec"`
+	// Games is the worker's concurrent-fleet size (reporting only).
+	Games int `json:"games"`
+	// HaveVersion is the checkpoint version the worker already serves
+	// (0 = none). The learner always answers with its current checkpoint;
+	// the worker skips the swap when the version is not newer.
+	HaveVersion int64 `json:"have_version"`
+}
+
+// encodeHello renders a hello message.
+func encodeHello(h Hello) (Msg, error) {
+	raw, err := json.Marshal(&h)
+	if err != nil {
+		return Msg{}, fmt.Errorf("%w: marshal hello: %v", ErrProtocol, err)
+	}
+	return Msg{Type: msgHello, Payload: raw}, nil
+}
+
+// decodeHello parses a hello message.
+func decodeHello(m Msg) (Hello, error) {
+	if m.Type != msgHello {
+		return Hello{}, fmt.Errorf("%w: expected hello, got type %d", ErrProtocol, m.Type)
+	}
+	var h Hello
+	if err := json.Unmarshal(m.Payload, &h); err != nil {
+		return Hello{}, fmt.Errorf("%w: unmarshal hello: %v", ErrProtocol, err)
+	}
+	return h, nil
+}
+
+// encodeEpisode renders one finished game for the wire: the generating
+// model version followed by the episode as a trajstore frame — the exact
+// checksummed bytes a durable segment would hold.
+func encodeEpisode(version int64, ep trajstore.Episode) Msg {
+	frame := trajstore.EncodeFrame(ep)
+	payload := make([]byte, 0, 8+len(frame))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(version))
+	payload = append(payload, frame...)
+	return Msg{Type: msgEpisode, Payload: payload}
+}
+
+// decodeEpisode parses and re-validates one episode message. The frame
+// checksum is verified end to end (trajstore.DecodeFrame), so an episode
+// that decodes here is the episode the worker encoded.
+func decodeEpisode(m Msg) (int64, trajstore.Episode, error) {
+	if m.Type != msgEpisode {
+		return 0, trajstore.Episode{}, fmt.Errorf("%w: expected episode, got type %d", ErrProtocol, m.Type)
+	}
+	if len(m.Payload) < 8 {
+		return 0, trajstore.Episode{}, fmt.Errorf("%w: truncated episode header", ErrProtocol)
+	}
+	version := int64(binary.LittleEndian.Uint64(m.Payload))
+	ep, err := trajstore.DecodeFrame(m.Payload[8:])
+	if err != nil {
+		return 0, trajstore.Episode{}, err
+	}
+	return version, ep, nil
+}
+
+// encodeCheckpoint renders one model snapshot for fan-out: the manifest
+// (carrying the weights checksum) followed by the raw weight bytes.
+func encodeCheckpoint(m checkpoint.Manifest, weights []byte) (Msg, error) {
+	mj, err := json.Marshal(&m)
+	if err != nil {
+		return Msg{}, fmt.Errorf("%w: marshal manifest: %v", ErrProtocol, err)
+	}
+	payload := make([]byte, 0, 4+len(mj)+len(weights))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(mj)))
+	payload = append(payload, mj...)
+	payload = append(payload, weights...)
+	return Msg{Type: msgCheckpoint, Payload: payload}, nil
+}
+
+// decodeCheckpoint parses one checkpoint message, verifies the weight
+// bytes against the manifest checksum, and deserialises the network —
+// exactly the validation LoadVersion performs on a disk checkpoint, so a
+// bit-flipped transfer can never reach a worker's engines.
+func decodeCheckpoint(m Msg) (checkpoint.Manifest, *nn.Network, error) {
+	if m.Type != msgCheckpoint {
+		return checkpoint.Manifest{}, nil, fmt.Errorf("%w: expected checkpoint, got type %d", ErrProtocol, m.Type)
+	}
+	if len(m.Payload) < 4 {
+		return checkpoint.Manifest{}, nil, fmt.Errorf("%w: truncated checkpoint header", ErrProtocol)
+	}
+	mlen := int(binary.LittleEndian.Uint32(m.Payload))
+	if mlen < 2 || 4+mlen > len(m.Payload) {
+		return checkpoint.Manifest{}, nil, fmt.Errorf("%w: checkpoint manifest length %d out of bounds", ErrProtocol, mlen)
+	}
+	var man checkpoint.Manifest
+	if err := json.Unmarshal(m.Payload[4:4+mlen], &man); err != nil {
+		return checkpoint.Manifest{}, nil, fmt.Errorf("%w: unmarshal manifest: %v", ErrProtocol, err)
+	}
+	net, err := checkpoint.VerifyAndLoad(man, m.Payload[4+mlen:])
+	if err != nil {
+		return checkpoint.Manifest{}, nil, err
+	}
+	return man, net, nil
+}

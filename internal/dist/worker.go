@@ -1,0 +1,418 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parmcts/parmcts/internal/checkpoint"
+	"github.com/parmcts/parmcts/internal/evaluate"
+	"github.com/parmcts/parmcts/internal/game"
+	"github.com/parmcts/parmcts/internal/mcts"
+	"github.com/parmcts/parmcts/internal/nn"
+	"github.com/parmcts/parmcts/internal/selfplay"
+	"github.com/parmcts/parmcts/internal/train"
+	"github.com/parmcts/parmcts/internal/trajstore"
+)
+
+// WorkerConfig assembles one self-play worker: a G-game fleet over a
+// local shared inference service, streaming finished episodes to the
+// learner and swapping in promoted checkpoints at round barriers.
+type WorkerConfig struct {
+	// ID names the worker in hellos and learner logs.
+	ID string
+	// Game is the workload; GameSpec is its name, validated by the learner.
+	Game     game.Game
+	GameSpec string
+	// Dial opens a connection to the learner; the reconnect loop calls it
+	// on every attempt (TCPDialer or Network.Dialer).
+	Dial Dialer
+	// Games is the fleet size G (concurrent self-play games).
+	Games int
+	// Playouts is the per-move search budget.
+	Playouts int
+	// Workers is the inference service's thread count and each engine's
+	// in-flight bound (cmd/train's -workers).
+	Workers int
+	// TempMoves is the exploration temperature horizon per game.
+	TempMoves int
+	// Rounds bounds the run (0 = until Stop).
+	Rounds int
+	// Seed drives the fleet's move sampling.
+	Seed uint64
+	// BufferEpisodes bounds the unsent-episode outbox while disconnected
+	// (default 256). When full the OLDEST episode is dropped — fresher data
+	// is worth more to the learner, and the drop is counted.
+	BufferEpisodes int
+	// ReconnectMin/ReconnectMax bound the exponential redial backoff
+	// (defaults 50ms / 2s).
+	ReconnectMin, ReconnectMax time.Duration
+	// NewEvaluator builds the leaf evaluator for a received network
+	// (nil = evaluate.NewNN). Benchmarks inject latency-modeled evaluators
+	// here to measure the distributed split under device-like latency.
+	NewEvaluator func(net *nn.Network) evaluate.Evaluator
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats counts a worker run.
+type WorkerStats struct {
+	// Rounds and Episodes count generation work; Playouts is the summed
+	// playout count across all episodes (the scaling metric).
+	Rounds, Episodes int
+	Playouts         int64
+	// Sent counts episodes delivered to the learner; Dropped counts
+	// episodes evicted from a full outbox while disconnected.
+	Sent, Dropped int
+	// Reconnects counts successful (re)connections after the first.
+	Reconnects int
+	// Swaps counts checkpoint swaps applied at round barriers.
+	Swaps int
+	// Version is the model version serving when the run ended.
+	Version int64
+}
+
+// pendingCkpt is the newest checkpoint received and not yet applied;
+// latest wins (a worker that missed a promotion while searching applies
+// only the final one at the next barrier).
+type pendingCkpt struct {
+	man checkpoint.Manifest
+	net *nn.Network
+}
+
+// Worker runs the generation half of the distributed split. It has no
+// SGD, no replay ring and no gate: it plays rounds, ships episodes, and
+// serves whatever model the learner last promoted — applying swaps only
+// at round barriers so every game finishes on the version it started with
+// (the same guarantee the single-process fleet gets from per-game
+// pinning).
+type Worker struct {
+	cfg WorkerConfig
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu      sync.Mutex
+	conn    Conn // live connection, nil while disconnected
+	pending *pendingCkpt
+	ready   chan struct{} // closed once the first checkpoint arrives
+	outbox  []Msg
+
+	reconnects atomic.Int64
+	dropped    atomic.Int64
+	sent       atomic.Int64
+}
+
+// NewWorker validates the config.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Game == nil || cfg.Dial == nil {
+		return nil, errors.New("dist: worker needs a game and a dialer")
+	}
+	if cfg.Games < 1 {
+		cfg.Games = 4
+	}
+	if cfg.Playouts < 1 {
+		cfg.Playouts = 50
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.BufferEpisodes < 1 {
+		cfg.BufferEpisodes = 256
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 50 * time.Millisecond
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = 2 * time.Second
+	}
+	if cfg.NewEvaluator == nil {
+		cfg.NewEvaluator = func(net *nn.Network) evaluate.Evaluator { return evaluate.NewNN(net) }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.ID == "" {
+		cfg.ID = "worker"
+	}
+	return &Worker{
+		cfg:   cfg,
+		stop:  make(chan struct{}),
+		ready: make(chan struct{}),
+	}, nil
+}
+
+// Stop ends the run after the in-flight round's barrier. Idempotent.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		w.mu.Lock()
+		if w.conn != nil {
+			w.conn.Close()
+		}
+		w.mu.Unlock()
+	})
+}
+
+// Run drives the worker until Rounds rounds have been played or Stop is
+// called. It blocks waiting for the first checkpoint (a worker cannot play
+// without a model), then keeps playing through disconnections, buffering
+// episodes and redialing with backoff in the background.
+func (w *Worker) Run() WorkerStats {
+	go w.connectLoop()
+
+	// No model, no fleet: wait for the learner's first checkpoint.
+	select {
+	case <-w.ready:
+	case <-w.stop:
+		return WorkerStats{}
+	}
+	w.mu.Lock()
+	first := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+
+	// Build the fleet around the received model: one shared inference
+	// service, one engine per game, per-game version pinning — the same
+	// topology as cmd/train minus replay and SGD.
+	version := first.man.Version
+	mkBackend := func(net *nn.Network) evaluate.Backend {
+		return &evaluate.EvaluatorBackend{Eval: w.cfg.NewEvaluator(net), Workers: w.cfg.Workers}
+	}
+	srv := evaluate.NewServer(mkBackend(first.net), evaluate.ServerConfig{
+		Batch:          1,
+		FlushDeadline:  evaluate.DefaultFlushDeadline,
+		MaxOutstanding: w.cfg.Games * w.cfg.Workers * 2,
+		LaunchWorkers:  w.cfg.Workers,
+		InitialVersion: version,
+	})
+	defer srv.Close()
+
+	clients := make([]*evaluate.Client, w.cfg.Games)
+	engines := make([]mcts.Engine, w.cfg.Games)
+	for i := range engines {
+		clients[i] = srv.NewClient(w.cfg.Workers * 2)
+		mc := mcts.DefaultConfig()
+		mc.Playouts = w.cfg.Playouts
+		mc.DirichletAlpha = 0.3
+		mc.NoiseFrac = 0.25
+		mc.Seed = w.cfg.Seed + uint64(i)*7919
+		engines[i] = mcts.NewLocal(mc, clients[i], w.cfg.Workers)
+	}
+	defer func() {
+		for i := range engines {
+			engines[i].Close()
+			clients[i].Close()
+		}
+	}()
+
+	var stats WorkerStats
+	driver := selfplay.NewDriver(w.cfg.Game, engines, nil, nil, selfplay.Config{
+		TempMoves:   w.cfg.TempMoves,
+		Seed:        w.cfg.Seed,
+		OnGameStart: func(tenant int) { clients[tenant].Pin(srv.Version()) },
+		OnGameEnd:   func(tenant int) { clients[tenant].Unpin() },
+		// Stream every finished game: encode it as a wire frame at the
+		// round's ingest barrier (driver goroutine, deterministic order)
+		// into the bounded outbox; the flush below ships it.
+		OnEpisode: func(tenant int, ep *train.EpisodeResult) {
+			stats.Episodes++
+			stats.Playouts += int64(ep.Search.Playouts)
+			w.enqueue(encodeEpisode(version, trajstore.Episode{
+				Moves:   ep.Moves,
+				Winner:  ep.Winner,
+				Samples: ep.Samples,
+			}))
+		},
+	})
+
+	w.cfg.Logf("worker %s: fleet of %d games up on v%d", w.cfg.ID, w.cfg.Games, version)
+	for round := 0; w.cfg.Rounds == 0 || round < w.cfg.Rounds; round++ {
+		select {
+		case <-w.stop:
+			stats.Version = version
+			w.fillStats(&stats)
+			return stats
+		default:
+		}
+
+		// Round barrier: apply the newest pending checkpoint. Nothing is in
+		// flight between rounds, so the old backend retires immediately —
+		// the in-round guarantee stays with per-game pinning.
+		w.mu.Lock()
+		p := w.pending
+		w.pending = nil
+		w.mu.Unlock()
+		if p != nil && p.man.Version > version {
+			old := version
+			version = p.man.Version
+			srv.SwapBackend(mkBackend(p.net), version)
+			srv.Retire(old)
+			stats.Swaps++
+			w.cfg.Logf("worker %s: swapped v%d -> v%d at round %d", w.cfg.ID, old, version, round)
+		}
+
+		driver.PlayRound()
+		stats.Rounds++
+		w.flush()
+	}
+	stats.Version = version
+	w.fillStats(&stats)
+	return stats
+}
+
+func (w *Worker) fillStats(s *WorkerStats) {
+	s.Sent = int(w.sent.Load())
+	s.Dropped = int(w.dropped.Load())
+	s.Reconnects = int(w.reconnects.Load())
+}
+
+// enqueue buffers one encoded episode, evicting the oldest when full.
+func (w *Worker) enqueue(m Msg) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.outbox) >= w.cfg.BufferEpisodes {
+		w.outbox = w.outbox[1:]
+		w.dropped.Add(1)
+	}
+	w.outbox = append(w.outbox, m)
+}
+
+// flush ships buffered episodes over the live connection, oldest first. A
+// send error stops the flush and leaves the remainder buffered for the
+// next barrier (by which time the connect loop has usually redialed).
+func (w *Worker) flush() {
+	for {
+		w.mu.Lock()
+		if len(w.outbox) == 0 || w.conn == nil {
+			w.mu.Unlock()
+			return
+		}
+		c := w.conn
+		m := w.outbox[0]
+		w.mu.Unlock()
+
+		if err := c.Send(m); err != nil {
+			w.dropConn(c)
+			return
+		}
+		w.sent.Add(1)
+		w.mu.Lock()
+		if len(w.outbox) > 0 {
+			w.outbox = w.outbox[1:]
+		}
+		w.mu.Unlock()
+	}
+}
+
+// dropConn clears (and closes) a failed connection; the connect loop's
+// reader notices and redials.
+func (w *Worker) dropConn(c Conn) {
+	c.Close()
+	w.mu.Lock()
+	if w.conn == c {
+		w.conn = nil
+	}
+	w.mu.Unlock()
+}
+
+// connectLoop maintains the learner link for the life of the worker: dial
+// with exponential backoff, hello, then read checkpoints until the
+// connection dies, and start over. It never touches the fleet directly —
+// received checkpoints land in the pending slot for the round barrier.
+func (w *Worker) connectLoop() {
+	backoff := w.cfg.ReconnectMin
+	connected := false
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+
+		c, err := w.cfg.Dial()
+		if err != nil {
+			select {
+			case <-time.After(backoff):
+			case <-w.stop:
+				return
+			}
+			backoff *= 2
+			if backoff > w.cfg.ReconnectMax {
+				backoff = w.cfg.ReconnectMax
+			}
+			continue
+		}
+		backoff = w.cfg.ReconnectMin
+
+		w.mu.Lock()
+		var have int64
+		if w.pending != nil {
+			have = w.pending.man.Version
+		}
+		w.mu.Unlock()
+		hello, herr := encodeHello(Hello{
+			WorkerID:    w.cfg.ID,
+			GameSpec:    w.cfg.GameSpec,
+			Games:       w.cfg.Games,
+			HaveVersion: have,
+		})
+		if herr != nil || c.Send(hello) != nil {
+			c.Close()
+			continue
+		}
+
+		w.mu.Lock()
+		w.conn = c
+		w.mu.Unlock()
+		if connected {
+			w.reconnects.Add(1)
+			w.cfg.Logf("worker %s: reconnected to learner", w.cfg.ID)
+		}
+		connected = true
+
+		w.readLoop(c)
+		w.dropConn(c)
+
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+	}
+}
+
+// readLoop consumes learner messages on one connection until it errors.
+// Checkpoints are fully decoded AND checksum-verified here, off the search
+// path; only a validated network reaches the pending slot.
+func (w *Worker) readLoop(c Conn) {
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		if m.Type != msgCheckpoint {
+			w.cfg.Logf("worker %s: ignoring unexpected message type %d", w.cfg.ID, m.Type)
+			continue
+		}
+		man, net, err := decodeCheckpoint(m)
+		if err != nil {
+			// A corrupt checkpoint must never serve; drop it and keep the
+			// current model. The learner re-sends on the next promotion or
+			// reconnect.
+			w.cfg.Logf("worker %s: rejecting checkpoint: %v", w.cfg.ID, err)
+			continue
+		}
+		w.mu.Lock()
+		if w.pending == nil || man.Version > w.pending.man.Version {
+			w.pending = &pendingCkpt{man: man, net: net}
+		}
+		w.mu.Unlock()
+		select {
+		case <-w.ready:
+		default:
+			close(w.ready)
+		}
+	}
+}

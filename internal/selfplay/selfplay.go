@@ -87,13 +87,16 @@ type Driver struct {
 
 // NewDriver creates a concurrent driver over the given engines (one per
 // game). replay receives every finished game's (augmented) samples; it must
-// only be read between rounds. augment may be nil.
+// only be read between rounds. augment may be nil. replay may be nil for a
+// streaming-only fleet — a distributed worker that ships every episode to a
+// remote learner through Config.OnEpisode and trains nothing locally — in
+// which case ingestion is a no-op and Replay returns nil.
 func NewDriver(g game.Game, engines []mcts.Engine, replay *train.Replay, augment train.Augmenter, cfg Config) *Driver {
 	if len(engines) < 1 {
 		panic("selfplay: driver needs at least one engine")
 	}
-	if replay == nil {
-		panic("selfplay: driver needs a replay buffer")
+	if replay == nil && cfg.OnEpisode == nil {
+		panic("selfplay: driver needs a replay buffer or an OnEpisode sink")
 	}
 	return &Driver{
 		g:       g,
@@ -108,7 +111,8 @@ func NewDriver(g game.Game, engines []mcts.Engine, replay *train.Replay, augment
 // Games returns G, the number of concurrent games per round.
 func (d *Driver) Games() int { return len(d.engines) }
 
-// Replay returns the shared replay buffer. Safe to use between rounds.
+// Replay returns the shared replay buffer (nil for a streaming-only
+// driver). Safe to use between rounds.
 func (d *Driver) Replay() *train.Replay { return d.replay }
 
 // Ingest feeds samples through the driver's augmentation path into the
@@ -121,8 +125,12 @@ func (d *Driver) Ingest(samples []nn.Sample) { d.ingest(samples) }
 // serializes ingestion for any future caller that streams mid-round; the
 // driver itself ingests at the round barrier in game order, so the replay
 // insertion sequence — and therefore SGD batch composition — is a pure
-// function of the seed, not of goroutine scheduling.
+// function of the seed, not of goroutine scheduling. A replay-less
+// (streaming-only) driver ingests nowhere.
 func (d *Driver) ingest(samples []nn.Sample) {
+	if d.replay == nil {
+		return
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, s := range samples {
@@ -258,6 +266,9 @@ type Trainer struct {
 func NewTrainer(d *Driver, net *nn.Network, cfg TrainerConfig) *Trainer {
 	if cfg.Rounds < 1 {
 		panic("selfplay: Rounds must be >= 1")
+	}
+	if d.Replay() == nil {
+		panic("selfplay: a Trainer needs a driver with a replay buffer")
 	}
 	if cfg.BatchSize < 1 {
 		cfg.BatchSize = 32

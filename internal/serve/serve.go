@@ -117,6 +117,13 @@ type Config struct {
 	// mixed (default off).
 	TransposeSize int
 
+	// TombstoneBudget bounds the 410-Gone tombstone window: the ids of the
+	// last N evicted sessions keep answering 410 instead of 404 (default
+	// 4096). Only genuine evictions consume the budget — saturation-rejected
+	// creates are rolled back without a tombstone, so a client hammering a
+	// saturated server cannot flush real evictions out of the window.
+	TombstoneBudget int
+
 	// Net is the initial serving model (required unless NewEvaluator is
 	// set and never touches its net argument).
 	Net *nn.Network
@@ -170,6 +177,9 @@ func (c *Config) setDefaults() {
 	if c.CacheSize == 0 {
 		c.CacheSize = 1 << 16
 	}
+	if c.TombstoneBudget < 1 {
+		c.TombstoneBudget = 4096
+	}
 	if c.InitialVersion <= 0 {
 		c.InitialVersion = 1
 	}
@@ -208,13 +218,17 @@ type Service struct {
 	lru      *list.List // front = most recently used
 	// evicted holds bounded tombstones of evicted/completed-and-dropped
 	// session ids so a client polling a dead game gets 410 Gone instead of
-	// an indistinguishable 404.
-	evicted      map[string]struct{}
-	evictedOrder []string
-	versions     map[int64]*versionState
-	current      int64
-	draining     bool
-	seedCounter  uint64
+	// an indistinguishable 404. evictedRing is the fixed-size order window
+	// (head = next slot to overwrite): a ring instead of a re-sliced
+	// append buffer, so long-uptime eviction churn never reallocates or
+	// copies the window.
+	evicted     map[string]struct{}
+	evictedRing []string
+	evictedHead int
+	versions    map[int64]*versionState
+	current     int64
+	draining    bool
+	seedCounter uint64
 
 	created    atomic.Int64
 	evictedN   atomic.Int64
@@ -237,15 +251,16 @@ type Service struct {
 func NewService(cfg Config) *Service {
 	cfg.setDefaults()
 	s := &Service{
-		cfg:      cfg,
-		game:     cfg.Game,
-		admit:    make(chan struct{}, cfg.MaxConcurrentMoves),
-		start:    cfg.Now(),
-		sessions: make(map[string]*gameSession),
-		lru:      list.New(),
-		evicted:  make(map[string]struct{}),
-		versions: make(map[int64]*versionState),
-		current:  cfg.InitialVersion,
+		cfg:         cfg,
+		game:        cfg.Game,
+		admit:       make(chan struct{}, cfg.MaxConcurrentMoves),
+		start:       cfg.Now(),
+		sessions:    make(map[string]*gameSession),
+		lru:         list.New(),
+		evicted:     make(map[string]struct{}),
+		evictedRing: make([]string, cfg.TombstoneBudget),
+		versions:    make(map[int64]*versionState),
+		current:     cfg.InitialVersion,
 	}
 	eval0 := cfg.NewEvaluator(cfg.InitialVersion, cfg.Net)
 	if cfg.CacheSize > 0 {
@@ -385,7 +400,12 @@ func (s *Service) NewGame(engineStarts bool) (Snapshot, *MoveStats, error) {
 	// The engine opens: run its first search inside the creation request.
 	if !s.acquire() {
 		// Roll the session back — the client will retry the whole create.
-		s.dropSession(sess, true)
+		// The id was never handed out, so this is an admission rejection,
+		// not an eviction: no tombstone (a 4096-entry budget burned by
+		// rejected creates would flush genuine evictions early, turning
+		// contractual 410s into 404s), no evictedN, and the created count
+		// is undone — the attempt lives in rejected only.
+		s.rollbackSession(sess)
 		s.rejected.Add(1)
 		return Snapshot{}, nil, ErrSaturated
 	}
@@ -467,15 +487,23 @@ func (s *Service) Move(id string, action int) (Snapshot, *MoveStats, error) {
 		}
 		return Snapshot{}, nil, ErrNotFound
 	}
-	s.lru.MoveToFront(sess.elem)
-	sess.lastUsed = s.cfg.Now()
 	s.mu.Unlock()
 
 	if !s.acquire() {
+		// Rejected before the LRU is touched: a client hammering a
+		// saturated server with 429'd moves must not keep its session warm
+		// or push an actively-playing session off the LRU end.
 		s.rejected.Add(1)
 		return Snapshot{}, nil, ErrSaturated
 	}
 	defer s.release()
+	// Admitted: NOW the move counts as activity.
+	s.mu.Lock()
+	if sess.elem != nil {
+		s.lru.MoveToFront(sess.elem)
+		sess.lastUsed = s.cfg.Now()
+	}
+	s.mu.Unlock()
 	s.activeMov.Add(1)
 	defer s.activeMov.Add(-1)
 
@@ -628,23 +656,28 @@ func (s *Service) removeLocked(sess *gameSession) {
 		s.lru.Remove(sess.elem)
 		sess.elem = nil
 	}
-	s.evicted[sess.id] = struct{}{}
-	s.evictedOrder = append(s.evictedOrder, sess.id)
-	const tombstones = 4096
-	for len(s.evictedOrder) > tombstones {
-		delete(s.evicted, s.evictedOrder[0])
-		s.evictedOrder = s.evictedOrder[1:]
+	if old := s.evictedRing[s.evictedHead]; old != "" {
+		delete(s.evicted, old)
 	}
+	s.evictedRing[s.evictedHead] = sess.id
+	s.evictedHead = (s.evictedHead + 1) % len(s.evictedRing)
+	s.evicted[sess.id] = struct{}{}
 }
 
-// dropSession removes and tears down one session (rollback/eviction path).
-func (s *Service) dropSession(sess *gameSession, countEvict bool) {
+// rollbackSession undoes a create the client never saw (admission
+// rejection): the session is unlinked without a tombstone or eviction
+// count and the created counter is decremented. If a concurrent evictor
+// already removed the session, its accounting stands — the id was live in
+// the LRU at that point and the eviction was genuine.
+func (s *Service) rollbackSession(sess *gameSession) {
 	s.mu.Lock()
 	if _, live := s.sessions[sess.id]; live {
-		s.removeLocked(sess)
-		if countEvict {
-			s.evictedN.Add(1)
+		delete(s.sessions, sess.id)
+		if sess.elem != nil {
+			s.lru.Remove(sess.elem)
+			sess.elem = nil
 		}
+		s.created.Add(-1)
 	}
 	s.mu.Unlock()
 	sess.shutdown(s)

@@ -96,6 +96,13 @@ type LoopConfig struct {
 	StartVersion int64
 	// Seed drives mini-batch draws.
 	Seed uint64
+	// Stop, when non-nil, ends the loop early: once it is closed no further
+	// generation rounds are requested, and Run returns after consuming the
+	// rounds already in flight. The distributed learner closes it on
+	// shutdown so a SIGTERM drains the loop instead of abandoning it
+	// mid-gate. A Generator whose Generate can block indefinitely (e.g. a
+	// remote ingest barrier) should watch the same channel and return.
+	Stop <-chan struct{}
 }
 
 // LoopRoundStats reports one consumed generation round.
@@ -254,8 +261,24 @@ func (l *Loop) Run(onRound func(LoopRoundStats)) LoopReport {
 	go func() {
 		defer close(rounds)
 		for i := 0; i < l.cfg.Rounds; i++ {
+			if l.cfg.Stop != nil {
+				select {
+				case <-l.cfg.Stop:
+					return
+				default:
+				}
+			}
 			t0 := time.Now()
 			gr := l.gen.Generate()
+			if l.cfg.Stop != nil {
+				// A stopped generator may have returned an empty partial
+				// round; don't feed it to SGD/gating after shutdown began.
+				select {
+				case <-l.cfg.Stop:
+					return
+				default:
+				}
+			}
 			rounds <- timedRound{gr: gr, elapsed: time.Since(t0)}
 		}
 	}()

@@ -145,6 +145,34 @@ func encodeFrame(payload []byte) []byte {
 	return append(out, payload...)
 }
 
+// EncodeFrame renders one episode as a checksummed frame — byte-identical
+// to a segment frame ([4B LE length][8B LE FNV-64a(payload)][payload]), so
+// the distributed transport ships exactly the bytes the durable store
+// commits and a receiver can validate them with DecodeFrame before a
+// single float reaches training.
+func EncodeFrame(ep Episode) []byte { return encodeFrame(encodeEpisode(ep)) }
+
+// DecodeFrame parses and fully re-validates one frame produced by
+// EncodeFrame: length bounds, payload checksum and structural decoding are
+// all checked, returning ErrCorrupt on any mismatch. This is the learner's
+// admission check for trajectories received over a wire — a frame that
+// decodes here is the same frame the worker encoded.
+func DecodeFrame(b []byte) (Episode, error) {
+	if len(b) < frameHeader {
+		return Episode{}, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+	}
+	plen := int64(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint64(b[4:])
+	if plen > maxFramePayload || int64(len(b)) != frameHeader+plen {
+		return Episode{}, fmt.Errorf("%w: frame length mismatch", ErrCorrupt)
+	}
+	payload := b[frameHeader:]
+	if faultfs.Checksum(payload) != sum {
+		return Episode{}, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	}
+	return decodeEpisode(payload)
+}
+
 // frameRef locates one committed episode inside a segment.
 type frameRef struct {
 	seg     int64 // segment id
